@@ -1,0 +1,15 @@
+"""Benchmark E2 — regenerate Figure 2 (x264 phase behaviour, 20-beat window)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig2_x264_phases import Fig2Config, run
+
+
+def test_fig2_regeneration(benchmark):
+    result = benchmark(run, Fig2Config())
+    # Three phases, each within 20% of the paper's band (hard/easy/hard).
+    assert len(result.rows) == 3
+    assert all(row[3] for row in result.rows)
+    opening, middle, closing = (row[2] for row in result.rows)
+    assert middle > 1.6 * opening
+    assert abs(closing - opening) < 0.25 * opening

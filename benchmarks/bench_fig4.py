@@ -1,0 +1,17 @@
+"""Benchmark E4 — regenerate Figure 4 (PSNR cost of adaptation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig4_adaptive_psnr import AdaptiveRunConfig, run
+
+
+def test_fig4_regeneration(benchmark, once):
+    result = once(benchmark, run, AdaptiveRunConfig())
+    diff = result.traces["psnr_difference"].values
+    # Adaptation never improves quality relative to the demanding baseline...
+    assert np.mean(diff) <= 0.05
+    # ...and the loss stays bounded (the paper reports ~-0.5 dB mean, -1 dB worst).
+    assert np.mean(diff) > -2.0
+    assert np.min(diff) > -4.0

@@ -1,0 +1,14 @@
+"""Benchmark E5 — regenerate Figure 5 (bodytrack under the external scheduler)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig5_bodytrack_scheduler import Fig5Config, run
+
+
+def test_fig5_regeneration(benchmark):
+    result = benchmark(run, Fig5Config())
+    rows = {row[0]: row[2] for row in result.rows}
+    assert rows["cores needed before the load drop"] >= 6
+    assert rows["cores needed at the end of the run"] <= 2
+    assert rows["fraction of beats inside the window (steady state, pre-drop)"] > 0.5
+    assert 2.4 <= rows["mean rate before the load drop (beat/s)"] <= 3.6

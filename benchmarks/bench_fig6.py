@@ -1,0 +1,14 @@
+"""Benchmark E6 — regenerate Figure 6 (streamcluster under the external scheduler)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig6_streamcluster_scheduler import Fig6Config, run
+
+
+def test_fig6_regeneration(benchmark):
+    result = benchmark(run, Fig6Config())
+    rows = {row[0]: row[2] for row in result.rows}
+    assert rows["first beat inside the window"] <= 30
+    assert rows["fraction of beats inside the window after reaching it"] > 0.7
+    assert 0.45 <= rows["mean steady-state rate (beat/s)"] <= 0.60
+    assert rows["maximum cores used"] <= 8

@@ -1,0 +1,17 @@
+"""Benchmark E7 — regenerate Figure 7 (x264 under the external scheduler)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig7_x264_scheduler import Fig7Config, run
+
+
+def test_fig7_regeneration(benchmark):
+    result = benchmark(run, Fig7Config())
+    rows = {row[0]: row[2] for row in result.rows}
+    assert rows["fraction of beats inside the window (steady state)"] > 0.6
+    assert 30.0 <= rows["mean steady-state rate (beat/s)"] <= 35.0
+    assert rows["peak rate during spikes (beat/s)"] > 40.0
+    cores = result.traces["cores"].values
+    assert 3 <= np.median(cores[100:]) <= 6

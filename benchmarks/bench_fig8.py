@@ -1,0 +1,23 @@
+"""Benchmark E8 — regenerate Figure 8 (fault tolerance through adaptation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig8_fault_tolerance import Fig8Config, run
+
+
+def test_fig8_regeneration(benchmark, once):
+    config = Fig8Config()
+    result = once(benchmark, run, config)
+    traces = result.traces
+    tail = slice(max(config.failure_beats) + config.rate_window, None)
+    healthy = float(np.mean(traces["healthy"].values[config.rate_window :]))
+    unhealthy = float(np.mean(traces["unhealthy"].values[tail]))
+    adaptive = float(np.mean(traces["adaptive"].values[tail]))
+    # Paper's three claims: healthy stays above the goal, unhealthy falls
+    # below it after the failures, the adaptive encoder recovers.
+    assert healthy >= config.target_min
+    assert unhealthy < 25.0
+    assert adaptive >= config.target_min * 0.95
+    assert adaptive > unhealthy

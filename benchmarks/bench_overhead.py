@@ -1,0 +1,61 @@
+"""Benchmark E9 — heartbeat API overhead (paper Section 5.1).
+
+Covers both the paper's overhead claims (blackscholes per-option vs
+per-25 000, facesim under 5%) and microbenchmarks of the heartbeat call
+itself on each storage backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backends import FileBackend, MemoryBackend, SharedMemoryBackend
+from repro.core.heartbeat import Heartbeat
+from repro.core.monitor import HeartbeatMonitor
+from repro.experiments.overhead import OverheadConfig, run
+
+
+def test_overhead_study(benchmark, once):
+    result = once(benchmark, run, OverheadConfig())
+    rows = {row[0]: row[2] for row in result.rows}
+    per_batch = rows["blackscholes, heartbeat per 25000 options (slowdown)"]
+    per_option = rows["blackscholes, heartbeat per option (slowdown)"]
+    assert per_batch < 1.3
+    assert per_option > 3.0 * per_batch
+    assert float(rows["facesim, heartbeat per frame (overhead)"].rstrip("%")) < 10.0
+
+
+@pytest.mark.parametrize("backend_kind", ["memory", "file", "shared_memory"])
+def test_heartbeat_call_latency(benchmark, backend_kind, tmp_path):
+    """Latency of one HB_heartbeat call per storage backend."""
+    if backend_kind == "memory":
+        backend = MemoryBackend(8192)
+    elif backend_kind == "file":
+        backend = FileBackend(tmp_path / "bench.log")
+    else:
+        backend = SharedMemoryBackend(capacity=8192)
+    hb = Heartbeat(window=20, backend=backend)
+    try:
+        benchmark(hb.heartbeat, 1)
+    finally:
+        hb.finalize()
+
+
+def test_current_rate_query_latency(benchmark):
+    """Latency of a windowed heart-rate query on a warm history."""
+    hb = Heartbeat(window=100, history=8192)
+    for i in range(5000):
+        hb.heartbeat(tag=i)
+    rate = benchmark(hb.current_rate)
+    assert rate > 0.0
+
+
+def test_monitor_read_latency(benchmark):
+    """Latency of an external observer's full health reading."""
+    hb = Heartbeat(window=100, history=8192)
+    hb.set_target_rate(1.0, 1e9)
+    for i in range(5000):
+        hb.heartbeat(tag=i)
+    monitor = HeartbeatMonitor.attach(hb)
+    reading = benchmark(monitor.read)
+    assert reading.total_beats == 5000

@@ -1,0 +1,13 @@
+"""Benchmark E1 — regenerate Table 2 (PARSEC heart rates on eight cores)."""
+
+from __future__ import annotations
+
+from repro.experiments.table2 import Table2Config, run
+
+
+def test_table2_regeneration(benchmark):
+    result = benchmark(run, Table2Config())
+    assert len(result.rows) == 10
+    # Every benchmark's measured whole-run rate is within 5% of the paper's.
+    for row in result.rows:
+        assert float(row[4].rstrip("%")) < 5.0, row[0]

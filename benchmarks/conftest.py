@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures through the
+same ``repro.experiments`` code path the CLI runner uses, checks the
+reproduction-shape assertions, and reports the wall time of the regeneration.
+Heavy experiments (the encoder-driven figures) run a single round; the cheap
+simulated-machine experiments use pytest-benchmark's normal calibration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with exactly one round (for expensive experiments)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once():
+    return run_once

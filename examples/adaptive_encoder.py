@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Internal adaptation: a video encoder that tunes itself with heartbeats.
+
+Reproduces the paper's Section 5.2 scenario (Figures 3 and 4): the encoder
+starts with its most demanding settings, registers a heartbeat per frame,
+checks its own heart rate every 40 frames, and sheds quality until it
+sustains 30 frames per second — then reports how much PSNR the adaptation
+cost compared with never adapting.
+
+Run with::
+
+    python examples/adaptive_encoder.py [frames]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.encoder import PRESET_LADDER
+from repro.experiments.adaptive_runner import (
+    AdaptiveRunConfig,
+    calibrate_work_rate,
+    run_encoder,
+)
+
+
+def main(frames: int = 240) -> None:
+    config = AdaptiveRunConfig(frames=frames)
+    print(
+        f"encoding {config.frames} synthetic {config.frame_width}x{config.frame_height} "
+        f"frames, target >= {config.target_min:.0f} beat/s, "
+        f"{len(PRESET_LADDER)} preset levels"
+    )
+    work_rate = calibrate_work_rate(config)
+    print(f"calibrated platform capacity: {work_rate:,.0f} work units/s "
+          f"(demanding preset ~{config.calibration_rate} frame/s)\n")
+
+    adaptive = run_encoder(config, adaptive=True, work_rate=work_rate)
+    baseline = run_encoder(config, adaptive=False, work_rate=work_rate)
+
+    print(f"{'frame':>6} {'level':>5} {'rate':>8} {'psnr':>7}")
+    for record in adaptive.records[:: max(1, frames // 12)]:
+        print(
+            f"{record.frame_index:6d} {record.level:5d} "
+            f"{record.heart_rate:8.2f} {record.psnr:7.2f}"
+        )
+
+    adaptive_rates = adaptive.heart_rates()
+    psnr_cost = adaptive.psnrs() - baseline.psnrs()
+    print()
+    print(f"final heart rate          : {adaptive_rates[-1]:.2f} beat/s (goal {config.target_min})")
+    print(f"final preset level        : {adaptive.records[-1].level} "
+          f"({PRESET_LADDER[adaptive.records[-1].level].describe()})")
+    print(f"mean PSNR cost of adapting: {psnr_cost.mean():+.3f} dB")
+    print(f"worst PSNR cost           : {psnr_cost.min():+.3f} dB")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 240)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Cross-process observation through shared memory (paper Section 3/4).
+
+The paper requires the global heartbeat buffer to live "in a universally
+accessible location such as coherent shared memory" so external observers —
+the OS, another process, even hardware — can read it directly.  This example
+runs a Heartbeat-enabled worker in a *separate process* writing to a
+shared-memory segment, while the parent process attaches a read-only
+:class:`HeartbeatMonitor` to the same segment and watches the worker's rate
+and health, including detecting the worker's hang at the end.
+
+Run with::
+
+    python examples/cross_process_monitor.py
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+
+from repro import Heartbeat, HeartbeatMonitor, WallClock
+from repro.core import SharedMemoryBackend
+
+
+SEGMENT_NAME = "hb-example-worker"
+
+
+def worker(segment_name: str, beats: int, hang_after: int) -> None:
+    """The instrumented application: one beat per processed request."""
+    backend = SharedMemoryBackend(name=segment_name, capacity=1024)
+    # rebase=False keeps timestamps on the system-wide monotonic clock so the
+    # observing process can compute beat ages against the same time base.
+    heartbeat = Heartbeat(window=20, backend=backend, name="worker", clock=WallClock(rebase=False))
+    heartbeat.set_target_rate(40.0, 80.0)
+    try:
+        for i in range(beats):
+            if i == hang_after:
+                time.sleep(1.5)  # simulate a hang / stuck request
+            time.sleep(0.015)  # ~66 requests/s of "work"
+            heartbeat.heartbeat(tag=i)
+    finally:
+        time.sleep(0.5)  # give the observer a last look before unlinking
+        heartbeat.finalize()
+
+
+def main() -> None:
+    mp_context = mp.get_context("spawn")
+    process = mp_context.Process(target=worker, args=(SEGMENT_NAME, 150, 120))
+    process.start()
+    # Give the worker a moment to create the segment.
+    monitor = None
+    for _ in range(50):
+        try:
+            monitor = HeartbeatMonitor.attach_shared_memory(
+                SEGMENT_NAME, liveness_timeout=0.5, clock=WallClock(rebase=False)
+            )
+            break
+        except Exception:
+            time.sleep(0.05)
+    if monitor is None:
+        raise SystemExit("could not attach to the worker's heartbeat segment")
+
+    print(f"{'t(s)':>5} {'beats':>6} {'rate':>7} {'status':>8}")
+    start = time.perf_counter()
+    try:
+        while process.is_alive():
+            reading = monitor.read()
+            print(
+                f"{time.perf_counter() - start:5.1f} {reading.total_beats:6d} "
+                f"{reading.rate:7.1f} {reading.status.value:>8}"
+            )
+            if reading.status.value == "stalled":
+                print("  -> observer detected a stall from the heartbeat stream alone")
+            time.sleep(0.25)
+    finally:
+        monitor.close()
+        process.join()
+    print("worker finished")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""External adaptation: an OS-style scheduler driven only by heartbeats.
+
+Reproduces the paper's Section 5.3 scenario (Figures 5-7): a Heartbeat-
+enabled application publishes a target heart-rate window, and an external
+scheduler — which sees nothing but the heartbeat stream — grows and shrinks
+the application's core allocation to keep the rate inside the window with as
+few cores as possible.
+
+Run with::
+
+    python examples/external_scheduler.py [bodytrack|streamcluster|x264]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.fig5_bodytrack_scheduler import run as run_fig5
+from repro.experiments.fig6_streamcluster_scheduler import run as run_fig6
+from repro.experiments.fig7_x264_scheduler import run as run_fig7
+
+RUNNERS = {
+    "bodytrack": run_fig5,
+    "streamcluster": run_fig6,
+    "x264": run_fig7,
+}
+
+
+def main(benchmark: str = "bodytrack") -> None:
+    try:
+        runner = RUNNERS[benchmark]
+    except KeyError:
+        raise SystemExit(f"unknown benchmark {benchmark!r}; choose from {sorted(RUNNERS)}")
+    result = runner()
+    print(result.to_text())
+    traces = result.traces
+    rates = traces["heart_rate"].values
+    cores = traces["cores"].values
+    tmin = traces["target_min"].values[0]
+    tmax = traces["target_max"].values[0]
+    print()
+    print(f"{'beat':>6} {'rate':>8} {'cores':>5}   window [{tmin:.2f}, {tmax:.2f}]")
+    step = max(1, len(rates) // 20)
+    for beat in range(0, len(rates), step):
+        marker = "*" if tmin <= rates[beat] <= tmax else " "
+        print(f"{beat:6d} {rates[beat]:8.2f} {int(cores[beat]):5d}  {marker}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "bodytrack")

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Fault tolerance: riding through core failures on heartbeats alone.
+
+Reproduces the paper's Section 5.4 scenario (Figure 8): the encoder starts
+with settings that comfortably meet its 30 frame/s goal, cores "die" at three
+points during the run, and the adaptive encoder — which only ever observes
+its own heart rate — sheds quality to stay above the goal while the
+non-adaptive encoder falls below it.
+
+Run with::
+
+    python examples/fault_tolerance.py [frames]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.fig8_fault_tolerance import Fig8Config, run
+
+
+def main(frames: int = 450) -> None:
+    # Scale the paper's failure schedule (160/320/480 of 600 frames) to the
+    # requested run length.
+    schedule = tuple(int(frames * f / 600.0) for f in (160, 320, 480))
+    config = Fig8Config(frames=frames, failure_beats=schedule)
+    print(
+        f"{frames} frames, one core fails at beats {schedule} "
+        f"(of {config.total_cores} cores), goal >= {config.target_min:.0f} beat/s\n"
+    )
+    result = run(config)
+    print(result.to_text())
+    traces = result.traces
+    print()
+    print(f"{'beat':>6} {'healthy':>8} {'unhealthy':>10} {'adaptive':>9} {'level':>5}")
+    step = max(1, frames // 20)
+    for beat in range(0, frames, step):
+        print(
+            f"{beat:6d} {traces['healthy'].values[beat]:8.2f} "
+            f"{traces['unhealthy'].values[beat]:10.2f} "
+            f"{traces['adaptive'].values[beat]:9.2f} "
+            f"{int(traces['adaptive_level'].values[beat]):5d}"
+        )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 450)

@@ -1,0 +1,14 @@
+"""Trace and table utilities shared by the experiment harness."""
+
+from repro.analysis.stats import summarize, SeriesSummary
+from repro.analysis.tables import format_table, render_rows
+from repro.analysis.traces import Trace, TraceSet
+
+__all__ = [
+    "Trace",
+    "TraceSet",
+    "format_table",
+    "render_rows",
+    "summarize",
+    "SeriesSummary",
+]

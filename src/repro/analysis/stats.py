@@ -1,0 +1,42 @@
+"""Summary statistics helpers for experiment series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["SeriesSummary", "summarize"]
+
+
+@dataclass(frozen=True, slots=True)
+class SeriesSummary:
+    """Five-number-style summary of a series."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+
+    def as_row(self) -> tuple[int, float, float, float, float, float]:
+        return (self.count, self.mean, self.std, self.minimum, self.maximum, self.p50)
+
+
+def summarize(values: Sequence[float] | np.ndarray, *, skip: int = 0) -> SeriesSummary:
+    """Summarise ``values`` after dropping ``skip`` warm-up samples."""
+    arr = np.asarray(values, dtype=np.float64)[skip:]
+    if arr.ndim != 1:
+        raise ValueError(f"values must be one-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        return SeriesSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return SeriesSummary(
+        count=int(arr.size),
+        mean=float(np.mean(arr)),
+        std=float(np.std(arr)),
+        minimum=float(np.min(arr)),
+        maximum=float(np.max(arr)),
+        p50=float(np.median(arr)),
+    )

@@ -1,0 +1,117 @@
+"""Beat-indexed traces.
+
+Every figure in the paper plots one or more series against "Time
+(Heartbeat)" — the beat index.  :class:`Trace` is that series plus helpers
+for the manipulations the figures need (moving averages, windowed slices,
+band membership); :class:`TraceSet` groups the traces of one experiment under
+their legend labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Trace", "TraceSet"]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A named series sampled once per heartbeat."""
+
+    name: str
+    values: np.ndarray
+
+    def __init__(self, name: str, values: Sequence[float] | np.ndarray) -> None:
+        object.__setattr__(self, "name", str(name))
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError(f"trace values must be one-dimensional, got shape {arr.shape}")
+        object.__setattr__(self, "values", arr)
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    def __getitem__(self, index: int | slice) -> float | np.ndarray:
+        result = self.values[index]
+        return float(result) if np.isscalar(result) else result
+
+    @property
+    def beats(self) -> np.ndarray:
+        """The beat indices (x axis of every figure)."""
+        return np.arange(len(self), dtype=np.int64)
+
+    def moving_average(self, window: int) -> "Trace":
+        """Simple trailing moving average with a growing warm-up window."""
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        out = np.empty_like(self.values)
+        cumsum = np.concatenate([[0.0], np.cumsum(self.values)])
+        for i in range(len(self)):
+            start = max(0, i - window + 1)
+            out[i] = (cumsum[i + 1] - cumsum[start]) / (i + 1 - start)
+        return Trace(f"{self.name} (ma{window})", out)
+
+    def section(self, start: int, stop: int | None = None) -> np.ndarray:
+        """Values for beats ``start`` (inclusive) to ``stop`` (exclusive)."""
+        return self.values[start:stop]
+
+    def mean(self, start: int = 0, stop: int | None = None) -> float:
+        section = self.section(start, stop)
+        return float(np.mean(section)) if section.size else 0.0
+
+    def min(self) -> float:
+        return float(np.min(self.values)) if len(self) else 0.0
+
+    def max(self) -> float:
+        return float(np.max(self.values)) if len(self) else 0.0
+
+    def fraction_within(self, low: float, high: float, *, skip: int = 0) -> float:
+        """Fraction of samples (after ``skip`` warm-up beats) inside ``[low, high]``."""
+        section = self.values[skip:]
+        if section.size == 0:
+            return 0.0
+        inside = np.count_nonzero((section >= low) & (section <= high))
+        return inside / section.size
+
+    def first_beat_at_or_above(self, threshold: float) -> int | None:
+        """Index of the first sample ``>= threshold`` (None when never reached)."""
+        hits = np.nonzero(self.values >= threshold)[0]
+        return int(hits[0]) if hits.size else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace(name={self.name!r}, beats={len(self)})"
+
+
+@dataclass
+class TraceSet:
+    """The named traces of one experiment (one figure)."""
+
+    title: str
+    traces: dict[str, Trace] = field(default_factory=dict)
+    metadata: dict[str, float | int | str] = field(default_factory=dict)
+
+    def add(self, name: str, values: Sequence[float] | np.ndarray) -> Trace:
+        trace = Trace(name, values)
+        self.traces[name] = trace
+        return trace
+
+    def __getitem__(self, name: str) -> Trace:
+        return self.traces[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.traces
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self.traces.values())
+
+    def names(self) -> list[str]:
+        return list(self.traces)
+
+    def as_mapping(self) -> Mapping[str, np.ndarray]:
+        return {name: trace.values for name, trace in self.traces.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceSet(title={self.title!r}, traces={self.names()})"

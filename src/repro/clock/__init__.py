@@ -1,0 +1,17 @@
+"""Time sources for the heartbeats framework.
+
+The paper's reference implementation stamps each heartbeat with the machine's
+wall-clock time.  For reproducible experiments this package abstracts the time
+source behind the :class:`Clock` protocol:
+
+* :class:`WallClock` — real time (``time.perf_counter`` based, monotonic).
+* :class:`SimulatedClock` — a clock advanced explicitly by the simulation
+  engine; experiments driven by :mod:`repro.sim` use it so every run is
+  deterministic and independent of host speed.
+* :class:`ManualClock` — a minimal clock whose time is set directly; mostly
+  useful in unit tests.
+"""
+
+from repro.clock.clock import Clock, ManualClock, SimulatedClock, WallClock
+
+__all__ = ["Clock", "WallClock", "SimulatedClock", "ManualClock"]

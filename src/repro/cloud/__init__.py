@@ -1,0 +1,26 @@
+"""Heartbeat-driven cluster management (paper Section 2.6).
+
+The paper sketches three cloud uses of heartbeats: scaling resources when an
+application's heart rate drops, detecting failed or failing machines by the
+absence (or erratic arrival) of heartbeats, and consolidating "light" VMs
+whose goals are comfortably met onto fewer physical machines to save energy.
+This package implements all three on a simulated cluster so the ideas can be
+exercised end to end:
+
+* :class:`CloudCluster` — nodes with capacity, virtual machines whose hosted
+  applications register heartbeats against a shared simulated clock;
+* :class:`HeartbeatLoadBalancer` — the manager that watches each VM's
+  heartbeat stream (through the same :class:`~repro.core.monitor.HeartbeatMonitor`
+  abstraction every other observer uses) and migrates, scales and consolidates.
+"""
+
+from repro.cloud.balancer import BalancerAction, HeartbeatLoadBalancer
+from repro.cloud.cluster import CloudCluster, CloudNode, CloudVM
+
+__all__ = [
+    "CloudNode",
+    "CloudVM",
+    "CloudCluster",
+    "HeartbeatLoadBalancer",
+    "BalancerAction",
+]

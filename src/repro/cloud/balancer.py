@@ -1,0 +1,269 @@
+"""Heartbeat-driven load balancer / cluster manager.
+
+Implements the three Section-2.6 behaviours on a :class:`CloudCluster`:
+
+* **scale-out / migration** — a VM whose heart rate sits below its published
+  minimum is migrated to the node with the most spare capacity (powering one
+  up if needed), because "as the heart rate decreases, the load balancer
+  would shift traffic to a different server";
+* **failure detection and fail-over** — a VM that has produced no heartbeat
+  for longer than the liveness timeout is treated as running on a failed (or
+  failing) machine and is migrated away;
+* **consolidation** — VMs whose rates comfortably exceed their maxima are
+  packed onto fewer nodes and emptied nodes are powered down, so "these
+  'light' VMs can be consolidated onto a smaller number of physical machines
+  to save energy".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.cluster import CloudCluster, CloudNode, CloudVM
+from repro.core.monitor import HeartbeatMonitor
+
+__all__ = ["BalancerAction", "HeartbeatLoadBalancer"]
+
+
+@dataclass(frozen=True, slots=True)
+class BalancerAction:
+    """One action taken by the balancer during a management pass."""
+
+    kind: str  # "migrate", "failover", "consolidate", "power_down", "power_up"
+    vm_id: int | None
+    from_node: int | None
+    to_node: int | None
+    reason: str
+
+
+class HeartbeatLoadBalancer:
+    """Observes every VM's heartbeats and manages placement.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster to manage.
+    liveness_timeout:
+        Seconds without a heartbeat after which a VM's host is presumed
+        failed.
+    headroom:
+        Fractional rate above a VM's target maximum regarded as "comfortably
+        exceeding" its goal for consolidation purposes.
+    """
+
+    def __init__(
+        self,
+        cluster: CloudCluster,
+        *,
+        liveness_timeout: float = 5.0,
+        headroom: float = 0.2,
+    ) -> None:
+        if liveness_timeout <= 0:
+            raise ValueError(f"liveness_timeout must be positive, got {liveness_timeout}")
+        if headroom < 0:
+            raise ValueError(f"headroom must be >= 0, got {headroom}")
+        self.cluster = cluster
+        self.liveness_timeout = float(liveness_timeout)
+        self.headroom = float(headroom)
+        self.actions: list[BalancerAction] = []
+        self._monitors: dict[int, HeartbeatMonitor] = {}
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    def monitor_for(self, vm: CloudVM) -> HeartbeatMonitor:
+        """The (cached) monitor observing ``vm``'s heartbeat stream."""
+        monitor = self._monitors.get(vm.vm_id)
+        if monitor is None:
+            monitor = HeartbeatMonitor.attach(
+                vm.heartbeat, liveness_timeout=self.liveness_timeout
+            )
+            self._monitors[vm.vm_id] = monitor
+        return monitor
+
+    def vm_rate(self, vm: CloudVM) -> float:
+        return self.monitor_for(vm).current_rate()
+
+    def vm_alive(self, vm: CloudVM) -> bool:
+        return self.monitor_for(vm).is_alive(self.liveness_timeout)
+
+    # ------------------------------------------------------------------ #
+    # Management pass
+    # ------------------------------------------------------------------ #
+    def manage(self) -> list[BalancerAction]:
+        """Run one observe-decide-act pass; returns the actions taken."""
+        actions: list[BalancerAction] = []
+        actions.extend(self._handle_failures())
+        actions.extend(self._handle_slow_vms())
+        actions.extend(self._consolidate())
+        self.actions.extend(actions)
+        return actions
+
+    # ------------------------------------------------------------------ #
+    # Individual behaviours
+    # ------------------------------------------------------------------ #
+    def _handle_failures(self) -> list[BalancerAction]:
+        actions: list[BalancerAction] = []
+        for vm in self.cluster.vms.values():
+            if not vm.placed:
+                continue
+            node = self.cluster.nodes[vm.node_id]
+            node_failed = not node.alive
+            silent = vm.heartbeat.count > 0 and not self.vm_alive(vm)
+            if node_failed or silent:
+                target = self._best_node(exclude={vm.node_id})
+                if target is None:
+                    continue
+                origin = vm.node_id
+                self.cluster.place(vm.vm_id, target.node_id)
+                actions.append(
+                    BalancerAction(
+                        kind="failover",
+                        vm_id=vm.vm_id,
+                        from_node=origin,
+                        to_node=target.node_id,
+                        reason="no heartbeats within the liveness timeout"
+                        if silent
+                        else "host reported failed",
+                    )
+                )
+        return actions
+
+    def _handle_slow_vms(self) -> list[BalancerAction]:
+        actions: list[BalancerAction] = []
+        for vm in self.cluster.vms.values():
+            if not vm.placed:
+                target = self._best_node()
+                if target is not None:
+                    self.cluster.place(vm.vm_id, target.node_id)
+                    actions.append(
+                        BalancerAction(
+                            kind="migrate",
+                            vm_id=vm.vm_id,
+                            from_node=None,
+                            to_node=target.node_id,
+                            reason="unplaced VM",
+                        )
+                    )
+                continue
+            rate = self.vm_rate(vm)
+            if vm.heartbeat.count < 2 or rate >= vm.target_min:
+                continue
+            # Below target: find a node with more headroom than the current one.
+            current = vm.node_id
+            candidate = self._best_node(exclude={current})
+            if candidate is None:
+                continue
+            if self._spare_capacity(candidate) > self._spare_capacity(
+                self.cluster.nodes[current]
+            ):
+                self.cluster.place(vm.vm_id, candidate.node_id)
+                actions.append(
+                    BalancerAction(
+                        kind="migrate",
+                        vm_id=vm.vm_id,
+                        from_node=current,
+                        to_node=candidate.node_id,
+                        reason=f"heart rate {rate:.2f} below target minimum {vm.target_min:.2f}",
+                    )
+                )
+        return actions
+
+    def _consolidate(self) -> list[BalancerAction]:
+        actions: list[BalancerAction] = []
+        # Only consolidate when every placed VM comfortably exceeds its goal.
+        placed = [vm for vm in self.cluster.vms.values() if vm.placed]
+        if not placed:
+            return actions
+        for vm in placed:
+            if vm.heartbeat.count < 2:
+                return actions
+            rate = self.vm_rate(vm)
+            if rate < vm.target_max * (1.0 + self.headroom):
+                return actions
+        # Pack VMs onto the fewest nodes whose capacity covers their demand.
+        nodes = sorted(
+            (n for n in self.cluster.nodes.values() if n.available),
+            key=lambda n: n.capacity,
+            reverse=True,
+        )
+        demand_of = {
+            vm.vm_id: 0.5 * (vm.target_min + vm.target_max) * vm.work_per_beat * vm.demand_factor
+            for vm in placed
+        }
+        assignments: dict[int, int] = {}
+        remaining = {n.node_id: n.capacity for n in nodes}
+        for vm in sorted(placed, key=lambda v: demand_of[v.vm_id], reverse=True):
+            for node in nodes:
+                if remaining[node.node_id] >= demand_of[vm.vm_id]:
+                    assignments[vm.vm_id] = node.node_id
+                    remaining[node.node_id] -= demand_of[vm.vm_id]
+                    break
+        if not assignments or len(assignments) < len(placed):
+            return actions
+        used_nodes = set(assignments.values())
+        if len(used_nodes) >= len({vm.node_id for vm in placed}):
+            return actions  # no reduction in node count; leave placement alone
+        for vm in placed:
+            target = assignments[vm.vm_id]
+            if target != vm.node_id:
+                origin = vm.node_id
+                self.cluster.place(vm.vm_id, target)
+                actions.append(
+                    BalancerAction(
+                        kind="consolidate",
+                        vm_id=vm.vm_id,
+                        from_node=origin,
+                        to_node=target,
+                        reason="all goals comfortably met; packing onto fewer nodes",
+                    )
+                )
+        for node in nodes:
+            if node.node_id not in used_nodes and not self.cluster.vms_on(node.node_id):
+                node.power_down()
+                actions.append(
+                    BalancerAction(
+                        kind="power_down",
+                        vm_id=None,
+                        from_node=node.node_id,
+                        to_node=None,
+                        reason="node emptied by consolidation",
+                    )
+                )
+        return actions
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _spare_capacity(self, node: CloudNode) -> float:
+        if not node.available:
+            return float("-inf")
+        return node.capacity - self.cluster.node_load(node.node_id)
+
+    def _best_node(self, exclude: set[int | None] | None = None) -> CloudNode | None:
+        """The available node with the most spare capacity (powering up if needed)."""
+        exclude = exclude or set()
+        candidates = [
+            n for n in self.cluster.nodes.values() if n.alive and n.node_id not in exclude
+        ]
+        if not candidates:
+            return None
+        best = max(candidates, key=self._spare_capacity_or_powered)
+        if not best.powered:
+            best.power_up()
+            self.actions.append(
+                BalancerAction(
+                    kind="power_up",
+                    vm_id=None,
+                    from_node=None,
+                    to_node=best.node_id,
+                    reason="additional capacity required",
+                )
+            )
+        return best
+
+    def _spare_capacity_or_powered(self, node: CloudNode) -> float:
+        # Powered-down nodes are usable (after power-up) but rank below
+        # already-powered nodes with the same spare capacity.
+        spare = node.capacity - self.cluster.node_load(node.node_id)
+        return spare - (0.001 if not node.powered else 0.0)

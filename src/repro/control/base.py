@@ -1,0 +1,86 @@
+"""Controller interfaces and the target-window value object."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+__all__ = ["TargetWindow", "ControlDecision", "Controller"]
+
+
+@dataclass(frozen=True, slots=True)
+class TargetWindow:
+    """A target heart-rate range ``[minimum, maximum]``.
+
+    ``maximum`` may be infinity for "at least this fast" goals (the adaptive
+    encoder's 30 beat/s floor in Figure 3 has no ceiling).
+    """
+
+    minimum: float
+    maximum: float
+
+    def __post_init__(self) -> None:
+        if self.minimum < 0:
+            raise ValueError(f"minimum must be >= 0, got {self.minimum}")
+        if self.maximum < self.minimum:
+            raise ValueError(
+                f"maximum ({self.maximum}) must be >= minimum ({self.minimum})"
+            )
+
+    @property
+    def midpoint(self) -> float:
+        if self.maximum == float("inf"):
+            return self.minimum
+        return 0.5 * (self.minimum + self.maximum)
+
+    def contains(self, rate: float) -> bool:
+        return self.minimum <= rate <= self.maximum
+
+    def below(self, rate: float) -> bool:
+        """True when ``rate`` is below the window (application too slow)."""
+        return rate < self.minimum
+
+    def above(self, rate: float) -> bool:
+        """True when ``rate`` is above the window (application faster than needed)."""
+        return rate > self.maximum
+
+    def error(self, rate: float) -> float:
+        """Signed distance from the window (0 inside, negative below, positive above)."""
+        if self.below(rate):
+            return rate - self.minimum
+        if self.above(rate):
+            return rate - self.maximum
+        return 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class ControlDecision:
+    """One controller decision.
+
+    ``delta`` is the signed change requested of the actuator (cores to add,
+    ladder levels to move, ...); ``value`` is the absolute actuator value for
+    controllers that produce one (PID); either may be ``None`` when the
+    controller has no opinion this round.
+    """
+
+    delta: int | None = None
+    value: float | None = None
+
+    @property
+    def is_noop(self) -> bool:
+        return (self.delta in (None, 0)) and self.value is None
+
+
+class Controller(abc.ABC):
+    """Maps an observed heart rate to an actuator adjustment."""
+
+    def __init__(self, target: TargetWindow) -> None:
+        self.target = target
+
+    @abc.abstractmethod
+    def decide(self, rate: float) -> ControlDecision:
+        """Return the adjustment for the current observation."""
+
+    def reset(self) -> None:
+        """Clear any internal state (integrators, velocity terms, ...)."""
+        return None

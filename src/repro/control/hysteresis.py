@@ -1,0 +1,46 @@
+"""Decision-spacing helpers.
+
+Both of the paper's adaptation loops decide at a coarser granularity than
+they observe: the adaptive encoder "checks its heart rate every 40 frames"
+and the external scheduler lets a new allocation take effect for a number of
+beats before judging it.  :class:`DecisionSpacer` encapsulates that pattern
+so controllers stay pure functions of the observed rate.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DecisionSpacer"]
+
+
+class DecisionSpacer:
+    """Allows a decision only every ``interval`` beats, after a warm-up.
+
+    Parameters
+    ----------
+    interval:
+        Minimum number of beats between decisions.
+    warmup:
+        Beats to wait before the very first decision (defaults to
+        ``interval`` so the first rate window has filled).
+    """
+
+    def __init__(self, interval: int, *, warmup: int | None = None) -> None:
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        if warmup is not None and warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {warmup}")
+        self.interval = int(interval)
+        self.warmup = int(warmup) if warmup is not None else int(interval)
+        self._last_decision_beat: int | None = None
+
+    def should_decide(self, beat_index: int) -> bool:
+        """True when a decision is allowed at ``beat_index`` (and records it)."""
+        if beat_index < self.warmup:
+            return False
+        if self._last_decision_beat is None or beat_index - self._last_decision_beat >= self.interval:
+            self._last_decision_beat = beat_index
+            return True
+        return False
+
+    def reset(self) -> None:
+        self._last_decision_beat = None

@@ -1,0 +1,31 @@
+"""Storage backends for heartbeat history.
+
+A backend owns the heartbeat history buffer and the published target rates,
+and defines how (and whether) external observers can read them:
+
+* :class:`MemoryBackend` — private in-process storage; the fastest option and
+  the right choice when the application observes itself.
+* :class:`FileBackend` — one log file per heartbeat, mirroring the paper's
+  reference implementation ("a new entry containing a timestamp, tag and
+  thread ID is written into a file").  Any process able to read the file can
+  observe the application.
+* :class:`SharedMemoryBackend` — a ``multiprocessing.shared_memory`` segment
+  with a fixed binary layout (header + circular record array), the Python
+  analogue of the memory layout the paper proposes for hardware observers.
+
+All backends expose the same :class:`Backend` interface so
+:class:`repro.core.heartbeat.Heartbeat` is backend-agnostic.
+"""
+
+from repro.core.backends.base import Backend, BackendSnapshot
+from repro.core.backends.file import FileBackend
+from repro.core.backends.memory import MemoryBackend
+from repro.core.backends.shared_memory import SharedMemoryBackend
+
+__all__ = [
+    "Backend",
+    "BackendSnapshot",
+    "MemoryBackend",
+    "FileBackend",
+    "SharedMemoryBackend",
+]

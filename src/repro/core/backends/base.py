@@ -1,0 +1,97 @@
+"""Backend interface shared by all heartbeat storage implementations."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.record import RECORD_DTYPE, HeartbeatRecord, array_to_records
+
+__all__ = ["Backend", "BackendSnapshot"]
+
+
+@dataclass(frozen=True, slots=True)
+class BackendSnapshot:
+    """A consistent read of a backend's state taken at one instant.
+
+    Attributes
+    ----------
+    records:
+        Structured array (dtype :data:`repro.core.record.RECORD_DTYPE`) of the
+        retained history in production order.
+    total_beats:
+        Total number of heartbeats ever registered.
+    target_min, target_max:
+        Published target heart-rate range; ``0.0`` for both when no target has
+        been set.
+    default_window:
+        The producer's default rate window.
+    """
+
+    records: np.ndarray
+    total_beats: int
+    target_min: float
+    target_max: float
+    default_window: int
+
+    def as_records(self) -> list[HeartbeatRecord]:
+        """Return the retained history as :class:`HeartbeatRecord` objects."""
+        return array_to_records(self.records)
+
+    @property
+    def retained(self) -> int:
+        return int(self.records.shape[0])
+
+
+class Backend(abc.ABC):
+    """Abstract storage backend for a single heartbeat stream.
+
+    A backend is written by exactly one producer (the instrumented
+    application, possibly from several threads serialised by the owning
+    :class:`~repro.core.heartbeat.Heartbeat`) and read by any number of
+    observers.
+    """
+
+    #: Capacity of the retained history window.
+    capacity: int
+
+    @abc.abstractmethod
+    def append(self, beat: int, timestamp: float, tag: int, thread_id: int) -> None:
+        """Persist one heartbeat record."""
+
+    @abc.abstractmethod
+    def set_targets(self, target_min: float, target_max: float) -> None:
+        """Publish the application's target heart-rate range."""
+
+    @abc.abstractmethod
+    def set_default_window(self, window: int) -> None:
+        """Publish the producer's default rate window."""
+
+    @abc.abstractmethod
+    def snapshot(self, n: int | None = None) -> BackendSnapshot:
+        """Return a consistent snapshot of the last ``n`` records (all when None)."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release any resources held by the backend (idempotent)."""
+
+    # ------------------------------------------------------------------ #
+    # Conveniences shared by all backends
+    # ------------------------------------------------------------------ #
+    def empty_snapshot(self) -> BackendSnapshot:
+        """A snapshot representing "no beats yet"."""
+        return BackendSnapshot(
+            records=np.empty(0, dtype=RECORD_DTYPE),
+            total_beats=0,
+            target_min=0.0,
+            target_max=0.0,
+            default_window=0,
+        )
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

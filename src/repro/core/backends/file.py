@@ -1,0 +1,169 @@
+"""File-backed heartbeat storage.
+
+This backend mirrors the paper's reference implementation: "When the
+HB_heartbeat function is called, a new entry containing a timestamp, tag and
+thread ID is written into a file. ... The target heart rates are also written
+into the appropriate file so that the external service can access them."
+
+Layout
+------
+The log is a plain-text file.  The first line is a header carrying the
+format magic, version, default window and the published targets; it is
+rewritten in place (the header line is padded to a fixed width so it can be
+updated without rewriting the body).  Every subsequent line is one heartbeat::
+
+    beat timestamp tag thread_id
+
+The whole history is kept in the file — like the reference implementation,
+"HB_get_history can support any value for n because the entire heartbeat
+history is kept in the file" — while in-memory reads still honour the
+retained-window semantics of the other backends via the ``capacity`` used for
+snapshots.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.backends.base import Backend, BackendSnapshot
+from repro.core.errors import BackendError, BackendFormatError
+from repro.core.record import RECORD_DTYPE
+
+__all__ = ["FileBackend", "read_heartbeat_log"]
+
+_MAGIC = "HBLOG"
+_VERSION = 1
+#: Fixed width of the header line (including newline) so targets can be
+#: updated in place without shifting the record lines that follow it.
+_HEADER_WIDTH = 128
+
+
+def _format_header(default_window: int, target_min: float, target_max: float) -> bytes:
+    text = f"{_MAGIC} v{_VERSION} window={default_window} min={target_min!r} max={target_max!r}"
+    if len(text) >= _HEADER_WIDTH:
+        raise BackendError("heartbeat log header overflow")
+    return (text + " " * (_HEADER_WIDTH - 1 - len(text)) + "\n").encode("ascii")
+
+
+def _parse_header(line: str) -> tuple[int, float, float]:
+    fields = line.split()
+    if len(fields) < 5 or fields[0] != _MAGIC:
+        raise BackendFormatError(f"not a heartbeat log header: {line[:40]!r}")
+    if fields[1] != f"v{_VERSION}":
+        raise BackendFormatError(f"unsupported heartbeat log version: {fields[1]!r}")
+    try:
+        window = int(fields[2].split("=", 1)[1])
+        tmin = float(fields[3].split("=", 1)[1])
+        tmax = float(fields[4].split("=", 1)[1])
+    except (IndexError, ValueError) as exc:  # pragma: no cover - defensive
+        raise BackendFormatError(f"malformed heartbeat log header: {line!r}") from exc
+    return window, tmin, tmax
+
+
+class FileBackend(Backend):
+    """Heartbeat storage in a plain-text log file readable by any process."""
+
+    def __init__(self, path: str | os.PathLike[str], capacity: int = 65536) -> None:
+        self.path = Path(path)
+        self.capacity = int(capacity)
+        self._target_min = 0.0
+        self._target_max = 0.0
+        self._default_window = 0
+        self._total = 0
+        try:
+            self._fh = open(self.path, "w+b", buffering=0)
+            self._fh.write(_format_header(0, 0.0, 0.0))
+        except OSError as exc:
+            raise BackendError(f"cannot create heartbeat log {self.path}: {exc}") from exc
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Backend interface
+    # ------------------------------------------------------------------ #
+    def append(self, beat: int, timestamp: float, tag: int, thread_id: int) -> None:
+        if self._closed:
+            raise BackendError("heartbeat log is closed")
+        line = f"{beat} {timestamp!r} {tag} {thread_id}\n".encode("ascii")
+        self._fh.write(line)
+        self._total += 1
+
+    def set_targets(self, target_min: float, target_max: float) -> None:
+        self._target_min = float(target_min)
+        self._target_max = float(target_max)
+        self._rewrite_header()
+
+    def set_default_window(self, window: int) -> None:
+        self._default_window = int(window)
+        self._rewrite_header()
+
+    def snapshot(self, n: int | None = None) -> BackendSnapshot:
+        window, tmin, tmax, records = read_heartbeat_log(self.path)
+        if n is not None and n < len(records):
+            records = records[len(records) - n :]
+        elif len(records) > self.capacity:
+            records = records[len(records) - self.capacity :]
+        return BackendSnapshot(
+            records=records,
+            total_beats=self._total if not self._closed else int(records.shape[0]),
+            target_min=tmin,
+            target_max=tmax,
+            default_window=window,
+        )
+
+    def close(self) -> None:
+        if not self._closed:
+            self._fh.close()
+            self._closed = True
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _rewrite_header(self) -> None:
+        if self._closed:
+            raise BackendError("heartbeat log is closed")
+        pos = self._fh.tell()
+        try:
+            self._fh.seek(0)
+            self._fh.write(
+                _format_header(self._default_window, self._target_min, self._target_max)
+            )
+        finally:
+            self._fh.seek(pos)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FileBackend(path={str(self.path)!r}, total={self._total})"
+
+
+def read_heartbeat_log(path: str | os.PathLike[str]) -> tuple[int, float, float, np.ndarray]:
+    """Parse a heartbeat log file.
+
+    Returns ``(default_window, target_min, target_max, records)`` where
+    ``records`` is a structured array with dtype
+    :data:`repro.core.record.RECORD_DTYPE`.  This is the entry point used by
+    external observers (see :class:`repro.core.monitor.HeartbeatMonitor`) to
+    read a Heartbeat-enabled program's log, exactly like the external services
+    in the paper's reference implementation.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="ascii")
+    except OSError as exc:
+        raise BackendError(f"cannot read heartbeat log {path}: {exc}") from exc
+    lines = text.splitlines()
+    if not lines:
+        raise BackendFormatError(f"empty heartbeat log: {path}")
+    window, tmin, tmax = _parse_header(lines[0])
+    body = [ln for ln in lines[1:] if ln.strip()]
+    records = np.empty(len(body), dtype=RECORD_DTYPE)
+    for i, line in enumerate(body):
+        fields = line.split()
+        if len(fields) != 4:
+            raise BackendFormatError(f"malformed heartbeat record line: {line!r}")
+        try:
+            records[i] = (int(fields[0]), float(fields[1]), int(fields[2]), int(fields[3]))
+        except ValueError as exc:
+            raise BackendFormatError(f"malformed heartbeat record line: {line!r}") from exc
+    return window, tmin, tmax, records

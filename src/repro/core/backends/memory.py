@@ -1,0 +1,53 @@
+"""In-process heartbeat storage."""
+
+from __future__ import annotations
+
+from repro.core.backends.base import Backend, BackendSnapshot
+from repro.core.buffer import CircularBuffer
+
+__all__ = ["MemoryBackend"]
+
+
+class MemoryBackend(Backend):
+    """Heartbeat storage private to the current process.
+
+    This is the default backend: it has the lowest overhead and is sufficient
+    whenever the observer lives in the same process as the producer (the
+    "self-optimising application" configuration of the paper's Figure 1a, and
+    all simulated-machine experiments).
+    """
+
+    __slots__ = ("capacity", "_buffer", "_target_min", "_target_max", "_default_window")
+
+    def __init__(self, capacity: int) -> None:
+        self._buffer = CircularBuffer(capacity)
+        self.capacity = self._buffer.capacity
+        self._target_min = 0.0
+        self._target_max = 0.0
+        self._default_window = 0
+
+    def append(self, beat: int, timestamp: float, tag: int, thread_id: int) -> None:
+        self._buffer.append_raw(beat, timestamp, tag, thread_id)
+
+    def set_targets(self, target_min: float, target_max: float) -> None:
+        self._target_min = float(target_min)
+        self._target_max = float(target_max)
+
+    def set_default_window(self, window: int) -> None:
+        self._default_window = int(window)
+
+    def snapshot(self, n: int | None = None) -> BackendSnapshot:
+        return BackendSnapshot(
+            records=self._buffer.last_array(n),
+            total_beats=self._buffer.total,
+            target_min=self._target_min,
+            target_max=self._target_max,
+            default_window=self._default_window,
+        )
+
+    def close(self) -> None:
+        # Nothing to release; kept for interface symmetry.
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemoryBackend(capacity={self.capacity}, total={self._buffer.total})"

@@ -1,0 +1,273 @@
+"""Shared-memory heartbeat storage.
+
+The paper argues that the global heartbeat buffer "must be in a universally
+accessible location such as coherent shared memory" and that "a standard must
+be established specifying the components and layout of the heartbeat data
+structures in memory" so external observers — other processes, the OS, even
+hardware — can read them directly.  This backend is the Python analogue: a
+``multiprocessing.shared_memory`` segment with a fixed binary layout that any
+process on the host can attach to read-only.
+
+Segment layout (little-endian, 8-byte aligned)
+----------------------------------------------
+===========  =======  ====================================================
+offset       type     field
+===========  =======  ====================================================
+0            int64    magic (``0x48424541_54313036`` — "HBEAT106")
+8            int64    layout version (currently 1)
+16           int64    capacity (number of record slots)
+24           int64    total beats ever written (monotonic, publication word)
+32           int64    default window
+40           float64  target_min
+48           float64  target_max
+56           int64    writer PID
+64           int64    sequence counter (odd while a write is in progress)
+72..128      --       reserved
+128          records  ``capacity`` records of dtype ``RECORD_DTYPE``
+===========  =======  ====================================================
+
+Writes use a seqlock-style protocol: the sequence counter is incremented to an
+odd value before the record slot and the total are updated and incremented
+again afterwards.  Readers retry a snapshot whenever they observe an odd or
+changed sequence counter, so an observer polling from another process never
+sees a torn record.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import resource_tracker, shared_memory
+import os
+
+import numpy as np
+
+from repro.core.backends.base import Backend, BackendSnapshot
+from repro.core.errors import BackendError, BackendFormatError
+from repro.core.record import RECORD_DTYPE
+
+__all__ = ["SharedMemoryBackend", "SharedMemoryReader", "HEADER_SIZE", "MAGIC"]
+
+MAGIC = 0x4842454154313036
+LAYOUT_VERSION = 1
+HEADER_SIZE = 128
+
+_HEADER_DTYPE = np.dtype(
+    [
+        ("magic", np.int64),
+        ("version", np.int64),
+        ("capacity", np.int64),
+        ("total", np.int64),
+        ("default_window", np.int64),
+        ("target_min", np.float64),
+        ("target_max", np.float64),
+        ("writer_pid", np.int64),
+        ("sequence", np.int64),
+        ("reserved", np.int64, 7),
+    ]
+)
+assert _HEADER_DTYPE.itemsize == HEADER_SIZE
+
+
+def segment_size(capacity: int) -> int:
+    """Total shared-memory segment size for ``capacity`` record slots."""
+    return HEADER_SIZE + capacity * RECORD_DTYPE.itemsize
+
+
+class _SharedLayout:
+    """Views of the header and record array inside a shared-memory buffer."""
+
+    __slots__ = ("header", "records")
+
+    def __init__(self, buf: memoryview, capacity: int) -> None:
+        self.header = np.ndarray(shape=(), dtype=_HEADER_DTYPE, buffer=buf[:HEADER_SIZE])
+        self.records = np.ndarray(
+            shape=(capacity,),
+            dtype=RECORD_DTYPE,
+            buffer=buf[HEADER_SIZE : HEADER_SIZE + capacity * RECORD_DTYPE.itemsize],
+        )
+
+
+class SharedMemoryBackend(Backend):
+    """Writer side of the shared-memory heartbeat segment.
+
+    Parameters
+    ----------
+    name:
+        Name of the shared-memory segment.  Observers attach with the same
+        name via :class:`SharedMemoryReader` (or
+        :meth:`repro.core.monitor.HeartbeatMonitor.attach_shared_memory`).
+        When omitted an OS-assigned unique name is used and exposed as
+        :attr:`name`.
+    capacity:
+        Number of record slots in the circular history.
+    """
+
+    def __init__(self, name: str | None = None, capacity: int = 2048) -> None:
+        if capacity <= 0:
+            raise BackendError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        try:
+            self._shm = shared_memory.SharedMemory(
+                name=name, create=True, size=segment_size(self.capacity)
+            )
+        except OSError as exc:
+            raise BackendError(f"cannot create shared-memory segment: {exc}") from exc
+        self.name = self._shm.name
+        self._layout = _SharedLayout(self._shm.buf, self.capacity)
+        header = self._layout.header
+        header["magic"] = MAGIC
+        header["version"] = LAYOUT_VERSION
+        header["capacity"] = self.capacity
+        header["total"] = 0
+        header["default_window"] = 0
+        header["target_min"] = 0.0
+        header["target_max"] = 0.0
+        header["writer_pid"] = os.getpid()
+        header["sequence"] = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Backend interface
+    # ------------------------------------------------------------------ #
+    def append(self, beat: int, timestamp: float, tag: int, thread_id: int) -> None:
+        if self._closed:
+            raise BackendError("shared-memory backend is closed")
+        header = self._layout.header
+        total = int(header["total"])
+        slot = total % self.capacity
+        header["sequence"] = int(header["sequence"]) + 1  # odd: write in progress
+        self._layout.records[slot] = (beat, timestamp, tag, thread_id)
+        header["total"] = total + 1
+        header["sequence"] = int(header["sequence"]) + 1  # even: write published
+
+    def set_targets(self, target_min: float, target_max: float) -> None:
+        if self._closed:
+            raise BackendError("shared-memory backend is closed")
+        header = self._layout.header
+        header["sequence"] = int(header["sequence"]) + 1
+        header["target_min"] = float(target_min)
+        header["target_max"] = float(target_max)
+        header["sequence"] = int(header["sequence"]) + 1
+
+    def set_default_window(self, window: int) -> None:
+        if self._closed:
+            raise BackendError("shared-memory backend is closed")
+        self._layout.header["default_window"] = int(window)
+
+    def snapshot(self, n: int | None = None) -> BackendSnapshot:
+        if self._closed:
+            raise BackendError("shared-memory backend is closed")
+        return _read_snapshot(self._layout, self.capacity, n)
+
+    def close(self) -> None:
+        """Release the segment.  The writer also unlinks it."""
+        if self._closed:
+            return
+        self._closed = True
+        # Drop views before closing the buffer, otherwise close() raises.
+        self._layout = None
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SharedMemoryBackend(name={self.name!r}, capacity={self.capacity})"
+
+
+class SharedMemoryReader:
+    """Read-only observer attachment to a shared-memory heartbeat segment.
+
+    Used by external observers — the scheduler in Figure 1(b) — possibly in a
+    different process from the instrumented application.
+    """
+
+    def __init__(self, name: str) -> None:
+        try:
+            self._shm = shared_memory.SharedMemory(name=name, create=False)
+        except (OSError, ValueError) as exc:
+            raise BackendFormatError(
+                f"cannot attach to shared-memory segment {name!r}: {exc}"
+            ) from exc
+        # The reader must not unregister/unlink the writer's segment when it
+        # exits; only the writer owns the segment lifetime.
+        try:  # pragma: no cover - platform dependent
+            resource_tracker.unregister(self._shm._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:
+            pass
+        header_probe = np.ndarray(
+            shape=(), dtype=_HEADER_DTYPE, buffer=self._shm.buf[:HEADER_SIZE]
+        )
+        if int(header_probe["magic"]) != MAGIC:
+            self._shm.close()
+            raise BackendFormatError(f"segment {name!r} is not a heartbeat segment")
+        if int(header_probe["version"]) != LAYOUT_VERSION:
+            self._shm.close()
+            raise BackendFormatError(
+                f"unsupported heartbeat segment version {int(header_probe['version'])}"
+            )
+        self.capacity = int(header_probe["capacity"])
+        self.name = name
+        self._layout = _SharedLayout(self._shm.buf, self.capacity)
+        self._closed = False
+
+    def snapshot(self, n: int | None = None) -> BackendSnapshot:
+        if self._closed:
+            raise BackendError("shared-memory reader is closed")
+        return _read_snapshot(self._layout, self.capacity, n)
+
+    def writer_pid(self) -> int:
+        """PID of the producing process (useful for liveness checks)."""
+        return int(self._layout.header["writer_pid"])
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._layout = None
+            self._shm.close()
+
+    def __enter__(self) -> "SharedMemoryReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _read_snapshot(layout: _SharedLayout, capacity: int, n: int | None) -> BackendSnapshot:
+    """Seqlock-consistent snapshot of the segment."""
+    header = layout.header
+    for _ in range(64):
+        seq_before = int(header["sequence"])
+        if seq_before % 2 == 1:
+            continue  # write in progress; retry
+        total = int(header["total"])
+        default_window = int(header["default_window"])
+        tmin = float(header["target_min"])
+        tmax = float(header["target_max"])
+        retained = min(total, capacity)
+        records = _copy_last(layout.records, total, capacity, retained)
+        seq_after = int(header["sequence"])
+        if seq_before == seq_after:
+            if n is not None and n < records.shape[0]:
+                records = records[records.shape[0] - n :]
+            return BackendSnapshot(
+                records=records,
+                total_beats=total,
+                target_min=tmin,
+                target_max=tmax,
+                default_window=default_window,
+            )
+    raise BackendError("could not obtain a consistent shared-memory snapshot")
+
+
+def _copy_last(records: np.ndarray, total: int, capacity: int, count: int) -> np.ndarray:
+    """Copy the last ``count`` records out of the circular array."""
+    if count == 0:
+        return np.empty(0, dtype=RECORD_DTYPE)
+    end = total % capacity
+    if total <= capacity:
+        return records[total - count : total].copy()
+    start = (end - count) % capacity
+    if start < end:
+        return records[start:end].copy()
+    return np.concatenate((records[start:], records[:end]))

@@ -1,0 +1,175 @@
+"""Fixed-capacity circular history buffer for heartbeat records.
+
+The paper recommends storing heartbeats "efficiently ... in a circular
+buffer.  When the buffer fills, old heartbeats are simply dropped"
+(Section 3).  :class:`CircularBuffer` implements that policy on top of a numpy
+structured array so the shared-memory backend can expose the very same layout
+to external observers without copying.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.errors import InvalidWindowError
+from repro.core.record import RECORD_DTYPE, HeartbeatRecord, array_to_records
+
+__all__ = ["CircularBuffer"]
+
+
+class CircularBuffer:
+    """A bounded FIFO of :class:`HeartbeatRecord` backed by a numpy array.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of records retained.  Must be a positive integer.
+    storage:
+        Optional pre-allocated structured array of dtype
+        :data:`repro.core.record.RECORD_DTYPE` and length ``capacity``; used by
+        the shared-memory backend to place the buffer inside a shared segment.
+        When omitted a private array is allocated.
+
+    Notes
+    -----
+    The buffer only appends; records are never mutated after insertion.  The
+    total number of beats ever pushed is available as :attr:`total`, which is
+    what windowed heart-rate computations use for sequence numbering even
+    after old records have been evicted.
+    """
+
+    __slots__ = ("_capacity", "_data", "_total")
+
+    def __init__(self, capacity: int, *, storage: np.ndarray | None = None) -> None:
+        if not isinstance(capacity, (int, np.integer)) or isinstance(capacity, bool):
+            raise InvalidWindowError(f"capacity must be an int, got {capacity!r}")
+        if capacity <= 0:
+            raise InvalidWindowError(f"capacity must be positive, got {capacity}")
+        self._capacity = int(capacity)
+        if storage is None:
+            storage = np.zeros(self._capacity, dtype=RECORD_DTYPE)
+        else:
+            if storage.dtype != RECORD_DTYPE:
+                raise ValueError(
+                    f"storage dtype must be {RECORD_DTYPE}, got {storage.dtype}"
+                )
+            if len(storage) != self._capacity:
+                raise ValueError(
+                    f"storage length {len(storage)} does not match capacity {self._capacity}"
+                )
+        self._data = storage
+        self._total = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> int:
+        """Maximum number of records retained."""
+        return self._capacity
+
+    @property
+    def total(self) -> int:
+        """Total number of records ever appended (monotonically increasing)."""
+        return self._total
+
+    def __len__(self) -> int:
+        """Number of records currently retained (``<= capacity``)."""
+        return min(self._total, self._capacity)
+
+    def __bool__(self) -> bool:
+        return self._total > 0
+
+    @property
+    def is_full(self) -> bool:
+        return self._total >= self._capacity
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def append(self, record: HeartbeatRecord) -> None:
+        """Append ``record``, evicting the oldest record when full."""
+        slot = self._total % self._capacity
+        self._data[slot] = (record.beat, record.timestamp, record.tag, record.thread_id)
+        self._total += 1
+
+    def append_raw(self, beat: int, timestamp: float, tag: int, thread_id: int) -> None:
+        """Append a record from raw fields without building a dataclass.
+
+        The hot path of :meth:`repro.core.heartbeat.Heartbeat.heartbeat` uses
+        this to avoid per-beat object allocation.
+        """
+        slot = self._total % self._capacity
+        self._data[slot] = (beat, timestamp, tag, thread_id)
+        self._total += 1
+
+    def clear(self) -> None:
+        """Drop all retained records and reset the total counter."""
+        self._total = 0
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    def last(self, n: int | None = None) -> list[HeartbeatRecord]:
+        """Return the last ``n`` records in production order (oldest first).
+
+        ``n`` defaults to all retained records.  Requests larger than the
+        retained history are clipped, mirroring the API's window-clipping
+        rule.
+        """
+        return array_to_records(self.last_array(n))
+
+    def last_array(self, n: int | None = None) -> np.ndarray:
+        """Return the last ``n`` records as a structured array copy."""
+        held = len(self)
+        if n is None:
+            n = held
+        if n < 0:
+            raise InvalidWindowError(f"n must be >= 0, got {n}")
+        n = min(n, held)
+        if n == 0:
+            return np.empty(0, dtype=RECORD_DTYPE)
+        end = self._total % self._capacity
+        if not self.is_full:
+            # Linear layout: valid records live in [0, total).
+            return self._data[self._total - n : self._total].copy()
+        # Wrapped layout: the logical sequence starts at `end`.
+        start = (end - n) % self._capacity
+        if start < end:
+            return self._data[start:end].copy()
+        return np.concatenate((self._data[start:], self._data[:end]))
+
+    def latest(self) -> HeartbeatRecord:
+        """Return the most recent record.
+
+        Raises ``IndexError`` when the buffer is empty.
+        """
+        if self._total == 0:
+            raise IndexError("heartbeat buffer is empty")
+        slot = (self._total - 1) % self._capacity
+        row = self._data[slot]
+        return HeartbeatRecord(
+            beat=int(row["beat"]),
+            timestamp=float(row["timestamp"]),
+            tag=int(row["tag"]),
+            thread_id=int(row["thread_id"]),
+        )
+
+    def timestamps(self, n: int | None = None) -> np.ndarray:
+        """Return the timestamps of the last ``n`` records as ``float64``."""
+        return self.last_array(n)["timestamp"]
+
+    def __iter__(self) -> Iterator[HeartbeatRecord]:
+        return iter(self.last())
+
+    def snapshot(self) -> Sequence[HeartbeatRecord]:
+        """Alias of :meth:`last` with no arguments (full retained history)."""
+        return self.last()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircularBuffer(capacity={self._capacity}, retained={len(self)}, "
+            f"total={self._total})"
+        )

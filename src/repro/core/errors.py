@@ -1,0 +1,65 @@
+"""Exception hierarchy for the heartbeats core package.
+
+Every error raised by :mod:`repro.core` derives from :class:`HeartbeatError`
+so callers can catch the whole family with a single ``except`` clause while
+still being able to discriminate the specific failure mode.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "HeartbeatError",
+    "HeartbeatStateError",
+    "HeartbeatClosedError",
+    "InvalidWindowError",
+    "InvalidTargetError",
+    "BackendError",
+    "BackendFormatError",
+    "MonitorAttachError",
+    "RegistryError",
+]
+
+
+class HeartbeatError(Exception):
+    """Base class for all errors raised by the heartbeats framework."""
+
+
+class HeartbeatStateError(HeartbeatError):
+    """An operation was attempted in an invalid state.
+
+    For example requesting a heart rate before any heartbeat has been
+    registered, or re-initialising an already initialised functional-API
+    slot.
+    """
+
+
+class HeartbeatClosedError(HeartbeatStateError):
+    """The heartbeat instance has been finalised and cannot accept beats."""
+
+
+class InvalidWindowError(HeartbeatError, ValueError):
+    """A window size was not a positive integer (or zero where allowed)."""
+
+
+class InvalidTargetError(HeartbeatError, ValueError):
+    """A target heart-rate range was malformed (negative or min > max)."""
+
+
+class BackendError(HeartbeatError):
+    """A storage backend failed to persist or load heartbeat data."""
+
+
+class BackendFormatError(BackendError):
+    """A backend found data that does not match the expected layout.
+
+    Raised when attaching to a shared-memory segment or file whose header
+    magic/version does not match this implementation.
+    """
+
+
+class MonitorAttachError(HeartbeatError):
+    """An external observer could not attach to the requested heartbeat."""
+
+
+class RegistryError(HeartbeatError):
+    """A named heartbeat registration conflict or missing registration."""

@@ -1,0 +1,281 @@
+"""The :class:`Heartbeat` object — the paper's Table 1 API in object form.
+
+A :class:`Heartbeat` owns one heartbeat stream: a history buffer, a default
+rate window, and a published target heart-rate range.  Applications call
+:meth:`Heartbeat.heartbeat` at significant points; the application itself or
+an external observer reads progress back through :meth:`current_rate`,
+:meth:`get_history` and the target accessors.
+
+The mapping to the paper's functions is:
+
+==========================  =======================================
+Paper (Table 1)             This class
+==========================  =======================================
+``HB_initialize``           ``Heartbeat(window=..., ...)``
+``HB_heartbeat``            :meth:`heartbeat`
+``HB_current_rate``         :meth:`current_rate`
+``HB_set_target_rate``      :meth:`set_target_rate`
+``HB_get_target_min``       :meth:`target_min` (property)
+``HB_get_target_max``       :meth:`target_max` (property)
+``HB_get_history``          :meth:`get_history`
+==========================  =======================================
+
+A thin C-style functional facade over this class lives in
+:mod:`repro.core.api` for code that wants to read exactly like the paper.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+import numpy as np
+
+from repro.clock import Clock, WallClock
+from repro.core.backends.base import Backend
+from repro.core.backends.memory import MemoryBackend
+from repro.core.errors import (
+    HeartbeatClosedError,
+    InvalidTargetError,
+    InvalidWindowError,
+)
+from repro.core.rate import global_rate, windowed_rate
+from repro.core.record import HeartbeatRecord
+from repro.core.window import MAX_WINDOW, resolve_window, validate_default_window
+
+__all__ = ["Heartbeat"]
+
+
+class Heartbeat:
+    """A single heartbeat stream (global per application, or per thread).
+
+    Parameters
+    ----------
+    window:
+        Default number of heartbeats used to compute the average heart rate
+        when a rate query passes ``window=0``.  ``0`` selects the library
+        default (:data:`repro.core.window.DEFAULT_WINDOW`).
+    name:
+        Optional human-readable name, used by the process-level registry and
+        by file/shared-memory observers.
+    clock:
+        Time source used to stamp beats; defaults to :class:`WallClock`.
+    backend:
+        Storage backend; defaults to an in-process :class:`MemoryBackend`
+        whose capacity is ``max(history, window)``.
+    history:
+        Number of beats retained for history queries when the default memory
+        backend is constructed.  Ignored when ``backend`` is supplied.
+    thread_safe:
+        When True (default) beat registration is serialised with a lock, which
+        is required for the application-global heartbeat shared by several
+        threads ("a mutex is used to guarantee mutual exclusion and ordering
+        when multiple threads attempt to register a global heartbeat at the
+        same time").  Per-thread local heartbeats may pass False to shave the
+        locking overhead.
+    """
+
+    def __init__(
+        self,
+        window: int = 0,
+        *,
+        name: str = "heartbeat",
+        clock: Clock | None = None,
+        backend: Backend | None = None,
+        history: int = 2048,
+        thread_safe: bool = True,
+    ) -> None:
+        self.name = str(name)
+        self._clock = clock if clock is not None else WallClock()
+        self._window = validate_default_window(window)
+        if history <= 0:
+            raise InvalidWindowError(f"history must be positive, got {history}")
+        capacity = min(max(int(history), self._window), MAX_WINDOW)
+        self._backend = backend if backend is not None else MemoryBackend(capacity)
+        self._backend.set_default_window(self._window)
+        self._lock: threading.Lock | _NullLock = (
+            threading.Lock() if thread_safe else _NullLock()
+        )
+        self._count = 0
+        self._first_timestamp: float | None = None
+        self._last_timestamp: float | None = None
+        self._target_min = 0.0
+        self._target_max = 0.0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Producer API
+    # ------------------------------------------------------------------ #
+    def heartbeat(self, tag: int = 0, *, thread_id: int | None = None) -> int:
+        """Register one heartbeat and return its sequence number.
+
+        The beat is stamped with the current clock time and the caller's
+        thread identifier (overridable with ``thread_id``, which simulated
+        processes use to stamp their own identity).
+        """
+        if self._closed:
+            raise HeartbeatClosedError(f"heartbeat {self.name!r} is finalized")
+        tid = threading.get_ident() if thread_id is None else int(thread_id)
+        with self._lock:
+            now = self._clock.now()
+            beat = self._count
+            self._backend.append(beat, now, int(tag), tid)
+            self._count += 1
+            if self._first_timestamp is None:
+                self._first_timestamp = now
+            self._last_timestamp = now
+            return beat
+
+    def set_target_rate(self, target_min: float, target_max: float) -> None:
+        """Publish the heart-rate range this application wants to maintain."""
+        tmin = float(target_min)
+        tmax = float(target_max)
+        if tmin < 0 or tmax < 0:
+            raise InvalidTargetError(
+                f"target rates must be non-negative, got [{tmin}, {tmax}]"
+            )
+        if tmin > tmax:
+            raise InvalidTargetError(
+                f"target minimum {tmin} exceeds target maximum {tmax}"
+            )
+        with self._lock:
+            self._target_min = tmin
+            self._target_max = tmax
+            self._backend.set_targets(tmin, tmax)
+
+    def finalize(self) -> None:
+        """Finalise the heartbeat stream and release backend resources.
+
+        Mirrors the finalisation call the paper's instrumented PARSEC
+        benchmarks perform; subsequent :meth:`heartbeat` calls raise
+        :class:`HeartbeatClosedError`.  Idempotent.
+        """
+        if not self._closed:
+            self._closed = True
+            self._backend.close()
+
+    close = finalize
+
+    def __enter__(self) -> "Heartbeat":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.finalize()
+
+    # ------------------------------------------------------------------ #
+    # Observation API (application or external observer in-process)
+    # ------------------------------------------------------------------ #
+    def current_rate(self, window: int = 0) -> float:
+        """Average heart rate (beats/second) over the last ``window`` beats.
+
+        ``window=0`` uses the default window registered at construction time.
+        Windows larger than the default are silently clipped to it.  Returns
+        ``0.0`` until at least two heartbeats have been registered.
+        """
+        with self._lock:
+            available = min(self._count, self._backend.capacity)
+            effective = resolve_window(window, self._window, available)
+            if effective < 2:
+                return 0.0
+            snap = self._backend.snapshot(effective)
+        return windowed_rate(snap.records["timestamp"])
+
+    def global_heart_rate(self) -> float:
+        """Whole-execution average heart rate (the Table 2 metric)."""
+        with self._lock:
+            if self._count < 2 or self._first_timestamp is None or self._last_timestamp is None:
+                return 0.0
+            return global_rate(self._first_timestamp, self._last_timestamp, self._count)
+
+    def get_history(self, n: int | None = None) -> list[HeartbeatRecord]:
+        """Return the last ``n`` heartbeats in production order.
+
+        ``None`` (or a value larger than the retained history) returns the
+        full retained history; the paper allows implementations to bound
+        ``n`` and this implementation bounds it by the backend capacity.
+        """
+        if n is not None and n < 0:
+            raise InvalidWindowError(f"n must be >= 0, got {n}")
+        with self._lock:
+            snap = self._backend.snapshot(n)
+        return snap.as_records()
+
+    def get_history_array(self, n: int | None = None) -> np.ndarray:
+        """Structured-array variant of :meth:`get_history` (zero-copy friendly)."""
+        if n is not None and n < 0:
+            raise InvalidWindowError(f"n must be >= 0, got {n}")
+        with self._lock:
+            snap = self._backend.snapshot(n)
+        return snap.records
+
+    def rate_series(self, window: int = 0) -> np.ndarray:
+        """Moving-average heart rate at every retained beat (figure helper)."""
+        from repro.core.rate import moving_rate_series  # local import to avoid cycle in docs
+
+        effective = self._window if window == 0 else window
+        ts = self.get_history_array()["timestamp"]
+        return moving_rate_series(ts, effective)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def target_min(self) -> float:
+        """Minimum target heart rate set by :meth:`set_target_rate` (0 if unset)."""
+        return self._target_min
+
+    @property
+    def target_max(self) -> float:
+        """Maximum target heart rate set by :meth:`set_target_rate` (0 if unset)."""
+        return self._target_max
+
+    @property
+    def window(self) -> int:
+        """Default rate window."""
+        return self._window
+
+    @property
+    def count(self) -> int:
+        """Total number of heartbeats registered so far."""
+        return self._count
+
+    @property
+    def backend(self) -> Backend:
+        """The storage backend (exposed for observers and tests)."""
+        return self._backend
+
+    @property
+    def clock(self) -> Clock:
+        """The time source stamping this stream's beats."""
+        return self._clock
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def last_timestamp(self) -> float | None:
+        """Timestamp of the most recent beat (``None`` before the first beat)."""
+        return self._last_timestamp
+
+    def intervals(self, n: int | None = None) -> np.ndarray:
+        """Inter-beat intervals (seconds) over the last ``n`` beats."""
+        ts = self.get_history_array(n)["timestamp"]
+        return np.diff(ts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Heartbeat(name={self.name!r}, count={self._count}, window={self._window}, "
+            f"target=[{self._target_min}, {self._target_max}])"
+        )
+
+
+class _NullLock:
+    """No-op lock used when thread safety is explicitly disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullLock":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None

@@ -1,0 +1,279 @@
+"""External observer handle.
+
+:class:`HeartbeatMonitor` is the read side of the paper's Figure 1(b): an
+external service (OS, scheduler, cloud manager, system-administration tool)
+that observes a Heartbeat-enabled application's progress and goals without
+participating in its execution.
+
+A monitor can observe:
+
+* a :class:`~repro.core.heartbeat.Heartbeat` object in the same process
+  (used by the simulated-machine experiments and the external scheduler);
+* a heartbeat log file written by a :class:`~repro.core.backends.FileBackend`
+  in any process;
+* a shared-memory segment written by a
+  :class:`~repro.core.backends.SharedMemoryBackend` in any process on the
+  same host.
+
+All three attachment modes expose the same query surface: windowed heart
+rate, target range, history, liveness (time since the last beat) and simple
+health classification, which is what the fault-tolerance and cloud use cases
+in the paper's Sections 2.3, 2.6 and 5.4 need.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable
+
+import numpy as np
+
+from repro.clock import Clock, WallClock
+from repro.core.backends.base import BackendSnapshot
+from repro.core.backends.file import read_heartbeat_log
+from repro.core.backends.shared_memory import SharedMemoryReader
+from repro.core.errors import MonitorAttachError
+from repro.core.heartbeat import Heartbeat
+from repro.core.rate import windowed_rate
+from repro.core.record import RECORD_DTYPE, HeartbeatRecord, array_to_records
+from repro.core.window import resolve_window
+
+__all__ = ["HeartbeatMonitor", "HealthStatus", "MonitorReading"]
+
+
+class HealthStatus(Enum):
+    """Coarse application-health classification derived from heartbeats."""
+
+    #: No beats observed yet (application starting, or no progress at all).
+    UNKNOWN = "unknown"
+    #: Beats are arriving and the rate is inside the published target range.
+    HEALTHY = "healthy"
+    #: Beats are arriving but the rate is below the published minimum.
+    SLOW = "slow"
+    #: Beats are arriving but the rate is above the published maximum.
+    FAST = "fast"
+    #: No beat has arrived for longer than the liveness timeout — the
+    #: application may have hung or crashed (paper Section 2.3/2.6).
+    STALLED = "stalled"
+
+
+@dataclass(frozen=True, slots=True)
+class MonitorReading:
+    """One observation taken by :meth:`HeartbeatMonitor.read`."""
+
+    rate: float
+    total_beats: int
+    target_min: float
+    target_max: float
+    last_timestamp: float | None
+    age: float | None
+    status: HealthStatus
+
+    @property
+    def below_target(self) -> bool:
+        return self.status is HealthStatus.SLOW
+
+    @property
+    def above_target(self) -> bool:
+        return self.status is HealthStatus.FAST
+
+    @property
+    def in_target(self) -> bool:
+        return self.status is HealthStatus.HEALTHY
+
+
+class HeartbeatMonitor:
+    """Read-only observer of one heartbeat stream.
+
+    Construct via one of the ``attach_*`` class methods (or pass a snapshot
+    provider directly).  Each call to :meth:`read` re-polls the source, so a
+    monitor held by a scheduler naturally tracks the application over time.
+
+    Parameters
+    ----------
+    source:
+        Callable returning a fresh :class:`BackendSnapshot`.
+    clock:
+        Clock used to compute the age of the last beat for liveness checks;
+        it must be the same time base the producer stamps beats with
+        (simulated experiments pass the shared simulated clock).
+    window:
+        Rate window used by :meth:`read`; ``0`` uses the producer's published
+        default window.
+    liveness_timeout:
+        Seconds without a beat after which the application is classified
+        :attr:`HealthStatus.STALLED`.  ``None`` disables the check.
+    """
+
+    def __init__(
+        self,
+        source: Callable[[], BackendSnapshot],
+        *,
+        clock: Clock | None = None,
+        window: int = 0,
+        liveness_timeout: float | None = None,
+        close: Callable[[], None] | None = None,
+    ) -> None:
+        self._source = source
+        self._clock = clock if clock is not None else WallClock()
+        self._window = int(window)
+        self._liveness_timeout = liveness_timeout
+        self._close = close
+
+    # ------------------------------------------------------------------ #
+    # Attachment constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def attach(
+        cls,
+        heartbeat: Heartbeat,
+        *,
+        window: int = 0,
+        liveness_timeout: float | None = None,
+    ) -> "HeartbeatMonitor":
+        """Observe a heartbeat object living in this process."""
+        return cls(
+            heartbeat.backend.snapshot,
+            clock=heartbeat.clock,
+            window=window,
+            liveness_timeout=liveness_timeout,
+        )
+
+    @classmethod
+    def attach_file(
+        cls,
+        path: str | os.PathLike[str],
+        *,
+        clock: Clock | None = None,
+        window: int = 0,
+        liveness_timeout: float | None = None,
+    ) -> "HeartbeatMonitor":
+        """Observe a heartbeat log file written by a :class:`FileBackend`."""
+        path = os.fspath(path)
+        if not os.path.exists(path):
+            raise MonitorAttachError(f"heartbeat log {path!r} does not exist")
+
+        def _snapshot() -> BackendSnapshot:
+            default_window, tmin, tmax, records = read_heartbeat_log(path)
+            return BackendSnapshot(
+                records=records,
+                total_beats=int(records.shape[0]),
+                target_min=tmin,
+                target_max=tmax,
+                default_window=default_window,
+            )
+
+        return cls(_snapshot, clock=clock, window=window, liveness_timeout=liveness_timeout)
+
+    @classmethod
+    def attach_shared_memory(
+        cls,
+        name: str,
+        *,
+        clock: Clock | None = None,
+        window: int = 0,
+        liveness_timeout: float | None = None,
+    ) -> "HeartbeatMonitor":
+        """Observe a shared-memory segment written by another process."""
+        reader = SharedMemoryReader(name)
+        return cls(
+            reader.snapshot,
+            clock=clock,
+            window=window,
+            liveness_timeout=liveness_timeout,
+            close=reader.close,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def read(self, window: int | None = None) -> MonitorReading:
+        """Poll the source and classify the application's current health."""
+        snap = self._source()
+        requested = self._window if window is None else int(window)
+        default_window = snap.default_window if snap.default_window > 0 else max(requested, 1)
+        effective = resolve_window(requested, default_window, snap.retained)
+        timestamps = snap.records["timestamp"]
+        rate = windowed_rate(timestamps[timestamps.shape[0] - effective :]) if effective >= 2 else 0.0
+        last_ts: float | None = float(timestamps[-1]) if timestamps.shape[0] else None
+        age = (self._clock.now() - last_ts) if last_ts is not None else None
+        status = self._classify(rate, snap, age)
+        return MonitorReading(
+            rate=rate,
+            total_beats=snap.total_beats,
+            target_min=snap.target_min,
+            target_max=snap.target_max,
+            last_timestamp=last_ts,
+            age=age,
+            status=status,
+        )
+
+    def current_rate(self, window: int | None = None) -> float:
+        """Convenience: the windowed rate only."""
+        return self.read(window).rate
+
+    def target_range(self) -> tuple[float, float]:
+        """The application's published target heart-rate range."""
+        snap = self._source()
+        return snap.target_min, snap.target_max
+
+    def get_history(self, n: int | None = None) -> list[HeartbeatRecord]:
+        """The last ``n`` observed heartbeat records."""
+        snap = self._source()
+        records = snap.records
+        if n is not None and n < records.shape[0]:
+            records = records[records.shape[0] - n :]
+        return array_to_records(records)
+
+    def history_array(self, n: int | None = None) -> np.ndarray:
+        snap = self._source()
+        records = snap.records
+        if n is not None and n < records.shape[0]:
+            records = records[records.shape[0] - n :]
+        if records.dtype != RECORD_DTYPE:  # pragma: no cover - defensive
+            records = records.astype(RECORD_DTYPE)
+        return records
+
+    def is_alive(self, timeout: float) -> bool:
+        """True when a beat has been observed within the last ``timeout`` seconds."""
+        snap = self._source()
+        if snap.retained == 0:
+            return False
+        age = self._clock.now() - float(snap.records["timestamp"][-1])
+        return age <= timeout
+
+    def close(self) -> None:
+        """Detach from the source (needed for shared-memory attachments)."""
+        if self._close is not None:
+            self._close()
+
+    def __enter__(self) -> "HeartbeatMonitor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _classify(
+        self, rate: float, snap: BackendSnapshot, age: float | None
+    ) -> HealthStatus:
+        if snap.retained == 0:
+            return HealthStatus.UNKNOWN
+        if (
+            self._liveness_timeout is not None
+            and age is not None
+            and age > self._liveness_timeout
+        ):
+            return HealthStatus.STALLED
+        if snap.target_min <= 0.0 and snap.target_max <= 0.0:
+            # No published goal: any progress is healthy.
+            return HealthStatus.HEALTHY
+        if rate < snap.target_min:
+            return HealthStatus.SLOW
+        if snap.target_max > 0.0 and rate > snap.target_max:
+            return HealthStatus.FAST
+        return HealthStatus.HEALTHY

@@ -1,0 +1,121 @@
+"""Process-level registry of heartbeat streams.
+
+The paper distinguishes *global* (per-application) heartbeats from *local*
+(per-thread) heartbeats: "each thread should have its own private heartbeat
+history buffer and each application should have a single shared history
+buffer".  The registry implements that split for one process:
+
+* exactly one global :class:`~repro.core.heartbeat.Heartbeat`, shared and
+  thread-safe;
+* one local :class:`Heartbeat` per thread, created lazily on first use and
+  accessible only from its owning thread (reads of other threads' local
+  buffers are refused, mirroring the paper's access rule).
+
+The functional API in :mod:`repro.core.api` routes its ``local`` flag through
+a module-level :class:`HeartbeatRegistry`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterator
+
+from repro.core.errors import RegistryError
+from repro.core.heartbeat import Heartbeat
+
+__all__ = ["HeartbeatRegistry"]
+
+
+class HeartbeatRegistry:
+    """Holds the global heartbeat and the per-thread local heartbeats."""
+
+    def __init__(self, factory: Callable[..., Heartbeat] | None = None) -> None:
+        self._factory = factory if factory is not None else Heartbeat
+        self._lock = threading.Lock()
+        self._global: Heartbeat | None = None
+        self._locals: dict[int, Heartbeat] = {}
+        self._default_kwargs: dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # Initialisation
+    # ------------------------------------------------------------------ #
+    def initialize(self, window: int = 0, **kwargs: object) -> Heartbeat:
+        """Create the global heartbeat (idempotent only if not yet created)."""
+        with self._lock:
+            if self._global is not None:
+                raise RegistryError("global heartbeat already initialized")
+            self._default_kwargs = dict(kwargs)
+            self._global = self._factory(window, name="global", **kwargs)
+            return self._global
+
+    def initialize_local(self, window: int = 0, **kwargs: object) -> Heartbeat:
+        """Create the calling thread's local heartbeat."""
+        tid = threading.get_ident()
+        with self._lock:
+            if tid in self._locals:
+                raise RegistryError(f"local heartbeat already initialized for thread {tid}")
+            merged = {**self._default_kwargs, **kwargs}
+            merged.setdefault("thread_safe", False)
+            hb = self._factory(window, name=f"local-{tid}", **merged)
+            self._locals[tid] = hb
+            return hb
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def get(self, local: bool = False) -> Heartbeat:
+        """Return the global heartbeat, or the calling thread's local one."""
+        if local:
+            tid = threading.get_ident()
+            hb = self._locals.get(tid)
+            if hb is None:
+                raise RegistryError(
+                    f"no local heartbeat initialized for thread {tid}; "
+                    "call initialize_local() first"
+                )
+            return hb
+        if self._global is None:
+            raise RegistryError("no global heartbeat initialized; call initialize() first")
+        return self._global
+
+    @property
+    def has_global(self) -> bool:
+        return self._global is not None
+
+    def has_local(self) -> bool:
+        """True when the calling thread has a local heartbeat."""
+        return threading.get_ident() in self._locals
+
+    def iter_locals(self) -> Iterator[tuple[int, Heartbeat]]:
+        """Iterate ``(thread_id, heartbeat)`` pairs (snapshot, unordered)."""
+        with self._lock:
+            return iter(list(self._locals.items()))
+
+    # ------------------------------------------------------------------ #
+    # Teardown
+    # ------------------------------------------------------------------ #
+    def finalize(self) -> None:
+        """Finalise and forget every registered heartbeat."""
+        with self._lock:
+            if self._global is not None:
+                self._global.finalize()
+                self._global = None
+            for hb in self._locals.values():
+                hb.finalize()
+            self._locals.clear()
+            self._default_kwargs = {}
+
+    def finalize_local(self) -> None:
+        """Finalise and forget the calling thread's local heartbeat."""
+        tid = threading.get_ident()
+        with self._lock:
+            hb = self._locals.pop(tid, None)
+        if hb is None:
+            raise RegistryError(f"no local heartbeat initialized for thread {tid}")
+        hb.finalize()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HeartbeatRegistry(global={self._global is not None}, "
+            f"locals={len(self._locals)})"
+        )

@@ -1,0 +1,76 @@
+"""Window-resolution rules.
+
+The paper's API lets every rate query specify a window (the number of most
+recent heartbeats over which the average heart rate is computed) and lets the
+application register a *default* window at initialisation time:
+
+* ``HB_current_rate(window=0)`` uses the default window;
+* windows larger than the stored history "may be silently clipped";
+* implementations should retain at least as much history as the default
+  window requested by the application (Section 3).
+
+:func:`resolve_window` centralises those rules so the object API, the
+functional API and the external monitor all behave identically.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import InvalidWindowError
+
+__all__ = ["resolve_window", "validate_default_window", "DEFAULT_WINDOW", "MAX_WINDOW"]
+
+#: Default window used when the application does not specify one.
+DEFAULT_WINDOW = 20
+
+#: Upper bound on history retained by the in-memory and shared-memory
+#: backends.  The paper allows implementations to "restrict the maximum
+#: window size to limit the resources used to store heartbeat history".
+MAX_WINDOW = 65536
+
+
+def validate_default_window(window: int) -> int:
+    """Validate the default window passed to ``HB_initialize``.
+
+    Returns the validated window.  ``0`` selects :data:`DEFAULT_WINDOW`.
+    """
+    if isinstance(window, bool) or not isinstance(window, int):
+        raise InvalidWindowError(f"window must be an int, got {window!r}")
+    if window < 0:
+        raise InvalidWindowError(f"window must be >= 0, got {window}")
+    if window == 0:
+        return DEFAULT_WINDOW
+    if window > MAX_WINDOW:
+        return MAX_WINDOW
+    return window
+
+
+def resolve_window(requested: int, default_window: int, available: int) -> int:
+    """Resolve the window actually used for a heart-rate query.
+
+    Parameters
+    ----------
+    requested:
+        Window requested by the caller.  ``0`` means "use the default
+        window" per the paper's API.
+    default_window:
+        The default window registered at initialisation time.
+    available:
+        Number of heartbeats currently retained in the history buffer.
+
+    Returns
+    -------
+    int
+        The effective window: the requested (or default) window, silently
+        clipped first to the default window when a larger value is requested
+        — "if window values larger than the default are passed to
+        HB_current_rate they may be silently clipped to the default value" —
+        and then to the available history.
+    """
+    if isinstance(requested, bool) or not isinstance(requested, int):
+        raise InvalidWindowError(f"window must be an int, got {requested!r}")
+    if requested < 0:
+        raise InvalidWindowError(f"window must be >= 0, got {requested}")
+    window = default_window if requested == 0 else requested
+    if window > default_window:
+        window = default_window
+    return min(window, available)

@@ -1,0 +1,51 @@
+"""An H.264-like block video encoder with a quality/speed knob space.
+
+The paper's internal-adaptation and fault-tolerance experiments (Sections
+5.2 and 5.4) use the x264 H.264 encoder, whose run-time knobs trade encoding
+effort for quality: motion-estimation algorithm, sub-pixel refinement depth,
+macroblock sub-partitioning and the number of reference frames.  This package
+implements a block-based motion-compensated encoder over synthetic video with
+the same knob space and a real PSNR measurement, so the adaptive experiments
+trade *measured* work for *measured* quality rather than following a scripted
+curve.
+
+Pipeline per frame (see :class:`repro.encoder.encoder.BlockEncoder`):
+
+1. block motion estimation against up to N reconstructed reference frames
+   (exhaustive, hexagon or diamond search — :mod:`repro.encoder.motion`);
+2. optional sub-pixel refinement (:mod:`repro.encoder.subpel`);
+3. optional macroblock sub-partitioning (:mod:`repro.encoder.partition`);
+4. residual transform, quantisation and reconstruction
+   (:mod:`repro.encoder.transform`);
+5. PSNR of the reconstruction against the source
+   (:mod:`repro.encoder.quality`).
+
+The encoder reports the number of elementary operations each frame consumed,
+which doubles as the simulated-machine cost model for the x264 workload.
+"""
+
+from repro.encoder.adaptive import AdaptiveEncoder, AdaptiveFrameRecord
+from repro.encoder.encoder import BlockEncoder, FrameResult
+from repro.encoder.frames import SceneCut, SyntheticVideoSource
+from repro.encoder.quality import mse, psnr
+from repro.encoder.settings import (
+    PRESET_LADDER,
+    EncoderSettings,
+    MotionAlgorithm,
+    preset,
+)
+
+__all__ = [
+    "BlockEncoder",
+    "FrameResult",
+    "AdaptiveEncoder",
+    "AdaptiveFrameRecord",
+    "SyntheticVideoSource",
+    "SceneCut",
+    "EncoderSettings",
+    "MotionAlgorithm",
+    "PRESET_LADDER",
+    "preset",
+    "psnr",
+    "mse",
+]

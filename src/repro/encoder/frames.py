@@ -1,0 +1,181 @@
+"""Synthetic video source.
+
+Generates greyscale frames containing textured moving objects over a textured
+background with sensor noise.  Scene *complexity phases* control how much
+motion and detail each section of the sequence has, which is how the
+reproduction recreates the paper's Figure 2 (x264 on the PARSEC native input
+has an expensive opening section, an easy middle section and an expensive
+tail) and the "input becomes slightly easier at the end" effect visible in
+Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SceneCut", "SyntheticVideoSource"]
+
+
+@dataclass(frozen=True, slots=True)
+class SceneCut:
+    """A contiguous section of the sequence with fixed complexity.
+
+    Attributes
+    ----------
+    start_frame:
+        First frame index of the section.
+    motion:
+        Pixels of object displacement per frame (larger = harder motion
+        estimation, more residual energy).
+    detail:
+        Amplitude of the high-frequency texture (larger = more residual bits
+        and more work in partition analysis).
+    """
+
+    start_frame: int
+    motion: float
+    detail: float
+
+
+#: Default phase structure loosely following the paper's Figure 2: a
+#: demanding opening, an easier middle section, and a demanding tail.
+DEFAULT_SCENE_CUTS = (
+    SceneCut(start_frame=0, motion=2.5, detail=1.0),
+    SceneCut(start_frame=100, motion=0.8, detail=0.45),
+    SceneCut(start_frame=330, motion=2.5, detail=1.0),
+)
+
+
+class SyntheticVideoSource:
+    """Deterministic synthetic greyscale video.
+
+    Parameters
+    ----------
+    width, height:
+        Frame dimensions in pixels (multiples of the encoder block size).
+    num_objects:
+        Number of moving textured rectangles.
+    scene_cuts:
+        Complexity phases; defaults to the Figure-2-like three-phase profile.
+    noise:
+        Standard deviation of per-pixel sensor noise (in grey levels).
+    seed:
+        Seed of the generator; the same seed always yields the same video.
+    """
+
+    def __init__(
+        self,
+        width: int = 64,
+        height: int = 64,
+        *,
+        num_objects: int = 4,
+        scene_cuts: tuple[SceneCut, ...] = DEFAULT_SCENE_CUTS,
+        noise: float = 2.0,
+        seed: int = 0,
+    ) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("frame dimensions must be positive")
+        if num_objects < 0:
+            raise ValueError("num_objects must be >= 0")
+        if not scene_cuts or scene_cuts[0].start_frame != 0:
+            raise ValueError("scene_cuts must start with a cut at frame 0")
+        self.width = int(width)
+        self.height = int(height)
+        self.noise = float(noise)
+        self.scene_cuts = tuple(sorted(scene_cuts, key=lambda c: c.start_frame))
+        self.seed = int(seed)
+        rng = np.random.default_rng(seed)
+        self._background = self._textured_field(rng, height, width, scale=8)
+        self._objects = [
+            {
+                "size": int(rng.integers(8, 17)),
+                "texture": self._textured_field(rng, 16, 16, scale=3),
+                "origin": np.array(
+                    [rng.uniform(0, height - 16), rng.uniform(0, width - 16)]
+                ),
+                "direction": rng.uniform(-1.0, 1.0, size=2),
+            }
+            for _ in range(num_objects)
+        ]
+        for obj in self._objects:
+            norm = np.linalg.norm(obj["direction"])
+            obj["direction"] = obj["direction"] / norm if norm > 0 else np.array([1.0, 0.0])
+
+    # ------------------------------------------------------------------ #
+    # Phase lookup
+    # ------------------------------------------------------------------ #
+    def scene_cut_at(self, frame_index: int) -> SceneCut:
+        """The complexity phase governing ``frame_index``."""
+        active = self.scene_cuts[0]
+        for cut in self.scene_cuts:
+            if frame_index >= cut.start_frame:
+                active = cut
+            else:
+                break
+        return active
+
+    # ------------------------------------------------------------------ #
+    # Frame synthesis
+    # ------------------------------------------------------------------ #
+    def frame(self, frame_index: int) -> np.ndarray:
+        """Return frame ``frame_index`` as a ``float64`` array in [0, 255]."""
+        if frame_index < 0:
+            raise ValueError(f"frame_index must be >= 0, got {frame_index}")
+        cut = self.scene_cut_at(frame_index)
+        canvas = self._background.copy()
+        # Cumulative object displacement: integrate motion over the phases so
+        # object positions are continuous across cuts.
+        displacement = self._cumulative_motion(frame_index)
+        for k, obj in enumerate(self._objects):
+            size = obj["size"]
+            pos = obj["origin"] + displacement * obj["direction"] * (0.7 + 0.15 * k)
+            top = int(pos[0]) % max(1, self.height - size)
+            left = int(pos[1]) % max(1, self.width - size)
+            texture = obj["texture"][:size, :size] * cut.detail
+            canvas[top : top + size, left : left + size] = (
+                0.35 * canvas[top : top + size, left : left + size] + 0.65 * (128.0 + texture)
+            )
+        # Scene detail also modulates the background contrast.
+        canvas = 128.0 + (canvas - 128.0) * (0.6 + 0.4 * cut.detail)
+        rng = np.random.default_rng((self.seed + 1) * 7_919 + frame_index)
+        canvas = canvas + rng.normal(0.0, self.noise, canvas.shape)
+        return np.clip(canvas, 0.0, 255.0)
+
+    def frames(self, count: int, start: int = 0) -> list[np.ndarray]:
+        """Materialise ``count`` consecutive frames starting at ``start``."""
+        return [self.frame(start + i) for i in range(count)]
+
+    def _cumulative_motion(self, frame_index: int) -> float:
+        """Total object displacement accumulated up to ``frame_index``."""
+        total = 0.0
+        for i, cut in enumerate(self.scene_cuts):
+            end = (
+                self.scene_cuts[i + 1].start_frame
+                if i + 1 < len(self.scene_cuts)
+                else frame_index + 1
+            )
+            if frame_index < cut.start_frame:
+                break
+            covered = min(frame_index, end - 1) - cut.start_frame + 1
+            total += covered * cut.motion
+        return total
+
+    @staticmethod
+    def _textured_field(rng: np.random.Generator, h: int, w: int, scale: int) -> np.ndarray:
+        """Smooth random texture produced by upsampling low-resolution noise."""
+        coarse = rng.normal(0.0, 30.0, size=(max(2, h // scale), max(2, w // scale)))
+        ys = np.linspace(0, coarse.shape[0] - 1, h)
+        xs = np.linspace(0, coarse.shape[1] - 1, w)
+        yi = np.clip(ys.astype(int), 0, coarse.shape[0] - 2)
+        xi = np.clip(xs.astype(int), 0, coarse.shape[1] - 2)
+        fy = (ys - yi)[:, None]
+        fx = (xs - xi)[None, :]
+        field = (
+            coarse[np.ix_(yi, xi)] * (1 - fy) * (1 - fx)
+            + coarse[np.ix_(yi + 1, xi)] * fy * (1 - fx)
+            + coarse[np.ix_(yi, xi + 1)] * (1 - fy) * fx
+            + coarse[np.ix_(yi + 1, xi + 1)] * fy * fx
+        )
+        return 128.0 + field

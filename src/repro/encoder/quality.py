@@ -1,0 +1,44 @@
+"""Objective quality metrics.
+
+The paper's Figure 4 measures the quality cost of adaptation as the
+difference in PSNR (peak signal-to-noise ratio) between the unmodified and
+the adaptive encoder, noting that "in the worst case, the adaptive version of
+x264 can lose as much as one dB of PSNR, but the average loss is closer to
+0.5 dB".
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["mse", "psnr", "psnr_series_difference"]
+
+
+def mse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean squared error between two frames."""
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    if original.shape != reconstructed.shape:
+        raise ValueError(f"frame shapes differ: {original.shape} vs {reconstructed.shape}")
+    return float(np.mean((original - reconstructed) ** 2))
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray, peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB (infinite for identical frames)."""
+    error = mse(original, reconstructed)
+    if error == 0.0:
+        return math.inf
+    return 10.0 * math.log10(peak * peak / error)
+
+
+def psnr_series_difference(adaptive: np.ndarray, baseline: np.ndarray) -> np.ndarray:
+    """Per-frame PSNR difference (adaptive minus baseline), the Figure-4 series."""
+    adaptive = np.asarray(adaptive, dtype=np.float64)
+    baseline = np.asarray(baseline, dtype=np.float64)
+    if adaptive.shape != baseline.shape:
+        raise ValueError(
+            f"series lengths differ: {adaptive.shape} vs {baseline.shape}"
+        )
+    return adaptive - baseline

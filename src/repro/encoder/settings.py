@@ -1,0 +1,187 @@
+"""Encoder settings and the quality/speed preset ladder.
+
+The paper launches x264 "with a computationally demanding set of parameters
+for Main profile H.264 encoding ... exhaustive search techniques for motion
+estimation, the analysis of all macroblock sub-partitionings, x264's most
+demanding sub-pixel motion estimation, and the use of up to five reference
+frames", and the adaptive encoder walks down to cheaper settings (diamond
+search, no sub-partitions, lighter sub-pixel estimation) until the target
+frame rate is met.
+
+:data:`PRESET_LADDER` captures that knob space as an ordered list of
+:class:`EncoderSettings`, from the most demanding (index 0, best quality) to
+the fastest (last index, lowest quality).  The adaptive encoder moves along
+this ladder one step at a time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+__all__ = ["MotionAlgorithm", "EncoderSettings", "PRESET_LADDER", "preset"]
+
+
+class MotionAlgorithm(str, enum.Enum):
+    """Motion-estimation search strategy (descending cost)."""
+
+    EXHAUSTIVE = "exhaustive"
+    HEXAGON = "hexagon"
+    DIAMOND = "diamond"
+
+
+@dataclass(frozen=True, slots=True)
+class EncoderSettings:
+    """One point in the encoder's quality/speed space.
+
+    Attributes
+    ----------
+    motion_algorithm:
+        Integer-pel motion search strategy.
+    search_range:
+        Motion search range in pixels (each direction).
+    subpel_levels:
+        Sub-pixel refinement depth (0 = integer only, 1 = half-pel,
+        2 = quarter-pel).
+    subpartitions:
+        Whether macroblock sub-partition analysis is enabled.
+    reference_frames:
+        Number of previously reconstructed frames searched (1–5).
+    qp:
+        Quantisation parameter (0–51); held constant by the adaptation
+        experiments so quality changes come from prediction quality only.
+    """
+
+    motion_algorithm: MotionAlgorithm = MotionAlgorithm.HEXAGON
+    search_range: int = 8
+    subpel_levels: int = 1
+    subpartitions: bool = False
+    reference_frames: int = 1
+    qp: int = 26
+
+    def __post_init__(self) -> None:
+        if self.search_range < 1:
+            raise ValueError(f"search_range must be >= 1, got {self.search_range}")
+        if not 0 <= self.subpel_levels <= 2:
+            raise ValueError(f"subpel_levels must be in [0, 2], got {self.subpel_levels}")
+        if not 1 <= self.reference_frames <= 5:
+            raise ValueError(
+                f"reference_frames must be in [1, 5], got {self.reference_frames}"
+            )
+        if not 0 <= self.qp <= 51:
+            raise ValueError(f"qp must be in [0, 51], got {self.qp}")
+
+    def with_qp(self, qp: int) -> "EncoderSettings":
+        """Return a copy with a different quantisation parameter."""
+        return replace(self, qp=qp)
+
+    def describe(self) -> str:
+        """Short human-readable description used in experiment output."""
+        return (
+            f"{self.motion_algorithm.value}/r{self.search_range}"
+            f" subpel={self.subpel_levels} part={'on' if self.subpartitions else 'off'}"
+            f" refs={self.reference_frames} qp={self.qp}"
+        )
+
+
+#: Quality levels from most demanding (best quality) to fastest (lowest
+#: quality).  Level 0 corresponds to the paper's demanding Main-profile
+#: configuration (exhaustive search, all sub-partitions, deepest sub-pixel
+#: refinement, five reference frames).  The upper half of the ladder reduces
+#: reference frames and search range in small steps — these are the
+#: fine-grained knobs that let the adaptive encoder settle *just* above its
+#: target rather than overshooting — and the bottom of the ladder switches to
+#: the hexagon and finally the computationally light diamond search the
+#: paper's encoder ends up with under extreme pressure.
+PRESET_LADDER: tuple[EncoderSettings, ...] = (
+    EncoderSettings(  # 0: the paper's demanding Main-profile-like configuration
+        motion_algorithm=MotionAlgorithm.EXHAUSTIVE,
+        search_range=8,
+        subpel_levels=2,
+        subpartitions=True,
+        reference_frames=5,
+    ),
+    EncoderSettings(  # 1
+        motion_algorithm=MotionAlgorithm.EXHAUSTIVE,
+        search_range=8,
+        subpel_levels=2,
+        subpartitions=True,
+        reference_frames=4,
+    ),
+    EncoderSettings(  # 2
+        motion_algorithm=MotionAlgorithm.EXHAUSTIVE,
+        search_range=8,
+        subpel_levels=2,
+        subpartitions=True,
+        reference_frames=3,
+    ),
+    EncoderSettings(  # 3
+        motion_algorithm=MotionAlgorithm.EXHAUSTIVE,
+        search_range=7,
+        subpel_levels=2,
+        subpartitions=True,
+        reference_frames=3,
+    ),
+    EncoderSettings(  # 4
+        motion_algorithm=MotionAlgorithm.EXHAUSTIVE,
+        search_range=7,
+        subpel_levels=2,
+        subpartitions=True,
+        reference_frames=2,
+    ),
+    EncoderSettings(  # 5
+        motion_algorithm=MotionAlgorithm.EXHAUSTIVE,
+        search_range=6,
+        subpel_levels=2,
+        subpartitions=False,
+        reference_frames=2,
+    ),
+    EncoderSettings(  # 6
+        motion_algorithm=MotionAlgorithm.EXHAUSTIVE,
+        search_range=5,
+        subpel_levels=1,
+        subpartitions=False,
+        reference_frames=2,
+    ),
+    EncoderSettings(  # 7
+        motion_algorithm=MotionAlgorithm.EXHAUSTIVE,
+        search_range=6,
+        subpel_levels=1,
+        subpartitions=False,
+        reference_frames=1,
+    ),
+    EncoderSettings(  # 8
+        motion_algorithm=MotionAlgorithm.EXHAUSTIVE,
+        search_range=4,
+        subpel_levels=1,
+        subpartitions=False,
+        reference_frames=1,
+    ),
+    EncoderSettings(  # 9
+        motion_algorithm=MotionAlgorithm.HEXAGON,
+        search_range=8,
+        subpel_levels=1,
+        subpartitions=False,
+        reference_frames=1,
+    ),
+    EncoderSettings(  # 10
+        motion_algorithm=MotionAlgorithm.DIAMOND,
+        search_range=8,
+        subpel_levels=1,
+        subpartitions=False,
+        reference_frames=1,
+    ),
+    EncoderSettings(  # 11: the lightest configuration
+        motion_algorithm=MotionAlgorithm.DIAMOND,
+        search_range=4,
+        subpel_levels=0,
+        subpartitions=False,
+        reference_frames=1,
+    ),
+)
+
+
+def preset(level: int) -> EncoderSettings:
+    """Return ladder level ``level`` (clamped to the valid range)."""
+    clamped = max(0, min(int(level), len(PRESET_LADDER) - 1))
+    return PRESET_LADDER[clamped]

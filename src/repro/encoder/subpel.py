@@ -1,0 +1,116 @@
+"""Sub-pixel motion refinement.
+
+After integer-pel motion estimation, x264 can refine the motion vector to
+half- and quarter-pixel precision, interpolating the reference at fractional
+offsets.  The paper's adaptive encoder backs off from "x264's most demanding
+sub-pixel motion estimation" to "a less demanding sub-pixel motion estimation
+algorithm" as it trades quality for speed; here the knob is the number of
+refinement levels (0 = integer only, 1 = half-pel, 2 = quarter-pel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SubpelResult", "interpolate_block", "refine"]
+
+
+@dataclass(frozen=True, slots=True)
+class SubpelResult:
+    """Outcome of sub-pixel refinement."""
+
+    #: Fractional motion vector (vertical, horizontal) in pixels.
+    motion_vector: tuple[float, float]
+    #: Interpolated prediction block at the refined position.
+    prediction: np.ndarray
+    #: SAD at the refined position.
+    sad: float
+    #: Candidate positions evaluated during refinement.
+    candidates_evaluated: int
+
+
+def interpolate_block(
+    reference: np.ndarray, top: float, left: float, block_h: int, block_w: int
+) -> np.ndarray:
+    """Bilinearly sample a ``block_h x block_w`` block at a fractional origin.
+
+    This is the innermost routine of sub-pixel refinement (called for every
+    fractional candidate of every block), so it sticks to plain slicing and a
+    minimal number of array operations; ``reference`` is expected to be a
+    float array (the encoder's reconstructions always are).
+    """
+    max_top = reference.shape[0] - block_h
+    max_left = reference.shape[1] - block_w
+    top = min(max(float(top), 0.0), float(max_top))
+    left = min(max(float(left), 0.0), float(max_left))
+    t0, l0 = int(top), int(left)
+    ft, fl = top - t0, left - l0
+    t1 = min(t0 + 1, max_top)
+    l1 = min(l0 + 1, max_left)
+    a = reference[t0 : t0 + block_h, l0 : l0 + block_w]
+    if ft == 0.0 and fl == 0.0:
+        return np.array(a, dtype=np.float64)
+    b = reference[t0 : t0 + block_h, l1 : l1 + block_w]
+    c = reference[t1 : t1 + block_h, l0 : l0 + block_w]
+    d = reference[t1 : t1 + block_h, l1 : l1 + block_w]
+    return (
+        (1 - ft) * (1 - fl) * a
+        + (1 - ft) * fl * b
+        + ft * (1 - fl) * c
+        + ft * fl * d
+    )
+
+
+def refine(
+    block: np.ndarray,
+    reference: np.ndarray,
+    block_top: int,
+    block_left: int,
+    integer_mv: tuple[int, int],
+    integer_sad: float,
+    levels: int,
+) -> SubpelResult:
+    """Refine an integer motion vector to sub-pixel precision.
+
+    ``levels`` selects the precision: 0 returns the integer result unchanged,
+    1 adds a half-pel pass, 2 adds a quarter-pel pass around the best half-pel
+    position.  Each pass evaluates the eight fractional neighbours of the
+    current best position.
+    """
+    if levels < 0:
+        raise ValueError(f"levels must be >= 0, got {levels}")
+    bh, bw = block.shape
+    block64 = block.astype(np.float64)
+    best_mv = (float(integer_mv[0]), float(integer_mv[1]))
+    best_sad = float(integer_sad)
+    best_pred = interpolate_block(
+        reference, block_top + best_mv[0], block_left + best_mv[1], bh, bw
+    )
+    evaluated = 0
+    step = 0.5
+    for _ in range(min(levels, 2)):
+        improved_mv = best_mv
+        improved_sad = best_sad
+        improved_pred = best_pred
+        for dy in (-step, 0.0, step):
+            for dx in (-step, 0.0, step):
+                if dy == 0.0 and dx == 0.0:
+                    continue
+                mv = (best_mv[0] + dy, best_mv[1] + dx)
+                pred = interpolate_block(
+                    reference, block_top + mv[0], block_left + mv[1], bh, bw
+                )
+                s = float(np.abs(pred - block64).sum())
+                evaluated += 1
+                if s < improved_sad:
+                    improved_mv, improved_sad, improved_pred = mv, s, pred
+        best_mv, best_sad, best_pred = improved_mv, improved_sad, improved_pred
+        step /= 2.0
+    return SubpelResult(
+        motion_vector=best_mv,
+        prediction=best_pred,
+        sad=best_sad,
+        candidates_evaluated=evaluated,
+    )

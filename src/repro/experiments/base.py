@@ -1,0 +1,70 @@
+"""Shared experiment result container and registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.analysis.tables import render_rows
+from repro.analysis.traces import TraceSet
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "register_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier (``"table2"``, ``"fig5"``, ...).
+    description:
+        One-line description including the paper reference.
+    headers, rows:
+        Tabular output (the rows the paper's table reports, or summary rows
+        for figure experiments).
+    traces:
+        Beat-indexed series for figure experiments (heart rate, cores, PSNR
+        difference, ...).
+    notes:
+        Free-form remarks recorded during the run (calibration values,
+        substitutions, ...).
+    """
+
+    name: str
+    description: str
+    headers: Sequence[str] = ()
+    rows: list[Sequence[object]] = field(default_factory=list)
+    traces: TraceSet | None = None
+    notes: list[str] = field(default_factory=list)
+
+    def to_text(self, *, precision: int = 2) -> str:
+        """Render the result (title, table, notes) as plain text."""
+        parts = [f"== {self.name}: {self.description}"]
+        if self.rows:
+            parts.append(render_rows(self.headers, self.rows, precision=precision))
+        if self.traces is not None:
+            parts.append(
+                "traces: "
+                + ", ".join(f"{t.name}[{len(t)}]" for t in self.traces)
+            )
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+
+#: Registry of experiment run functions, keyed by experiment name.  Each
+#: entry is a zero-argument callable returning an :class:`ExperimentResult`
+#: with default configuration (the CLI runner uses it).
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {}
+
+
+def register_experiment(name: str) -> Callable[[Callable[[], ExperimentResult]], Callable[[], ExperimentResult]]:
+    """Decorator registering a default-config experiment runner."""
+
+    def decorator(fn: Callable[[], ExperimentResult]) -> Callable[[], ExperimentResult]:
+        EXPERIMENTS[name] = fn
+        return fn
+
+    return decorator

@@ -1,0 +1,151 @@
+"""Experiment E9 — heartbeat-registration overhead (paper Section 5.1).
+
+The paper reports that the framework's overhead is negligible for eight of
+the ten PARSEC benchmarks, that registering a heartbeat after *every* option
+in blackscholes adds an order of magnitude of slow-down (fixed by beating
+every 25 000 options), and that facesim's per-frame heartbeat costs less than
+5%.  This experiment measures the same three quantities in wall-clock time
+with the real kernels, plus the raw per-call latency of each storage backend.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+
+from repro.core.backends import FileBackend, MemoryBackend, SharedMemoryBackend
+from repro.core.heartbeat import Heartbeat
+from repro.experiments.base import ExperimentResult, register_experiment
+from repro.workloads.blackscholes import BlackscholesWorkload
+from repro.workloads.facesim import FacesimWorkload
+
+__all__ = ["OverheadConfig", "run", "report", "measure_backend_latency"]
+
+
+@dataclass(frozen=True, slots=True)
+class OverheadConfig:
+    """Configuration of the overhead study (sizes keep wall time modest)."""
+
+    #: Batches of 25 000 options priced for the blackscholes comparison.
+    blackscholes_batches: int = 6
+    #: Frames simulated for the facesim comparison.
+    facesim_frames: int = 20
+    #: Heartbeat calls timed per backend for the latency table.
+    backend_calls: int = 20_000
+    seed: int = 0
+
+
+def _time_blackscholes(config: OverheadConfig, beats_per_batch: int) -> float:
+    """Wall time to price the batches with ``beats_per_batch`` heartbeats each.
+
+    ``beats_per_batch == 0`` runs without any heartbeat instrumentation.  The
+    instrumented runs use the file backend because that is what the paper's
+    reference implementation does ("a new entry ... is written into a file"),
+    and the file write is precisely what makes a beat per option expensive.
+    """
+    workload = BlackscholesWorkload(seed=config.seed)
+    heartbeat = None
+    if beats_per_batch:
+        path = os.path.join(tempfile.mkdtemp(prefix="hb-blackscholes-"), "heartbeat.log")
+        heartbeat = Heartbeat(window=20, backend=FileBackend(path))
+    start = time.perf_counter()
+    for batch in range(config.blackscholes_batches):
+        workload.execute_beat(batch)
+        if heartbeat is not None:
+            for _ in range(beats_per_batch):
+                heartbeat.heartbeat(tag=batch)
+    elapsed = time.perf_counter() - start
+    if heartbeat is not None:
+        heartbeat.finalize()
+    return elapsed
+
+
+def _time_facesim(config: OverheadConfig, instrumented: bool) -> float:
+    workload = FacesimWorkload(seed=config.seed)
+    heartbeat = Heartbeat(window=20) if instrumented else None
+    start = time.perf_counter()
+    for frame in range(config.facesim_frames):
+        workload.execute_beat(frame)
+        if heartbeat is not None:
+            heartbeat.heartbeat(tag=frame)
+    return time.perf_counter() - start
+
+
+def measure_backend_latency(calls: int = 20_000) -> dict[str, float]:
+    """Mean per-call latency (microseconds) of ``Heartbeat.heartbeat`` per backend."""
+    results: dict[str, float] = {}
+    # Memory backend.
+    hb = Heartbeat(window=20, backend=MemoryBackend(4096))
+    start = time.perf_counter()
+    for i in range(calls):
+        hb.heartbeat(tag=i)
+    results["memory"] = (time.perf_counter() - start) / calls * 1e6
+    # File backend.
+    path = os.path.join(tempfile.mkdtemp(prefix="hb-overhead-"), "heartbeat.log")
+    hb_file = Heartbeat(window=20, backend=FileBackend(path))
+    start = time.perf_counter()
+    for i in range(calls):
+        hb_file.heartbeat(tag=i)
+    results["file"] = (time.perf_counter() - start) / calls * 1e6
+    hb_file.finalize()
+    # Shared-memory backend.
+    shm = SharedMemoryBackend(capacity=4096)
+    hb_shm = Heartbeat(window=20, backend=shm)
+    start = time.perf_counter()
+    for i in range(calls):
+        hb_shm.heartbeat(tag=i)
+    results["shared_memory"] = (time.perf_counter() - start) / calls * 1e6
+    hb_shm.finalize()
+    return results
+
+
+def run(config: OverheadConfig = OverheadConfig()) -> ExperimentResult:
+    baseline = _time_blackscholes(config, beats_per_batch=0)
+    per_batch = _time_blackscholes(config, beats_per_batch=1)
+    per_option = _time_blackscholes(config, beats_per_batch=25_000)
+    facesim_plain = _time_facesim(config, instrumented=False)
+    facesim_hb = _time_facesim(config, instrumented=True)
+    latency = measure_backend_latency(config.backend_calls)
+    rows = [
+        (
+            "blackscholes, heartbeat per 25000 options (slowdown)",
+            "negligible",
+            round(per_batch / baseline, 3),
+        ),
+        (
+            "blackscholes, heartbeat per option (slowdown)",
+            "order of magnitude",
+            round(per_option / baseline, 2),
+        ),
+        (
+            "facesim, heartbeat per frame (overhead)",
+            "< 5%",
+            f"{(facesim_hb / facesim_plain - 1.0) * 100.0:.2f}%",
+        ),
+        ("memory backend latency (us/beat)", "n/a", round(latency["memory"], 2)),
+        ("file backend latency (us/beat)", "n/a", round(latency["file"], 2)),
+        ("shared-memory backend latency (us/beat)", "n/a", round(latency["shared_memory"], 2)),
+    ]
+    result = ExperimentResult(
+        name="overhead",
+        description="Heartbeat API overhead (paper Section 5.1)",
+        headers=("Quantity", "Paper", "Measured"),
+        rows=rows,
+    )
+    result.notes.append(
+        "wall-clock measurement with the real kernels; absolute slowdowns depend on "
+        "the host, but the per-option configuration must be dramatically worse than "
+        "the per-25000 configuration while facesim's per-frame beat stays cheap"
+    )
+    return result
+
+
+def report(result: ExperimentResult | None = None) -> str:
+    return (result or run()).to_text()
+
+
+@register_experiment("overhead")
+def _default() -> ExperimentResult:
+    return run()

@@ -1,0 +1,105 @@
+"""Command-line runner regenerating every table and figure.
+
+``repro-experiments`` (installed as a console script) runs any subset of the
+experiments and prints their tables; ``--output`` additionally appends the
+text to a file, which is how ``EXPERIMENTS.md``'s measured columns were
+produced.
+
+Examples
+--------
+Run everything::
+
+    repro-experiments all
+
+Run only the scheduler figures::
+
+    repro-experiments fig5 fig6 fig7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+# Importing the experiment modules populates the registry.
+from repro.experiments import base as _base
+from repro.experiments import (  # noqa: F401  (imported for registration side effects)
+    fig2_x264_phases,
+    fig3_adaptive_rate,
+    fig4_adaptive_psnr,
+    fig5_bodytrack_scheduler,
+    fig6_streamcluster_scheduler,
+    fig7_x264_scheduler,
+    fig8_fault_tolerance,
+    overhead,
+    table2,
+)
+from repro.experiments.base import EXPERIMENTS, ExperimentResult
+
+__all__ = ["main", "run_experiments", "available_experiments"]
+
+
+def available_experiments() -> list[str]:
+    """Names of every registered experiment, in registration order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiments(names: Sequence[str]) -> list[ExperimentResult]:
+    """Run the named experiments (``["all"]`` runs every one) and return results."""
+    selected = available_experiments() if list(names) == ["all"] else list(names)
+    unknown = [n for n in selected if n not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(
+            f"unknown experiment(s) {unknown}; available: {available_experiments()}"
+        )
+    return [EXPERIMENTS[name]() for name in selected]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the Application Heartbeats paper.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help=f"experiment names (default: all). Available: {', '.join(available_experiments())}",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    parser.add_argument(
+        "--output", type=str, default=None, help="also append the report text to this file"
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in available_experiments():
+            print(name)
+        return 0
+    names = args.experiments or ["all"]
+    chunks: list[str] = []
+    start = time.perf_counter()
+    try:
+        results = run_experiments(names)
+    except KeyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for result in results:
+        text = result.to_text()
+        chunks.append(text)
+        print(text)
+        print()
+    elapsed = time.perf_counter() - start
+    footer = f"ran {len(results)} experiment(s) in {elapsed:.1f}s"
+    print(footer)
+    if args.output:
+        with open(args.output, "a", encoding="utf-8") as fh:
+            fh.write("\n\n".join(chunks) + "\n" + footer + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - direct execution
+    raise SystemExit(main())

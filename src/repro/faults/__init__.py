@@ -1,0 +1,5 @@
+"""Core-failure injection (paper Section 5.4, Figure 8)."""
+
+from repro.faults.injector import FailureEvent, FaultInjector, RepairEvent
+
+__all__ = ["FailureEvent", "RepairEvent", "FaultInjector"]

@@ -1,0 +1,147 @@
+"""Fault injection.
+
+The paper's fault-tolerance experiment simulates core failures "by
+restricting the scheduler to running x264 on fewer cores" at frames 160, 320
+and 480.  :class:`FaultInjector` reproduces that mechanism for both execution
+styles used in this reproduction:
+
+* as an :class:`~repro.sim.engine.ExecutionEngine` hook it fails cores of a
+  :class:`~repro.sim.machine.SimulatedMachine` at the scheduled beats;
+* for the encoder-driven Figure-8 experiment it exposes
+  :meth:`capacity_fraction`, the fraction of nominal machine capacity still
+  healthy after the failures scheduled up to a given beat, which the
+  experiment applies to the adaptive encoder's ``work_rate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.sim.engine import ExecutionEngine
+from repro.sim.machine import SimulatedMachine
+from repro.sim.process import SimulatedProcess
+
+__all__ = ["FailureEvent", "RepairEvent", "FaultInjector"]
+
+
+@dataclass(frozen=True, slots=True)
+class FailureEvent:
+    """Fail ``cores`` cores when the instrumented application reaches ``beat``."""
+
+    beat: int
+    cores: int = 1
+
+    def __post_init__(self) -> None:
+        if self.beat < 0:
+            raise ValueError(f"beat must be >= 0, got {self.beat}")
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+
+
+@dataclass(frozen=True, slots=True)
+class RepairEvent:
+    """Repair ``cores`` failed cores when the application reaches ``beat``."""
+
+    beat: int
+    cores: int = 1
+
+    def __post_init__(self) -> None:
+        if self.beat < 0:
+            raise ValueError(f"beat must be >= 0, got {self.beat}")
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+
+
+class FaultInjector:
+    """Applies a failure/repair schedule keyed on heartbeat indices.
+
+    Parameters
+    ----------
+    failures:
+        Failure events, e.g. the paper's ``[FailureEvent(160), FailureEvent(320),
+        FailureEvent(480)]``.
+    repairs:
+        Optional repair events (extension beyond the paper's experiment).
+    total_cores:
+        Nominal core count used by :meth:`capacity_fraction`.
+    """
+
+    def __init__(
+        self,
+        failures: Sequence[FailureEvent],
+        *,
+        repairs: Sequence[RepairEvent] = (),
+        total_cores: int = 8,
+    ) -> None:
+        if total_cores < 1:
+            raise ValueError(f"total_cores must be >= 1, got {total_cores}")
+        self.failures = sorted(failures, key=lambda e: e.beat)
+        self.repairs = sorted(repairs, key=lambda e: e.beat)
+        self.total_cores = int(total_cores)
+        self._applied_failures: set[int] = set()
+        self._applied_repairs: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Capacity model (used by the encoder-driven Figure-8 run)
+    # ------------------------------------------------------------------ #
+    def healthy_cores(self, beat_index: int) -> int:
+        """Cores still healthy once all events at or before ``beat_index`` fired."""
+        lost = sum(e.cores for e in self.failures if e.beat <= beat_index)
+        regained = sum(e.cores for e in self.repairs if e.beat <= beat_index)
+        return max(0, min(self.total_cores, self.total_cores - lost + regained))
+
+    def capacity_fraction(self, beat_index: int) -> float:
+        """Fraction of nominal capacity available at ``beat_index``."""
+        return self.healthy_cores(beat_index) / self.total_cores
+
+    def next_event_beat(self, beat_index: int) -> int | None:
+        """Beat of the next scheduled event strictly after ``beat_index``."""
+        upcoming = [e.beat for e in (*self.failures, *self.repairs) if e.beat > beat_index]
+        return min(upcoming) if upcoming else None
+
+    # ------------------------------------------------------------------ #
+    # Machine integration (scheduler-style experiments)
+    # ------------------------------------------------------------------ #
+    def apply(self, machine: SimulatedMachine, beat_index: int) -> bool:
+        """Apply any not-yet-applied events due at ``beat_index``.
+
+        Returns True when the machine was changed.
+        """
+        changed = False
+        for i, event in enumerate(self.failures):
+            if event.beat <= beat_index and i not in self._applied_failures:
+                machine.fail_cores(event.cores)
+                self._applied_failures.add(i)
+                changed = True
+        for i, event in enumerate(self.repairs):
+            if event.beat <= beat_index and i not in self._applied_repairs:
+                repaired = 0
+                for core in machine.cores:
+                    if repaired >= event.cores:
+                        break
+                    if not core.alive:
+                        core.repair()
+                        repaired += 1
+                self._applied_repairs.add(i)
+                changed = True
+        return changed
+
+    def attach(self, engine: ExecutionEngine, machine: SimulatedMachine) -> None:
+        """Register the injector as a before-beat hook of ``engine``."""
+
+        def hook(beat_index: int, _process: SimulatedProcess, _engine: ExecutionEngine) -> None:
+            self.apply(machine, beat_index)
+
+        engine.add_before_beat(hook)
+
+    def reset(self) -> None:
+        """Forget which events have been applied (for reuse across runs)."""
+        self._applied_failures.clear()
+        self._applied_repairs.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultInjector(failures={[e.beat for e in self.failures]}, "
+            f"repairs={[e.beat for e in self.repairs]})"
+        )

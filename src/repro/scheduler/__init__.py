@@ -1,0 +1,29 @@
+"""Heartbeat-driven external scheduler (paper Section 5.3, Figures 5–7).
+
+The scheduler is the external observer of the paper's Figure 1(b): it reads
+an application's heart rate and published target range through a
+:class:`~repro.core.monitor.HeartbeatMonitor` and adjusts the number of cores
+allocated to the application so the rate stays inside the target window while
+using as few cores as possible.
+"""
+
+from repro.scheduler.allocator import AllocationChange, CoreAllocator
+from repro.scheduler.dvfs import DVFSDecisionRecord, DVFSGovernor
+from repro.scheduler.external import ExternalScheduler, SchedulerDecisionRecord
+from repro.scheduler.policies import (
+    AllocationPolicy,
+    MinimizeCoresPolicy,
+    ProportionalPolicy,
+)
+
+__all__ = [
+    "CoreAllocator",
+    "AllocationChange",
+    "ExternalScheduler",
+    "SchedulerDecisionRecord",
+    "DVFSGovernor",
+    "DVFSDecisionRecord",
+    "AllocationPolicy",
+    "MinimizeCoresPolicy",
+    "ProportionalPolicy",
+]

@@ -1,0 +1,75 @@
+"""Core-allocation bookkeeping used by the external scheduler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.machine import SimulatedMachine
+from repro.sim.process import SimulatedProcess
+
+__all__ = ["AllocationChange", "CoreAllocator"]
+
+
+@dataclass(frozen=True, slots=True)
+class AllocationChange:
+    """Record of one allocation adjustment."""
+
+    beat: int
+    previous_cores: int
+    new_cores: int
+
+    @property
+    def delta(self) -> int:
+        return self.new_cores - self.previous_cores
+
+
+class CoreAllocator:
+    """Applies bounded core-count changes to a simulated process.
+
+    The allocator clamps requests to ``[min_cores, machine cores]`` and keeps
+    the history of changes so experiments can plot the core trace alongside
+    the heart-rate trace (the twin axes of Figures 5–7).
+    """
+
+    def __init__(
+        self,
+        machine: SimulatedMachine,
+        process: SimulatedProcess,
+        *,
+        min_cores: int = 1,
+        max_cores: int | None = None,
+    ) -> None:
+        if min_cores < 1:
+            raise ValueError(f"min_cores must be >= 1, got {min_cores}")
+        self.machine = machine
+        self.process = process
+        self.min_cores = int(min_cores)
+        self.max_cores = int(max_cores) if max_cores is not None else machine.num_cores
+        if self.max_cores < self.min_cores:
+            raise ValueError("max_cores must be >= min_cores")
+        self.history: list[AllocationChange] = []
+
+    @property
+    def current_cores(self) -> int:
+        return self.process.allocated_cores
+
+    def set_cores(self, cores: int, *, beat: int = -1) -> int:
+        """Set the allocation to ``cores`` (clamped); returns the granted count."""
+        clamped = max(self.min_cores, min(int(cores), self.max_cores))
+        previous = self.current_cores
+        if clamped != previous:
+            self.process.set_cores(clamped)
+            self.history.append(
+                AllocationChange(beat=beat, previous_cores=previous, new_cores=clamped)
+            )
+        return clamped
+
+    def adjust(self, delta: int, *, beat: int = -1) -> int:
+        """Apply a signed change to the allocation; returns the new count."""
+        return self.set_cores(self.current_cores + int(delta), beat=beat)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CoreAllocator(current={self.current_cores}, "
+            f"bounds=[{self.min_cores}, {self.max_cores}], changes={len(self.history)})"
+        )

@@ -1,0 +1,162 @@
+"""The external scheduler.
+
+:class:`ExternalScheduler` reproduces the observer of the paper's Section
+5.3: it polls the application's heart rate through a
+:class:`~repro.core.monitor.HeartbeatMonitor` (never through any private
+interface) and adjusts the core allocation so the rate stays inside the
+target window the application published with ``HB_set_target_rate``.
+
+The scheduler is deliberately ignorant of what the application computes — its
+entire view of the world is the heartbeat stream, which is the paper's whole
+point: "the decisions the scheduler makes are based directly on the
+application's performance instead of being based on priority or some other
+indirect measure."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.control import DecisionSpacer, TargetWindow
+from repro.core.monitor import HeartbeatMonitor
+from repro.scheduler.allocator import CoreAllocator
+from repro.scheduler.policies import AllocationPolicy, MinimizeCoresPolicy
+from repro.sim.engine import ExecutionEngine
+from repro.sim.process import SimulatedProcess
+
+__all__ = ["SchedulerDecisionRecord", "ExternalScheduler"]
+
+
+@dataclass(frozen=True, slots=True)
+class SchedulerDecisionRecord:
+    """One scheduler observation/decision."""
+
+    beat: int
+    observed_rate: float
+    cores_before: int
+    cores_after: int
+
+    @property
+    def changed(self) -> bool:
+        return self.cores_after != self.cores_before
+
+
+class ExternalScheduler:
+    """Observe-decide-act loop over a heartbeat monitor and a core allocator.
+
+    Parameters
+    ----------
+    monitor:
+        Read-only view of the application's heartbeat stream.
+    allocator:
+        Actuator that applies core-count changes.
+    target:
+        Target heart-rate window.  ``None`` reads the window the application
+        itself published via ``HB_set_target_rate`` (the paper's flow).
+    decision_interval:
+        Beats between scheduler decisions; a new allocation is given this
+        long to show up in the windowed rate before being judged again.
+    rate_window:
+        Window (in beats) for the scheduler's rate query; 0 uses the
+        application's default window.
+    policy:
+        Allocation policy; defaults to the paper's one-core-at-a-time
+        :class:`MinimizeCoresPolicy`.
+    """
+
+    def __init__(
+        self,
+        monitor: HeartbeatMonitor,
+        allocator: CoreAllocator,
+        *,
+        target: TargetWindow | None = None,
+        decision_interval: int = 5,
+        rate_window: int = 0,
+        policy: AllocationPolicy | None = None,
+    ) -> None:
+        if decision_interval < 1:
+            raise ValueError(f"decision_interval must be >= 1, got {decision_interval}")
+        self.monitor = monitor
+        self.allocator = allocator
+        if target is None:
+            tmin, tmax = monitor.target_range()
+            if tmax <= 0:
+                raise ValueError(
+                    "the application has not published a target heart-rate range; "
+                    "pass target= explicitly"
+                )
+            target = TargetWindow(tmin, tmax)
+        self.target = target
+        self.policy = policy if policy is not None else MinimizeCoresPolicy(target)
+        self.spacer = DecisionSpacer(decision_interval)
+        self.rate_window = int(rate_window)
+        self.decisions: list[SchedulerDecisionRecord] = []
+        self._last_change_beat: int | None = None
+
+    # ------------------------------------------------------------------ #
+    # Decision step
+    # ------------------------------------------------------------------ #
+    def observe_and_act(self, beat_index: int) -> SchedulerDecisionRecord | None:
+        """Poll the monitor and, if due, adjust the allocation.
+
+        Returns the decision record when a decision was taken, else ``None``.
+        """
+        if not self.spacer.should_decide(beat_index):
+            return None
+        rate = self.monitor.current_rate(self._effective_window(beat_index))
+        before = self.allocator.current_cores
+        requested = self.policy.next_cores(rate, before)
+        after = self.allocator.set_cores(requested, beat=beat_index)
+        if after != before:
+            self._last_change_beat = beat_index
+        record = SchedulerDecisionRecord(
+            beat=beat_index, observed_rate=rate, cores_before=before, cores_after=after
+        )
+        self.decisions.append(record)
+        return record
+
+    def _effective_window(self, beat_index: int) -> int | None:
+        """Rate window restricted to beats produced since the last change.
+
+        Judging a fresh allocation on a window that still contains beats from
+        the previous allocation makes the scheduler chase its own transient
+        and oscillate; restricting the window to post-change beats lets it
+        react quickly right after a change and judge steady state fairly.
+        """
+        window = self.rate_window or None
+        if self._last_change_beat is None:
+            return window
+        since_change = beat_index - self._last_change_beat
+        if since_change < 2:
+            since_change = 2
+        if window is None:
+            return since_change
+        return min(window, since_change)
+
+    # ------------------------------------------------------------------ #
+    # Engine integration
+    # ------------------------------------------------------------------ #
+    def attach(self, engine: ExecutionEngine) -> None:
+        """Register the scheduler as an after-beat hook of ``engine``.
+
+        The scheduler then observes the application exactly once per
+        heartbeat, mirroring an OS daemon that wakes up on heartbeat arrival.
+        """
+
+        def hook(beat_index: int, process: SimulatedProcess, _engine: ExecutionEngine) -> None:
+            if process is self.allocator.process:
+                self.observe_and_act(beat_index)
+
+        engine.add_after_beat(hook)
+
+    def reset(self) -> None:
+        """Forget decision history and controller state."""
+        self.decisions.clear()
+        self.policy.reset()
+        self.spacer.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExternalScheduler(target=[{self.target.minimum}, {self.target.maximum}], "
+            f"decisions={len(self.decisions)})"
+        )

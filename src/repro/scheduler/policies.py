@@ -1,0 +1,83 @@
+"""Allocation policies mapping controller output to core counts."""
+
+from __future__ import annotations
+
+import abc
+import math
+
+from repro.control import (
+    Controller,
+    PIDController,
+    ProportionalStepController,
+    StepController,
+    TargetWindow,
+)
+
+__all__ = ["AllocationPolicy", "MinimizeCoresPolicy", "ProportionalPolicy"]
+
+
+class AllocationPolicy(abc.ABC):
+    """Turns an observed heart rate into a new core count."""
+
+    @abc.abstractmethod
+    def next_cores(self, rate: float, current_cores: int) -> int:
+        """Return the core count to use next."""
+
+    def reset(self) -> None:
+        return None
+
+
+class MinimizeCoresPolicy(AllocationPolicy):
+    """The paper's policy: one core at a time, towards the target window.
+
+    Below the window the policy adds a core; above it the policy removes one;
+    inside it the allocation is left alone.  Because cores are only ever added
+    when the application is too slow, the policy naturally uses "the minimum
+    number of cores necessary to meet the application's needs".
+    """
+
+    def __init__(self, target: TargetWindow, *, step: int = 1) -> None:
+        self.target = target
+        self._controller: Controller = StepController(target, step=step)
+
+    def next_cores(self, rate: float, current_cores: int) -> int:
+        decision = self._controller.decide(rate)
+        return current_cores + (decision.delta or 0)
+
+    def reset(self) -> None:
+        self._controller.reset()
+
+
+class ProportionalPolicy(AllocationPolicy):
+    """Step size proportional to the rate error (ablation alternative).
+
+    With ``use_pid=True`` the policy instead runs a PI controller that
+    produces an absolute core count.
+    """
+
+    def __init__(
+        self,
+        target: TargetWindow,
+        *,
+        gain: float = 1.0,
+        max_step: int = 4,
+        use_pid: bool = False,
+        max_cores: int = 64,
+    ) -> None:
+        self.target = target
+        self.use_pid = bool(use_pid)
+        if use_pid:
+            self._controller: Controller = PIDController(
+                target, kp=2.0, ki=0.5, base_output=1.0, maximum_output=float(max_cores)
+            )
+        else:
+            self._controller = ProportionalStepController(target, gain=gain, max_step=max_step)
+
+    def next_cores(self, rate: float, current_cores: int) -> int:
+        decision = self._controller.decide(rate)
+        if decision.value is not None:
+            return int(math.ceil(decision.value))
+        return current_cores + (decision.delta or 0)
+
+    def reset(self) -> None:
+        self._controller.reset()

@@ -1,0 +1,57 @@
+"""A single simulated processor core."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimulatedCore"]
+
+
+@dataclass(slots=True)
+class SimulatedCore:
+    """One core of the simulated machine.
+
+    Attributes
+    ----------
+    core_id:
+        Stable identifier within the machine.
+    base_speed:
+        Relative single-thread throughput of the core at nominal frequency.
+        ``1.0`` is the reference core used to express workload costs.
+    frequency:
+        Current DVFS multiplier in ``(0, 1]`` of nominal frequency (or above
+        1.0 for turbo states).  Effective speed is ``base_speed * frequency``.
+    alive:
+        False once the core has failed (Figure 8's simulated core failures)
+        or has been taken offline.
+    """
+
+    core_id: int
+    base_speed: float = 1.0
+    frequency: float = 1.0
+    alive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.base_speed <= 0:
+            raise ValueError(f"base_speed must be positive, got {self.base_speed}")
+        if self.frequency <= 0:
+            raise ValueError(f"frequency must be positive, got {self.frequency}")
+
+    @property
+    def speed(self) -> float:
+        """Effective throughput contributed by this core (0.0 when failed)."""
+        return self.base_speed * self.frequency if self.alive else 0.0
+
+    def set_frequency(self, frequency: float) -> None:
+        """Apply a DVFS setting (fraction of nominal frequency)."""
+        if frequency <= 0:
+            raise ValueError(f"frequency must be positive, got {frequency}")
+        self.frequency = float(frequency)
+
+    def fail(self) -> None:
+        """Mark the core as failed; it contributes no throughput afterwards."""
+        self.alive = False
+
+    def repair(self) -> None:
+        """Bring a failed core back online at its previous frequency."""
+        self.alive = True

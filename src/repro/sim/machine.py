@@ -1,0 +1,148 @@
+"""The simulated multicore machine.
+
+:class:`SimulatedMachine` plays the role of the paper's eight-core x86 server
+plus the OS mechanisms its experiments rely on:
+
+* **core allocation** — the external scheduler assigns a number of cores to a
+  process (:meth:`allocate`), exactly like the paper's OS restricting a
+  benchmark's affinity mask;
+* **core failures** — cores can be failed and repaired (Figure 8's simulated
+  failures), shrinking the capacity actually backing every allocation;
+* **DVFS** — per-core or machine-wide frequency scaling (the Section 2.1
+  self-tuning-architecture scenario and an ablation experiment).
+
+The machine is purely a bookkeeping object; the passage of time is owned by
+the :class:`repro.sim.engine.ExecutionEngine`.
+"""
+
+from __future__ import annotations
+
+from repro.sim.core import SimulatedCore
+
+__all__ = ["SimulatedMachine"]
+
+
+class SimulatedMachine:
+    """A multicore machine with explicit per-process core allocations.
+
+    Parameters
+    ----------
+    num_cores:
+        Number of cores; the paper's testbed has eight.
+    base_speed:
+        Relative single-thread speed of every core (heterogeneous machines
+        can be modelled by adjusting :attr:`cores` after construction).
+    """
+
+    def __init__(self, num_cores: int = 8, *, base_speed: float = 1.0) -> None:
+        if num_cores <= 0:
+            raise ValueError(f"num_cores must be positive, got {num_cores}")
+        self.cores: list[SimulatedCore] = [
+            SimulatedCore(core_id=i, base_speed=base_speed) for i in range(num_cores)
+        ]
+        self._allocations: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Capacity
+    # ------------------------------------------------------------------ #
+    @property
+    def num_cores(self) -> int:
+        """Total number of cores, including failed ones."""
+        return len(self.cores)
+
+    @property
+    def alive_cores(self) -> int:
+        """Number of cores currently online."""
+        return sum(1 for core in self.cores if core.alive)
+
+    def core(self, core_id: int) -> SimulatedCore:
+        return self.cores[core_id]
+
+    def mean_alive_speed(self) -> float:
+        """Average effective speed of the alive cores (0.0 when none are alive)."""
+        speeds = [core.speed for core in self.cores if core.alive]
+        if not speeds:
+            return 0.0
+        return sum(speeds) / len(speeds)
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+    # ------------------------------------------------------------------ #
+    def allocate(self, pid: int, cores: int) -> int:
+        """Assign ``cores`` cores to process ``pid`` and return the granted count.
+
+        Requests are clamped to ``[1, num_cores]``; the *effective* cores a
+        process gets may be smaller when cores have failed (see
+        :meth:`effective_cores`).  Allocations of different processes may
+        overlap — the paper's scheduler experiments run one application at a
+        time, and the cloud substrate models contention explicitly.
+        """
+        if cores < 1:
+            cores = 1
+        granted = min(int(cores), self.num_cores)
+        self._allocations[int(pid)] = granted
+        return granted
+
+    def release(self, pid: int) -> None:
+        """Forget the allocation of process ``pid`` (no-op when absent)."""
+        self._allocations.pop(int(pid), None)
+
+    def allocation(self, pid: int) -> int:
+        """Cores nominally assigned to ``pid`` (defaults to 1)."""
+        return self._allocations.get(int(pid), 1)
+
+    def effective_cores(self, pid: int) -> int:
+        """Cores actually backing ``pid``'s allocation after failures."""
+        return min(self.allocation(pid), self.alive_cores)
+
+    def effective_speed(self, pid: int) -> float:
+        """Aggregate single-core-equivalents available to ``pid``.
+
+        The fastest alive cores are assigned first, which is what an OS doing
+        its best for the application would do.
+        """
+        n = self.effective_cores(pid)
+        if n == 0:
+            return 0.0
+        speeds = sorted((core.speed for core in self.cores if core.alive), reverse=True)
+        return float(sum(speeds[:n]))
+
+    # ------------------------------------------------------------------ #
+    # Failures and DVFS
+    # ------------------------------------------------------------------ #
+    def fail_core(self, core_id: int) -> None:
+        """Fail a specific core."""
+        self.cores[core_id].fail()
+
+    def fail_cores(self, count: int) -> int:
+        """Fail ``count`` alive cores (highest IDs first); returns how many failed."""
+        failed = 0
+        for core in reversed(self.cores):
+            if failed >= count:
+                break
+            if core.alive:
+                core.fail()
+                failed += 1
+        return failed
+
+    def repair_core(self, core_id: int) -> None:
+        """Repair a specific core."""
+        self.cores[core_id].repair()
+
+    def repair_all(self) -> None:
+        for core in self.cores:
+            core.repair()
+
+    def set_frequency(self, frequency: float, core_id: int | None = None) -> None:
+        """Apply a DVFS multiplier to one core or to the whole machine."""
+        if core_id is not None:
+            self.cores[core_id].set_frequency(frequency)
+            return
+        for core in self.cores:
+            core.set_frequency(frequency)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulatedMachine(cores={self.num_cores}, alive={self.alive_cores}, "
+            f"allocations={dict(self._allocations)})"
+        )

@@ -1,0 +1,116 @@
+"""Binding between a workload, a heartbeat stream and a machine share."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Protocol, runtime_checkable
+
+from repro.core.heartbeat import Heartbeat
+from repro.sim.machine import SimulatedMachine
+from repro.sim.scaling import ScalingModel
+
+__all__ = ["WorkSource", "SimulatedProcess"]
+
+_pid_counter = itertools.count(1)
+
+
+@runtime_checkable
+class WorkSource(Protocol):
+    """What the execution engine needs from a workload.
+
+    Every workload in :mod:`repro.workloads` (and the encoder-backed x264
+    model) satisfies this protocol.  ``work_per_beat`` returns the amount of
+    single-reference-core compute, in seconds, required to produce beat ``i``;
+    ``scaling`` describes how that work parallelises across cores.
+    """
+
+    name: str
+    scaling: ScalingModel
+
+    def work_per_beat(self, beat_index: int) -> float:
+        """Single-core seconds of work for beat ``beat_index``."""
+        ...  # pragma: no cover - protocol stub
+
+    def tag(self, beat_index: int) -> int:
+        """Tag attached to the heartbeat for beat ``beat_index``."""
+        ...  # pragma: no cover - protocol stub
+
+
+class SimulatedProcess:
+    """One application instance running on the simulated machine.
+
+    Parameters
+    ----------
+    workload:
+        The work source driving the process.
+    heartbeat:
+        The heartbeat stream the process registers progress on.  It must be
+        stamped by the same :class:`~repro.clock.SimulatedClock` the engine
+        advances.
+    machine:
+        The machine the process runs on.
+    cores:
+        Initial core allocation (the Figure 5–7 experiments start at one).
+    pid:
+        Explicit process ID; auto-assigned when omitted.
+    """
+
+    def __init__(
+        self,
+        workload: WorkSource,
+        heartbeat: Heartbeat,
+        machine: SimulatedMachine,
+        *,
+        cores: int = 1,
+        pid: int | None = None,
+    ) -> None:
+        self.workload = workload
+        self.heartbeat = heartbeat
+        self.machine = machine
+        self.pid = int(pid) if pid is not None else next(_pid_counter)
+        self.beats_completed = 0
+        machine.allocate(self.pid, cores)
+
+    # ------------------------------------------------------------------ #
+    # Resource view
+    # ------------------------------------------------------------------ #
+    @property
+    def allocated_cores(self) -> int:
+        """Cores nominally assigned by the scheduler."""
+        return self.machine.allocation(self.pid)
+
+    @property
+    def effective_cores(self) -> int:
+        """Cores actually available after failures."""
+        return self.machine.effective_cores(self.pid)
+
+    def set_cores(self, cores: int) -> int:
+        """Change the core allocation (used by the external scheduler)."""
+        return self.machine.allocate(self.pid, cores)
+
+    # ------------------------------------------------------------------ #
+    # Execution of a single beat's worth of work
+    # ------------------------------------------------------------------ #
+    def beat_duration(self, beat_index: int) -> float:
+        """Simulated wall time needed to produce beat ``beat_index`` now.
+
+        The duration reflects the process's current effective cores, their
+        speeds, and the workload's parallel-scaling model.  A process with no
+        usable capacity (all cores failed) cannot make progress; that is
+        reported as ``float('inf')``.
+        """
+        cores = self.effective_cores
+        if cores <= 0:
+            return float("inf")
+        speed = self.machine.effective_speed(self.pid)
+        per_core_speed = speed / cores
+        speedup = self.workload.scaling.speedup(cores) * per_core_speed
+        if speedup <= 0:
+            return float("inf")
+        return self.workload.work_per_beat(beat_index) / speedup
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulatedProcess(pid={self.pid}, workload={self.workload.name!r}, "
+            f"cores={self.allocated_cores}, beats={self.beats_completed})"
+        )

@@ -1,0 +1,159 @@
+"""Parallel-speedup models.
+
+A scaling model maps the number of cores assigned to an application to the
+speedup it achieves over one core.  The PARSEC benchmarks scale very
+differently — ``blackscholes`` is embarrassingly parallel while ``dedup`` and
+``x264`` saturate early — and the external-scheduler experiments (Figures
+5–7) depend on that difference: the scheduler adds cores until the marginal
+beat-rate gain pushes the application into its target window.
+
+Three analytic families cover the suite, plus a tabulated model for workloads
+calibrated point-by-point:
+
+* :class:`AmdahlScaling` — classic serial-fraction limit.
+* :class:`LinearScaling` — ideal or fixed-efficiency linear scaling.
+* :class:`SaturatingScaling` — near-linear up to a knee, flat beyond it
+  (memory-bandwidth/pipeline-bound codes).
+* :class:`TabulatedScaling` — explicit speedup table with linear
+  interpolation between entries.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "ScalingModel",
+    "AmdahlScaling",
+    "LinearScaling",
+    "SaturatingScaling",
+    "TabulatedScaling",
+]
+
+
+class ScalingModel(abc.ABC):
+    """Maps a core count to a speedup factor relative to one core."""
+
+    @abc.abstractmethod
+    def speedup(self, cores: float) -> float:
+        """Speedup with ``cores`` cores.  ``speedup(1) == 1`` and ``speedup(0) == 0``."""
+
+    def efficiency(self, cores: float) -> float:
+        """Parallel efficiency ``speedup(cores) / cores`` (0 for 0 cores)."""
+        if cores <= 0:
+            return 0.0
+        return self.speedup(cores) / cores
+
+    def marginal_gain(self, cores: int) -> float:
+        """Speedup gained by adding one more core to ``cores`` cores."""
+        return self.speedup(cores + 1) - self.speedup(cores)
+
+    def _check(self, cores: float) -> float:
+        if cores < 0:
+            raise ValueError(f"core count must be >= 0, got {cores}")
+        return float(cores)
+
+
+class AmdahlScaling(ScalingModel):
+    """Amdahl's-law speedup with a fixed serial fraction.
+
+    ``speedup(n) = 1 / (serial + (1 - serial) / n)``
+    """
+
+    def __init__(self, serial_fraction: float) -> None:
+        if not 0.0 <= serial_fraction <= 1.0:
+            raise ValueError(
+                f"serial_fraction must be in [0, 1], got {serial_fraction}"
+            )
+        self.serial_fraction = float(serial_fraction)
+
+    def speedup(self, cores: float) -> float:
+        n = self._check(cores)
+        if n == 0:
+            return 0.0
+        return 1.0 / (self.serial_fraction + (1.0 - self.serial_fraction) / n)
+
+    def __repr__(self) -> str:
+        return f"AmdahlScaling(serial_fraction={self.serial_fraction})"
+
+
+class LinearScaling(ScalingModel):
+    """Linear scaling with a fixed per-core efficiency.
+
+    ``speedup(n) = 1 + efficiency * (n - 1)`` so that one core always gives
+    speedup 1 regardless of efficiency.
+    """
+
+    def __init__(self, efficiency: float = 1.0) -> None:
+        if not 0.0 < efficiency <= 1.0:
+            raise ValueError(f"efficiency must be in (0, 1], got {efficiency}")
+        self.per_core_efficiency = float(efficiency)
+
+    def speedup(self, cores: float) -> float:
+        n = self._check(cores)
+        if n == 0:
+            return 0.0
+        return 1.0 + self.per_core_efficiency * (n - 1.0)
+
+    def __repr__(self) -> str:
+        return f"LinearScaling(efficiency={self.per_core_efficiency})"
+
+
+class SaturatingScaling(ScalingModel):
+    """Near-linear scaling up to a knee, then flat.
+
+    ``speedup(n) = min(1 + efficiency*(n-1), max_speedup)``.  Models codes
+    that are bandwidth- or pipeline-bound beyond a certain width (the paper's
+    x264 saturates around four to six cores under the Figure 7 input).
+    """
+
+    def __init__(self, max_speedup: float, efficiency: float = 1.0) -> None:
+        if max_speedup < 1.0:
+            raise ValueError(f"max_speedup must be >= 1, got {max_speedup}")
+        if not 0.0 < efficiency <= 1.0:
+            raise ValueError(f"efficiency must be in (0, 1], got {efficiency}")
+        self.max_speedup = float(max_speedup)
+        self.per_core_efficiency = float(efficiency)
+
+    def speedup(self, cores: float) -> float:
+        n = self._check(cores)
+        if n == 0:
+            return 0.0
+        return min(1.0 + self.per_core_efficiency * (n - 1.0), self.max_speedup)
+
+    def __repr__(self) -> str:
+        return (
+            f"SaturatingScaling(max_speedup={self.max_speedup}, "
+            f"efficiency={self.per_core_efficiency})"
+        )
+
+
+class TabulatedScaling(ScalingModel):
+    """Speedup given by an explicit per-core-count table.
+
+    ``table[i]`` is the speedup with ``i + 1`` cores; fractional core counts
+    interpolate linearly and counts beyond the table extrapolate flat.
+    """
+
+    def __init__(self, table: Sequence[float]) -> None:
+        values = np.asarray(table, dtype=np.float64)
+        if values.ndim != 1 or values.size == 0:
+            raise ValueError("table must be a non-empty 1-D sequence")
+        if abs(values[0] - 1.0) > 1e-9:
+            raise ValueError(f"table[0] must be 1.0 (speedup on one core), got {values[0]}")
+        if np.any(np.diff(values) < -1e-12):
+            raise ValueError("speedup table must be non-decreasing")
+        self.table = values
+
+    def speedup(self, cores: float) -> float:
+        n = self._check(cores)
+        if n == 0:
+            return 0.0
+        xs = np.arange(1, self.table.size + 1, dtype=np.float64)
+        return float(np.interp(n, xs, self.table))
+
+    def __repr__(self) -> str:
+        return f"TabulatedScaling(table={self.table.tolist()})"

@@ -1,0 +1,192 @@
+"""Workload abstractions for the PARSEC-like suite.
+
+Every workload in this package plays two roles:
+
+1. **Cost model** for the simulated machine (:meth:`Workload.work_per_beat`
+   plus a :class:`~repro.sim.scaling.ScalingModel`).  The per-beat cost is
+   calibrated so that, on the eight-core simulated reference machine, the
+   workload's average heart rate lands close to the value the paper reports
+   in Table 2.  Phase structure (e.g. x264's easy middle section in Figure 2)
+   and small stochastic variation are expressed through
+   :meth:`Workload.phase_multiplier` and a seeded noise model.
+
+2. **Real kernel** (:meth:`Workload.execute_beat`) — an actual numpy
+   computation of the same character as the original benchmark (pricing
+   options, clustering points, deduplicating a stream, ...).  The wall-clock
+   examples and the overhead study run these kernels for real and register
+   heartbeats around them, which is exactly how the paper instruments PARSEC:
+   "find the key loops over the input data set and insert the call to
+   register a heartbeat in this loop".
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.heartbeat import Heartbeat
+from repro.sim.scaling import LinearScaling, ScalingModel
+
+__all__ = ["Workload", "WorkloadInfo", "REFERENCE_CORES"]
+
+#: Core count of the paper's test platform, used to calibrate per-beat cost.
+REFERENCE_CORES = 8
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadInfo:
+    """Static description of a workload (one row of the paper's Table 2)."""
+
+    name: str
+    heartbeat_location: str
+    paper_heart_rate: float | None
+
+
+class Workload(abc.ABC):
+    """Base class for instrumented workloads.
+
+    Parameters
+    ----------
+    scaling:
+        Parallel-scaling model; defaults to the subclass's
+        :attr:`DEFAULT_SCALING`.
+    target_rate:
+        Average heart rate the workload should achieve on the eight-core
+        reference machine; defaults to the paper's Table-2 value
+        (:attr:`PAPER_HEART_RATE`).  The per-beat cost is derived from it.
+    noise:
+        Relative standard deviation of per-beat cost variation (log-normal),
+        giving traces the jitter visible in the paper's figures without
+        affecting the mean.  ``0`` disables variation.
+    seed:
+        Seed for the workload's private random generator; every workload is
+        deterministic given its seed.
+    """
+
+    #: Subclasses override these class attributes.
+    NAME: str = "workload"
+    HEARTBEAT_LOCATION: str = ""
+    PAPER_HEART_RATE: float | None = None
+    DEFAULT_SCALING: ScalingModel = LinearScaling(0.9)
+    #: Number of beats a "native input" run produces (used by Table 2 runs).
+    DEFAULT_BEATS: int = 200
+
+    def __init__(
+        self,
+        *,
+        scaling: ScalingModel | None = None,
+        target_rate: float | None = None,
+        noise: float = 0.03,
+        seed: int = 0,
+    ) -> None:
+        if noise < 0:
+            raise ValueError(f"noise must be >= 0, got {noise}")
+        self.name = self.NAME
+        self.heartbeat_location = self.HEARTBEAT_LOCATION
+        self.scaling = scaling if scaling is not None else self.DEFAULT_SCALING
+        #: True when the caller pinned the 8-core rate explicitly; workloads
+        #: whose beat granularity is configurable (options per beat, points
+        #: per beat, ...) skip their granularity rescaling in that case,
+        #: because an explicit rate already describes the configured beat.
+        self.explicit_target_rate = target_rate is not None
+        rate = target_rate if target_rate is not None else self.PAPER_HEART_RATE
+        if rate is None or rate <= 0:
+            raise ValueError(
+                f"workload {self.name!r} needs a positive target_rate "
+                "(no paper rate is defined for it)"
+            )
+        self.target_rate = float(rate)
+        self.noise = float(noise)
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(seed)
+        # Cost per beat (single-core seconds) such that the reference machine
+        # achieves ``target_rate`` beats/s: rate = speedup(8) / work.
+        self._base_work = self.scaling.speedup(REFERENCE_CORES) / self.target_rate
+        self._noise_cache: dict[int, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Cost model (simulated-machine mode)
+    # ------------------------------------------------------------------ #
+    def work_per_beat(self, beat_index: int) -> float:
+        """Single-reference-core seconds of work behind beat ``beat_index``."""
+        return self._base_work * self.phase_multiplier(beat_index) * self._noise_factor(beat_index)
+
+    def phase_multiplier(self, beat_index: int) -> float:
+        """Relative cost of beat ``beat_index`` (1.0 = nominal).
+
+        Subclasses with phase behaviour (x264's easy middle section,
+        bodytrack's load drop in Figure 5) override this.
+        """
+        return 1.0
+
+    def tag(self, beat_index: int) -> int:
+        """Heartbeat tag for beat ``beat_index`` (defaults to the index)."""
+        return beat_index
+
+    @property
+    def base_work(self) -> float:
+        """Nominal single-core seconds of work per beat."""
+        return self._base_work
+
+    def _noise_factor(self, beat_index: int) -> float:
+        """Deterministic-per-beat multiplicative jitter with unit mean."""
+        if self.noise == 0.0:
+            return 1.0
+        factor = self._noise_cache.get(beat_index)
+        if factor is None:
+            # Derive per-beat randomness from the seed and index so the cost
+            # of a beat does not depend on query order.
+            rng = np.random.default_rng((self.seed + 1) * 1_000_003 + beat_index)
+            sigma = self.noise
+            factor = float(rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma))
+            self._noise_cache[beat_index] = factor
+        return factor
+
+    # ------------------------------------------------------------------ #
+    # Real kernel (wall-clock mode)
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def execute_beat(self, beat_index: int) -> Any:
+        """Run the real computation behind one heartbeat and return its result."""
+
+    def run_instrumented(
+        self,
+        heartbeat: Heartbeat,
+        beats: int | None = None,
+    ) -> list[Any]:
+        """Run the real kernel for ``beats`` beats, registering heartbeats.
+
+        This is the paper's instrumentation pattern: one ``HB_heartbeat``
+        call in the key loop over the input.  Returns the per-beat kernel
+        results (kept small by each workload) so tests can check the kernels
+        compute something meaningful.
+        """
+        n = self.DEFAULT_BEATS if beats is None else int(beats)
+        if n < 0:
+            raise ValueError(f"beats must be >= 0, got {n}")
+        results: list[Any] = []
+        for i in range(n):
+            results.append(self.execute_beat(i))
+            heartbeat.heartbeat(tag=self.tag(i))
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Metadata
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def info(cls) -> WorkloadInfo:
+        """Static Table-2 row for this workload."""
+        return WorkloadInfo(
+            name=cls.NAME,
+            heartbeat_location=cls.HEARTBEAT_LOCATION,
+            paper_heart_rate=cls.PAPER_HEART_RATE,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(target_rate={self.target_rate}, "
+            f"scaling={self.scaling!r}, seed={self.seed})"
+        )

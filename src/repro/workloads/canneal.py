@@ -1,0 +1,98 @@
+"""``canneal`` — simulated-annealing netlist placement.
+
+PARSEC's canneal minimises the routing cost of a chip netlist with
+cache-aware simulated annealing; elements swap locations and swaps that
+lower the total wire length (or pass the Metropolis test) are accepted.  The
+paper registers one heartbeat every 1875 moves (Table 2: 1043.76 beat/s).
+
+The kernel is a real annealer over a synthetic netlist: each beat performs a
+batch of random swap proposals, evaluates the wire-length delta of each and
+applies the accepted ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.scaling import AmdahlScaling
+from repro.workloads.base import Workload
+from repro.workloads.inputs import netlist
+
+__all__ = ["NetlistAnnealer", "CannealWorkload"]
+
+
+class NetlistAnnealer:
+    """Simulated annealing over element positions of a random netlist."""
+
+    def __init__(self, elements: int = 512, grid: int = 64, *, seed: int = 0) -> None:
+        if elements < 4:
+            raise ValueError(f"need at least 4 elements, got {elements}")
+        self.rng = np.random.default_rng(seed)
+        self.positions, self.nets = netlist(self.rng, elements, grid)
+        self.positions = self.positions.astype(np.float64)
+        self.temperature = 10.0
+        self.cooling = 0.995
+
+    def total_cost(self) -> float:
+        """Total Manhattan wire length of the current placement."""
+        src = self.positions[:, None, :]
+        dst = self.positions[self.nets]
+        return float(np.abs(src - dst).sum())
+
+    def _element_cost(self, idx: np.ndarray) -> np.ndarray:
+        """Wire length contributed by each element in ``idx``."""
+        src = self.positions[idx][:, None, :]
+        dst = self.positions[self.nets[idx]]
+        return np.abs(src - dst).sum(axis=(1, 2))
+
+    def anneal_moves(self, moves: int) -> tuple[int, float]:
+        """Propose ``moves`` random swaps; returns (accepted, cost_delta)."""
+        if moves <= 0:
+            raise ValueError(f"moves must be positive, got {moves}")
+        n = len(self.positions)
+        accepted = 0
+        total_delta = 0.0
+        a_idx = self.rng.integers(0, n, moves)
+        b_idx = self.rng.integers(0, n, moves)
+        uniforms = self.rng.random(moves)
+        for a, b, u in zip(a_idx, b_idx, uniforms):
+            if a == b:
+                continue
+            pair = np.array([a, b])
+            before = float(self._element_cost(pair).sum())
+            self.positions[[a, b]] = self.positions[[b, a]]
+            after = float(self._element_cost(pair).sum())
+            delta = after - before
+            accept = delta <= 0 or u < np.exp(-delta / max(self.temperature, 1e-9))
+            if accept:
+                accepted += 1
+                total_delta += delta
+            else:
+                self.positions[[a, b]] = self.positions[[b, a]]  # revert
+        self.temperature *= self.cooling
+        return accepted, total_delta
+
+
+class CannealWorkload(Workload):
+    """Annealing workload; one heartbeat per batch of proposed moves."""
+
+    NAME = "canneal"
+    HEARTBEAT_LOCATION = "Every 1875 moves"
+    PAPER_HEART_RATE = 1043.76
+    # Swap evaluation parallelises well; the shared placement is the serial part.
+    DEFAULT_SCALING = AmdahlScaling(0.12)
+    DEFAULT_BEATS = 400
+
+    def __init__(self, *, moves_per_beat: int = 1875, elements: int = 512, **kwargs: object) -> None:
+        super().__init__(**kwargs)
+        if moves_per_beat <= 0:
+            raise ValueError(f"moves_per_beat must be positive, got {moves_per_beat}")
+        self.moves_per_beat = int(moves_per_beat)
+        self._annealer = NetlistAnnealer(elements, seed=self.seed)
+        if not self.explicit_target_rate:
+            self._base_work *= self.moves_per_beat / 1875.0
+
+    def execute_beat(self, beat_index: int) -> tuple[int, float]:
+        """Run one batch of annealing moves (sub-sampled for wall-clock runs)."""
+        moves = min(self.moves_per_beat, 256)
+        return self._annealer.anneal_moves(moves)

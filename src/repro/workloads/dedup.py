@@ -1,0 +1,128 @@
+"""``dedup`` — content-defined chunking and deduplication.
+
+PARSEC's dedup compresses a data stream with "deduplication": the stream is
+split into chunks with a rolling hash, each chunk is fingerprinted, and
+previously seen chunks are replaced by references.  The paper registers one
+heartbeat per chunk (Table 2: "Every 'chunk'", 264.30 beat/s).
+
+The kernel implements the real pipeline on a synthetic stream: a polynomial
+rolling hash chooses chunk boundaries, SHA-1 fingerprints identify duplicate
+chunks, and a running duplicate ratio is maintained.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.sim.scaling import AmdahlScaling
+from repro.workloads.base import Workload
+from repro.workloads.inputs import data_stream
+
+__all__ = ["ChunkingDeduplicator", "DedupWorkload"]
+
+
+class ChunkingDeduplicator:
+    """Rolling-hash content-defined chunking with fingerprint deduplication."""
+
+    def __init__(
+        self,
+        *,
+        window: int = 16,
+        boundary_mask: int = 0x3FF,
+        min_chunk: int = 256,
+        max_chunk: int = 8192,
+    ) -> None:
+        if window <= 0 or min_chunk <= 0 or max_chunk < min_chunk:
+            raise ValueError("invalid chunking parameters")
+        self.window = window
+        self.boundary_mask = boundary_mask
+        self.min_chunk = min_chunk
+        self.max_chunk = max_chunk
+        self.fingerprints: set[bytes] = set()
+        self.chunks_seen = 0
+        self.duplicates = 0
+
+    def chunk_boundaries(self, data: bytes) -> list[int]:
+        """Return chunk end offsets chosen by the rolling hash."""
+        arr = np.frombuffer(data, dtype=np.uint8).astype(np.uint64)
+        if arr.size == 0:
+            return []
+        # Polynomial rolling hash over a sliding window, fully vectorised:
+        # hash[i] = sum_{j<window} arr[i-j] * base^j  (mod 2^64).
+        base = np.uint64(257)
+        powers = base ** np.arange(self.window, dtype=np.uint64)
+        padded = np.concatenate([np.zeros(self.window - 1, dtype=np.uint64), arr])
+        windows = np.lib.stride_tricks.sliding_window_view(padded, self.window)
+        hashes = (windows * powers[::-1]).sum(axis=1)
+        is_boundary = (hashes & np.uint64(self.boundary_mask)) == 0
+        boundaries: list[int] = []
+        last = 0
+        for idx in np.nonzero(is_boundary)[0]:
+            length = int(idx) + 1 - last
+            if length < self.min_chunk:
+                continue
+            boundaries.append(int(idx) + 1)
+            last = int(idx) + 1
+        # Enforce the maximum chunk size and terminate the final chunk.
+        final: list[int] = []
+        prev = 0
+        for b in boundaries + [len(data)]:
+            while b - prev > self.max_chunk:
+                prev += self.max_chunk
+                final.append(prev)
+            if b > prev:
+                final.append(b)
+                prev = b
+        return final
+
+    def deduplicate(self, data: bytes) -> tuple[int, int]:
+        """Chunk and fingerprint ``data``; returns (chunks, duplicates)."""
+        boundaries = self.chunk_boundaries(data)
+        start = 0
+        new_chunks = 0
+        new_duplicates = 0
+        for end in boundaries:
+            digest = hashlib.sha1(data[start:end]).digest()
+            if digest in self.fingerprints:
+                new_duplicates += 1
+            else:
+                self.fingerprints.add(digest)
+            new_chunks += 1
+            start = end
+        self.chunks_seen += new_chunks
+        self.duplicates += new_duplicates
+        return new_chunks, new_duplicates
+
+    @property
+    def duplicate_ratio(self) -> float:
+        if self.chunks_seen == 0:
+            return 0.0
+        return self.duplicates / self.chunks_seen
+
+
+class DedupWorkload(Workload):
+    """Deduplication workload; one heartbeat per input segment ("chunk")."""
+
+    NAME = "dedup"
+    HEARTBEAT_LOCATION = "Every \"chunk\""
+    PAPER_HEART_RATE = 264.30
+    # The pipeline stages parallelise but the shared fingerprint index is a
+    # serial bottleneck.
+    DEFAULT_SCALING = AmdahlScaling(0.20)
+    DEFAULT_BEATS = 400
+
+    def __init__(self, *, bytes_per_beat: int = 16_384, repetition: float = 0.5, **kwargs: object) -> None:
+        super().__init__(**kwargs)
+        if bytes_per_beat <= 0:
+            raise ValueError(f"bytes_per_beat must be positive, got {bytes_per_beat}")
+        self.bytes_per_beat = int(bytes_per_beat)
+        self.repetition = float(repetition)
+        self._dedup = ChunkingDeduplicator()
+
+    def execute_beat(self, beat_index: int) -> tuple[int, int]:
+        """Deduplicate one stream segment; returns (chunks, duplicates)."""
+        rng = np.random.default_rng(self.seed * 100_000 + beat_index)
+        segment = data_stream(rng, self.bytes_per_beat, self.repetition)
+        return self._dedup.deduplicate(segment)

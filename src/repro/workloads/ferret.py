@@ -1,0 +1,70 @@
+"""``ferret`` — content-based similarity search.
+
+PARSEC's ferret answers content-based image-retrieval queries through a
+pipeline of segmentation, feature extraction and indexed similarity search.
+The paper registers one heartbeat per query (Table 2: 40.78 beat/s).
+
+The kernel runs a real top-k similarity search per beat: the query feature
+vector is compared (cosine similarity) against a normalised in-memory feature
+database and the k best entries are ranked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.scaling import LinearScaling
+from repro.workloads.base import Workload
+from repro.workloads.inputs import feature_database, query_vector
+
+__all__ = ["SimilarityIndex", "FerretWorkload"]
+
+
+class SimilarityIndex:
+    """Brute-force cosine-similarity index over normalised feature vectors."""
+
+    def __init__(self, entries: int = 4096, dims: int = 64, *, seed: int = 0) -> None:
+        if entries <= 0 or dims <= 0:
+            raise ValueError("entries and dims must be positive")
+        rng = np.random.default_rng(seed)
+        self.database = feature_database(rng, entries, dims)
+        self.dims = dims
+
+    def query(self, vector: np.ndarray, k: int = 10) -> tuple[np.ndarray, np.ndarray]:
+        """Return (indices, similarities) of the ``k`` most similar entries."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dims,):
+            raise ValueError(f"query vector must have shape ({self.dims},), got {vector.shape}")
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        k = min(k, self.database.shape[0])
+        similarities = self.database @ vector
+        top = np.argpartition(similarities, -k)[-k:]
+        order = np.argsort(similarities[top])[::-1]
+        ranked = top[order]
+        return ranked, similarities[ranked]
+
+
+class FerretWorkload(Workload):
+    """Similarity-search workload; one heartbeat per answered query."""
+
+    NAME = "ferret"
+    HEARTBEAT_LOCATION = "Every query"
+    PAPER_HEART_RATE = 40.78
+    # The pipeline stages parallelise well across queries.
+    DEFAULT_SCALING = LinearScaling(0.92)
+    DEFAULT_BEATS = 400
+
+    def __init__(self, *, database_entries: int = 4096, dims: int = 64, k: int = 10, **kwargs: object) -> None:
+        super().__init__(**kwargs)
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = int(k)
+        self._index = SimilarityIndex(database_entries, dims, seed=self.seed)
+
+    def execute_beat(self, beat_index: int) -> float:
+        """Answer one query; returns the best similarity score."""
+        rng = np.random.default_rng(self.seed * 100_000 + beat_index)
+        q = query_vector(rng, self._index.dims)
+        _, scores = self._index.query(q, self.k)
+        return float(scores[0])

@@ -1,0 +1,120 @@
+"""Synthetic input generators shared by the workload kernels.
+
+The PARSEC benchmarks ship multi-gigabyte "native" inputs that are not
+redistributable here, so every workload generates a statistically similar
+synthetic input from a seed.  Generators are deliberately cheap: inputs are
+produced lazily, per beat, so the wall-clock instrumented runs spend their
+time in the kernels rather than in input construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "option_batch",
+    "point_stream",
+    "feature_database",
+    "query_vector",
+    "data_stream",
+    "netlist",
+    "particle_cloud",
+    "mesh_grid",
+    "swaption_parameters",
+]
+
+
+def option_batch(rng: np.random.Generator, count: int) -> dict[str, np.ndarray]:
+    """European option parameters (spot, strike, rate, volatility, expiry)."""
+    return {
+        "spot": rng.uniform(20.0, 120.0, count),
+        "strike": rng.uniform(20.0, 120.0, count),
+        "rate": rng.uniform(0.01, 0.08, count),
+        "volatility": rng.uniform(0.1, 0.6, count),
+        "expiry": rng.uniform(0.1, 2.0, count),
+        "is_call": rng.integers(0, 2, count).astype(bool),
+    }
+
+
+def point_stream(rng: np.random.Generator, count: int, dims: int, clusters: int = 10) -> np.ndarray:
+    """Points drawn from a mixture of Gaussians (streamcluster-style input)."""
+    centers = rng.uniform(0.0, 100.0, size=(clusters, dims))
+    assignment = rng.integers(0, clusters, size=count)
+    return centers[assignment] + rng.normal(0.0, 2.0, size=(count, dims))
+
+
+def feature_database(rng: np.random.Generator, entries: int, dims: int) -> np.ndarray:
+    """L2-normalised feature vectors standing in for ferret's image database."""
+    db = rng.normal(0.0, 1.0, size=(entries, dims))
+    norms = np.linalg.norm(db, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return db / norms
+
+
+def query_vector(rng: np.random.Generator, dims: int) -> np.ndarray:
+    """A single normalised query feature vector."""
+    q = rng.normal(0.0, 1.0, size=dims)
+    norm = np.linalg.norm(q)
+    return q / norm if norm > 0 else q
+
+
+def data_stream(rng: np.random.Generator, length: int, repetition: float = 0.5) -> bytes:
+    """A byte stream with tunable redundancy (dedup-style input).
+
+    ``repetition`` is the fraction of the stream drawn from a small pool of
+    repeated blocks; the rest is incompressible random data.
+    """
+    if not 0.0 <= repetition <= 1.0:
+        raise ValueError(f"repetition must be in [0, 1], got {repetition}")
+    block = 512
+    pool = [rng.integers(0, 256, block, dtype=np.uint8).tobytes() for _ in range(8)]
+    out = bytearray()
+    while len(out) < length:
+        if rng.random() < repetition:
+            out.extend(pool[int(rng.integers(0, len(pool)))])
+        else:
+            out.extend(rng.integers(0, 256, block, dtype=np.uint8).tobytes())
+    return bytes(out[:length])
+
+
+def netlist(rng: np.random.Generator, elements: int, grid: int) -> tuple[np.ndarray, np.ndarray]:
+    """A random netlist placement: element positions and net connectivity.
+
+    Returns ``(positions, nets)`` where ``positions`` is ``(elements, 2)``
+    integer grid coordinates and ``nets`` is ``(elements, fanout)`` indices of
+    connected elements (canneal-style annealing input).
+    """
+    positions = rng.integers(0, grid, size=(elements, 2))
+    fanout = 4
+    nets = rng.integers(0, elements, size=(elements, fanout))
+    return positions, nets
+
+
+def particle_cloud(rng: np.random.Generator, particles: int, box: float = 10.0) -> dict[str, np.ndarray]:
+    """Particle positions and velocities for the SPH fluid step."""
+    return {
+        "position": rng.uniform(0.0, box, size=(particles, 3)),
+        "velocity": rng.normal(0.0, 0.1, size=(particles, 3)),
+    }
+
+
+def mesh_grid(rng: np.random.Generator, side: int) -> dict[str, np.ndarray]:
+    """A square spring-mass mesh (facesim-style deformable surface)."""
+    xs, ys = np.meshgrid(np.arange(side, dtype=np.float64), np.arange(side, dtype=np.float64))
+    rest = np.stack([xs.ravel(), ys.ravel(), np.zeros(side * side)], axis=1)
+    return {
+        "rest": rest,
+        "position": rest + rng.normal(0.0, 0.05, rest.shape),
+        "velocity": np.zeros_like(rest),
+    }
+
+
+def swaption_parameters(rng: np.random.Generator, count: int) -> dict[str, np.ndarray]:
+    """Swaption contract parameters for the Monte-Carlo pricer."""
+    return {
+        "strike": rng.uniform(0.02, 0.08, count),
+        "maturity": rng.uniform(1.0, 10.0, count),
+        "tenor": rng.uniform(1.0, 10.0, count),
+        "volatility": rng.uniform(0.1, 0.4, count),
+        "initial_rate": rng.uniform(0.01, 0.06, count),
+    }

@@ -1,0 +1,132 @@
+"""The PARSEC-like suite registry and Table-2 runner.
+
+The paper instruments the ten PARSEC 1.0 benchmarks that build on its test
+platform and reports, for each, where the heartbeat was inserted and the
+average heart rate over the native input (Table 2).  :func:`run_table2`
+reproduces that table on the simulated eight-core reference machine; each row
+carries both the paper's value and the measured value so the regeneration
+harness can print them side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.clock import SimulatedClock
+from repro.core.heartbeat import Heartbeat
+from repro.sim.engine import ExecutionEngine
+from repro.sim.machine import SimulatedMachine
+from repro.sim.process import SimulatedProcess
+from repro.workloads.base import REFERENCE_CORES, Workload
+from repro.workloads.blackscholes import BlackscholesWorkload
+from repro.workloads.bodytrack import BodytrackWorkload
+from repro.workloads.canneal import CannealWorkload
+from repro.workloads.dedup import DedupWorkload
+from repro.workloads.facesim import FacesimWorkload
+from repro.workloads.ferret import FerretWorkload
+from repro.workloads.fluidanimate import FluidanimateWorkload
+from repro.workloads.streamcluster import StreamclusterWorkload
+from repro.workloads.swaptions import SwaptionsWorkload
+from repro.workloads.x264 import X264Workload
+
+__all__ = ["WORKLOAD_CLASSES", "Table2Row", "create_workload", "run_table2", "workload_names"]
+
+
+#: All Table-2 workloads, keyed by benchmark name, in the paper's order.
+WORKLOAD_CLASSES: dict[str, type[Workload]] = {
+    "blackscholes": BlackscholesWorkload,
+    "bodytrack": BodytrackWorkload,
+    "canneal": CannealWorkload,
+    "dedup": DedupWorkload,
+    "facesim": FacesimWorkload,
+    "ferret": FerretWorkload,
+    "fluidanimate": FluidanimateWorkload,
+    "streamcluster": StreamclusterWorkload,
+    "swaptions": SwaptionsWorkload,
+    "x264": X264Workload,
+}
+
+
+def workload_names() -> list[str]:
+    """Benchmark names in Table-2 order."""
+    return list(WORKLOAD_CLASSES)
+
+
+def create_workload(name: str, **kwargs: object) -> Workload:
+    """Instantiate a suite workload by benchmark name."""
+    try:
+        cls = WORKLOAD_CLASSES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; expected one of {sorted(WORKLOAD_CLASSES)}"
+        ) from None
+    return cls(**kwargs)
+
+
+@dataclass(frozen=True, slots=True)
+class Table2Row:
+    """One row of the reproduced Table 2."""
+
+    benchmark: str
+    heartbeat_location: str
+    paper_heart_rate: float
+    measured_heart_rate: float
+    beats: int
+
+    @property
+    def relative_error(self) -> float:
+        """|measured - paper| / paper."""
+        if self.paper_heart_rate == 0:
+            return 0.0
+        return abs(self.measured_heart_rate - self.paper_heart_rate) / self.paper_heart_rate
+
+
+def run_table2(
+    *,
+    cores: int = REFERENCE_CORES,
+    beats_per_workload: int | None = None,
+    seed: int = 0,
+    names: Iterable[str] | None = None,
+    workload_factory: Callable[[str], Workload] | None = None,
+) -> list[Table2Row]:
+    """Run every suite workload on the simulated machine and tabulate rates.
+
+    Parameters
+    ----------
+    cores:
+        Cores allocated to each workload (the paper uses all eight).
+    beats_per_workload:
+        Beats simulated per workload; ``None`` uses each workload's
+        ``DEFAULT_BEATS``.
+    seed:
+        Seed forwarded to every workload.
+    names:
+        Subset of benchmarks to run (defaults to the full suite).
+    workload_factory:
+        Optional override used by tests to substitute configured workloads.
+    """
+    rows: list[Table2Row] = []
+    for name in names if names is not None else workload_names():
+        workload = (
+            workload_factory(name)
+            if workload_factory is not None
+            else create_workload(name, seed=seed)
+        )
+        clock = SimulatedClock()
+        machine = SimulatedMachine(cores)
+        heartbeat = Heartbeat(window=20, clock=clock, history=8192)
+        process = SimulatedProcess(workload, heartbeat, machine, cores=cores)
+        engine = ExecutionEngine(clock)
+        beats = beats_per_workload if beats_per_workload is not None else workload.DEFAULT_BEATS
+        engine.run(process, beats)
+        rows.append(
+            Table2Row(
+                benchmark=name,
+                heartbeat_location=workload.heartbeat_location,
+                paper_heart_rate=float(workload.PAPER_HEART_RATE or 0.0),
+                measured_heart_rate=heartbeat.global_heart_rate(),
+                beats=beats,
+            )
+        )
+    return rows

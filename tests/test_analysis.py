@@ -1,0 +1,94 @@
+"""Tests for the trace, table and statistics utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import SeriesSummary, Trace, TraceSet, format_table, render_rows, summarize
+
+
+class TestTrace:
+    def test_construction_and_indexing(self):
+        trace = Trace("rate", [1.0, 2.0, 3.0])
+        assert len(trace) == 3
+        assert trace[1] == 2.0
+        assert list(trace.beats) == [0, 1, 2]
+        assert trace.name == "rate"
+
+    def test_rejects_multidimensional(self):
+        with pytest.raises(ValueError):
+            Trace("bad", np.zeros((2, 2)))
+
+    def test_moving_average(self):
+        trace = Trace("rate", [0.0, 2.0, 4.0, 6.0])
+        smoothed = trace.moving_average(2)
+        assert list(smoothed.values) == pytest.approx([0.0, 1.0, 3.0, 5.0])
+        with pytest.raises(ValueError):
+            trace.moving_average(0)
+
+    def test_sections_and_means(self):
+        trace = Trace("rate", [1.0, 1.0, 5.0, 5.0])
+        assert trace.mean(0, 2) == pytest.approx(1.0)
+        assert trace.mean(2) == pytest.approx(5.0)
+        assert trace.min() == 1.0
+        assert trace.max() == 5.0
+
+    def test_fraction_within(self):
+        trace = Trace("rate", [0.0, 2.0, 3.0, 3.5, 10.0])
+        assert trace.fraction_within(2.0, 4.0) == pytest.approx(3 / 5)
+        assert trace.fraction_within(2.0, 4.0, skip=1) == pytest.approx(3 / 4)
+        assert Trace("empty", []).fraction_within(0, 1) == 0.0
+
+    def test_first_beat_at_or_above(self):
+        trace = Trace("rate", [1.0, 2.0, 30.0, 4.0])
+        assert trace.first_beat_at_or_above(30.0) == 2
+        assert trace.first_beat_at_or_above(100.0) is None
+
+
+class TestTraceSet:
+    def test_add_and_lookup(self):
+        traces = TraceSet(title="demo")
+        traces.add("a", [1.0])
+        traces.add("b", [2.0, 3.0])
+        assert "a" in traces
+        assert traces["b"][1] == 3.0
+        assert traces.names() == ["a", "b"]
+        assert set(traces.as_mapping()) == {"a", "b"}
+        assert len(list(iter(traces))) == 2
+
+
+class TestTables:
+    def test_alignment_and_precision(self):
+        text = format_table(("name", "value"), [("x", 1.23456), ("longer", 2)], precision=3)
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in text
+        assert len(lines) == 4
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [("only-one",)])
+
+    def test_bool_rendering_and_title(self):
+        text = render_rows(("ok",), [(True,), (False,)], title="Check")
+        assert text.startswith("Check\n")
+        assert "yes" in text and "no" in text
+
+
+class TestSummaries:
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary == SeriesSummary(4, 2.5, pytest.approx(1.1180339887), 1.0, 4.0, 2.5)
+        assert len(summary.as_row()) == 6
+
+    def test_skip_warmup(self):
+        summary = summarize([100.0, 1.0, 1.0], skip=1)
+        assert summary.mean == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert summarize([]).count == 0
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            summarize(np.zeros((2, 2)))

@@ -1,0 +1,206 @@
+"""Tests for the heartbeat storage backends (memory, file, shared memory)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.backends import (
+    BackendSnapshot,
+    FileBackend,
+    MemoryBackend,
+    SharedMemoryBackend,
+)
+from repro.core.backends.file import read_heartbeat_log
+from repro.core.backends.shared_memory import SharedMemoryReader, segment_size
+from repro.core.errors import BackendError, BackendFormatError
+from repro.core.heartbeat import Heartbeat
+from repro.core.record import RECORD_DTYPE
+
+
+def write_beats(backend, count: int, *, dt: float = 0.5) -> None:
+    for i in range(count):
+        backend.append(i, i * dt, i % 3, 42)
+
+
+class TestMemoryBackend:
+    def test_snapshot_contents(self):
+        backend = MemoryBackend(capacity=16)
+        write_beats(backend, 5)
+        backend.set_targets(1.0, 2.0)
+        backend.set_default_window(7)
+        snap = backend.snapshot()
+        assert isinstance(snap, BackendSnapshot)
+        assert snap.total_beats == 5
+        assert snap.retained == 5
+        assert snap.target_min == 1.0 and snap.target_max == 2.0
+        assert snap.default_window == 7
+        assert list(snap.records["beat"]) == [0, 1, 2, 3, 4]
+
+    def test_snapshot_last_n(self):
+        backend = MemoryBackend(capacity=16)
+        write_beats(backend, 10)
+        snap = backend.snapshot(3)
+        assert list(snap.records["beat"]) == [7, 8, 9]
+        assert snap.total_beats == 10
+
+    def test_eviction_beyond_capacity(self):
+        backend = MemoryBackend(capacity=4)
+        write_beats(backend, 9)
+        snap = backend.snapshot()
+        assert snap.retained == 4
+        assert list(snap.records["beat"]) == [5, 6, 7, 8]
+
+    def test_as_records(self):
+        backend = MemoryBackend(capacity=8)
+        write_beats(backend, 2)
+        records = backend.snapshot().as_records()
+        assert records[0].thread_id == 42
+        assert records[1].timestamp == pytest.approx(0.5)
+
+
+class TestFileBackend:
+    def test_roundtrip_through_file(self, tmp_path):
+        path = tmp_path / "hb.log"
+        backend = FileBackend(path)
+        write_beats(backend, 6)
+        backend.set_default_window(9)
+        backend.set_targets(3.0, 4.5)
+        window, tmin, tmax, records = read_heartbeat_log(path)
+        assert window == 9
+        assert (tmin, tmax) == (3.0, 4.5)
+        assert records.dtype == RECORD_DTYPE
+        assert list(records["beat"]) == list(range(6))
+        assert list(records["thread_id"]) == [42] * 6
+        backend.close()
+
+    def test_snapshot_clips_to_requested_n(self, tmp_path):
+        backend = FileBackend(tmp_path / "hb.log")
+        write_beats(backend, 10)
+        assert list(backend.snapshot(4).records["beat"]) == [6, 7, 8, 9]
+
+    def test_header_rewrite_preserves_records(self, tmp_path):
+        path = tmp_path / "hb.log"
+        backend = FileBackend(path)
+        write_beats(backend, 3)
+        backend.set_targets(1.0, 2.0)
+        write_beats_after = [(10, 99.0, 0, 1)]
+        for rec in write_beats_after:
+            backend.append(*rec)
+        _, tmin, _, records = read_heartbeat_log(path)
+        assert tmin == 1.0
+        assert len(records) == 4
+
+    def test_closed_backend_rejects_appends(self, tmp_path):
+        backend = FileBackend(tmp_path / "hb.log")
+        backend.close()
+        with pytest.raises(BackendError):
+            backend.append(0, 0.0, 0, 0)
+
+    def test_timestamps_roundtrip_exactly(self, tmp_path):
+        path = tmp_path / "hb.log"
+        backend = FileBackend(path)
+        ts = [0.1, 0.30000000000000004, 1e-9, 123456.789012345]
+        for i, t in enumerate(ts):
+            backend.append(i, t, 0, 0)
+        _, _, _, records = read_heartbeat_log(path)
+        assert list(records["timestamp"]) == ts
+
+    def test_malformed_file_rejected(self, tmp_path):
+        bad = tmp_path / "bad.log"
+        bad.write_text("this is not a heartbeat log\n")
+        with pytest.raises(BackendFormatError):
+            read_heartbeat_log(bad)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(BackendError):
+            read_heartbeat_log(tmp_path / "absent.log")
+
+
+class TestSharedMemoryBackend:
+    def test_segment_size_layout(self):
+        assert segment_size(10) == 128 + 10 * RECORD_DTYPE.itemsize
+
+    def test_writer_reader_roundtrip(self):
+        backend = SharedMemoryBackend(capacity=32)
+        try:
+            write_beats(backend, 12)
+            backend.set_targets(5.0, 6.0)
+            backend.set_default_window(8)
+            reader = SharedMemoryReader(backend.name)
+            snap = reader.snapshot()
+            assert snap.total_beats == 12
+            assert list(snap.records["beat"]) == list(range(12))
+            assert snap.target_min == 5.0 and snap.target_max == 6.0
+            assert snap.default_window == 8
+            reader.close()
+        finally:
+            backend.close()
+
+    def test_wraparound_visible_to_reader(self):
+        backend = SharedMemoryBackend(capacity=8)
+        try:
+            write_beats(backend, 20)
+            with SharedMemoryReader(backend.name) as reader:
+                snap = reader.snapshot()
+                assert snap.total_beats == 20
+                assert list(snap.records["beat"]) == list(range(12, 20))
+        finally:
+            backend.close()
+
+    def test_reader_rejects_non_heartbeat_segment(self):
+        from multiprocessing import shared_memory
+
+        foreign = shared_memory.SharedMemory(create=True, size=4096)
+        try:
+            with pytest.raises(BackendFormatError):
+                SharedMemoryReader(foreign.name)
+        finally:
+            foreign.close()
+            foreign.unlink()
+
+    def test_reader_rejects_missing_segment(self):
+        with pytest.raises(BackendFormatError):
+            SharedMemoryReader("definitely-not-a-real-segment-name")
+
+    def test_closed_backend_rejects_use(self):
+        backend = SharedMemoryBackend(capacity=8)
+        backend.close()
+        with pytest.raises(BackendError):
+            backend.append(0, 0.0, 0, 0)
+        with pytest.raises(BackendError):
+            backend.snapshot()
+
+    def test_writer_pid_recorded(self):
+        import os
+
+        backend = SharedMemoryBackend(capacity=8)
+        try:
+            with SharedMemoryReader(backend.name) as reader:
+                assert reader.writer_pid() == os.getpid()
+        finally:
+            backend.close()
+
+
+class TestBackendsBehindHeartbeat:
+    @pytest.mark.parametrize("backend_kind", ["memory", "file", "shared_memory"])
+    def test_rate_identical_across_backends(self, backend_kind, tmp_path):
+        from repro.clock import ManualClock
+
+        clock = ManualClock()
+        if backend_kind == "memory":
+            backend = MemoryBackend(256)
+        elif backend_kind == "file":
+            backend = FileBackend(tmp_path / "hb.log")
+        else:
+            backend = SharedMemoryBackend(capacity=256)
+        hb = Heartbeat(window=10, clock=clock, backend=backend)
+        try:
+            for i in range(30):
+                clock.time = i * 0.1
+                hb.heartbeat(tag=i)
+            assert hb.current_rate() == pytest.approx(10.0)
+            snap = hb.backend.snapshot(5)
+            assert list(snap.records["tag"]) == [25, 26, 27, 28, 29]
+        finally:
+            hb.finalize()

@@ -1,0 +1,59 @@
+"""Tests for the experiment CLI entry point and the shipped examples."""
+
+from __future__ import annotations
+
+import pathlib
+import py_compile
+
+import pytest
+
+from repro.experiments.runner import available_experiments, main
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestRunnerCLI:
+    def test_list_option(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert set(available_experiments()) <= set(out)
+
+    def test_runs_selected_experiment_and_writes_output(self, capsys, tmp_path):
+        out_file = tmp_path / "report.txt"
+        assert main(["fig6", "--output", str(out_file)]) == 0
+        stdout = capsys.readouterr().out
+        assert "fig6" in stdout
+        assert "ran 1 experiment(s)" in stdout
+        assert "fig6" in out_file.read_text()
+
+    def test_unknown_experiment_returns_error_code(self, capsys):
+        assert main(["definitely-not-real"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_default_is_all(self):
+        # Only check argument plumbing, not a full run: --list short-circuits.
+        assert main(["--list"]) == 0
+
+
+class TestExamples:
+    """The examples must at least be importable/compilable as shipped."""
+
+    @pytest.mark.parametrize(
+        "example",
+        sorted(p.name for p in EXAMPLES_DIR.glob("*.py")),
+    )
+    def test_example_compiles(self, example, tmp_path):
+        source = EXAMPLES_DIR / example
+        py_compile.compile(str(source), cfile=str(tmp_path / (example + "c")), doraise=True)
+
+    def test_expected_examples_present(self):
+        names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "adaptive_encoder.py",
+            "external_scheduler.py",
+            "fault_tolerance.py",
+            "parsec_suite.py",
+            "cloud_balancer.py",
+            "cross_process_monitor.py",
+        } <= names

@@ -1,0 +1,95 @@
+"""Tests for the clock abstractions."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.clock import Clock, ManualClock, SimulatedClock, WallClock
+
+
+class TestWallClock:
+    def test_is_monotonic(self):
+        clock = WallClock()
+        readings = [clock.now() for _ in range(100)]
+        assert readings == sorted(readings)
+
+    def test_rebase_starts_near_zero(self):
+        clock = WallClock(rebase=True)
+        assert clock.now() < 1.0
+
+    def test_no_rebase_uses_raw_counter(self):
+        raw = time.perf_counter()
+        clock = WallClock(rebase=False)
+        assert abs(clock.now() - raw) < 1.0
+
+    def test_sleep_advances_time(self):
+        clock = WallClock()
+        before = clock.now()
+        clock.sleep(0.01)
+        assert clock.now() - before >= 0.009
+
+    def test_satisfies_protocol(self):
+        assert isinstance(WallClock(), Clock)
+
+
+class TestSimulatedClock:
+    def test_starts_at_given_time(self):
+        assert SimulatedClock(5.0).now() == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(-1.0)
+
+    def test_advance_accumulates(self):
+        clock = SimulatedClock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now() == pytest.approx(4.0)
+
+    def test_advance_returns_new_time(self):
+        clock = SimulatedClock(1.0)
+        assert clock.advance(2.0) == pytest.approx(3.0)
+
+    def test_negative_advance_rejected(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_zero_advance_allowed(self):
+        clock = SimulatedClock(2.0)
+        assert clock.advance(0.0) == pytest.approx(2.0)
+
+    def test_advance_to_absolute_time(self):
+        clock = SimulatedClock()
+        clock.advance_to(10.0)
+        assert clock.now() == pytest.approx(10.0)
+
+    def test_advance_to_past_rejected(self):
+        clock = SimulatedClock(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.0)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(SimulatedClock(), Clock)
+
+
+class TestManualClock:
+    def test_set_time(self):
+        clock = ManualClock()
+        clock.time = 3.25
+        assert clock.now() == pytest.approx(3.25)
+
+    def test_cannot_go_backwards(self):
+        clock = ManualClock(2.0)
+        with pytest.raises(ValueError):
+            clock.time = 1.0
+
+    def test_same_time_allowed(self):
+        clock = ManualClock(2.0)
+        clock.time = 2.0
+        assert clock.now() == pytest.approx(2.0)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(ManualClock(), Clock)

@@ -1,0 +1,170 @@
+"""Tests for the controllers shared by internal and external adaptation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control import (
+    DecisionSpacer,
+    LadderController,
+    PIDController,
+    ProportionalStepController,
+    StepController,
+    TargetWindow,
+)
+
+
+class TestTargetWindow:
+    def test_membership_and_errors(self):
+        window = TargetWindow(2.5, 3.5)
+        assert window.contains(3.0)
+        assert window.below(2.0) and not window.below(3.0)
+        assert window.above(4.0) and not window.above(3.0)
+        assert window.error(3.0) == 0.0
+        assert window.error(2.0) == pytest.approx(-0.5)
+        assert window.error(4.0) == pytest.approx(0.5)
+        assert window.midpoint == pytest.approx(3.0)
+
+    def test_unbounded_maximum(self):
+        window = TargetWindow(30.0, float("inf"))
+        assert window.contains(1e9)
+        assert window.midpoint == 30.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TargetWindow(-1.0, 2.0)
+        with pytest.raises(ValueError):
+            TargetWindow(3.0, 2.0)
+
+
+class TestStepController:
+    def test_moves_towards_the_window(self):
+        controller = StepController(TargetWindow(2.5, 3.5))
+        assert controller.decide(1.0).delta == 1
+        assert controller.decide(5.0).delta == -1
+        assert controller.decide(3.0).delta == 0
+        assert controller.decide(3.0).is_noop
+
+    def test_custom_step(self):
+        controller = StepController(TargetWindow(10.0, 20.0), step=3)
+        assert controller.decide(1.0).delta == 3
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            StepController(TargetWindow(1.0, 2.0), step=0)
+
+
+class TestProportionalStepController:
+    def test_step_grows_with_error(self):
+        controller = ProportionalStepController(TargetWindow(10.0, 12.0), gain=5.0, max_step=8)
+        small = controller.decide(9.0).delta
+        large = controller.decide(2.0).delta
+        assert 1 <= small < large <= 8
+
+    def test_direction(self):
+        controller = ProportionalStepController(TargetWindow(10.0, 12.0))
+        assert controller.decide(5.0).delta > 0
+        assert controller.decide(20.0).delta < 0
+        assert controller.decide(11.0).delta == 0
+
+    def test_max_step_clamps(self):
+        controller = ProportionalStepController(TargetWindow(10.0, 12.0), gain=10.0, max_step=2)
+        assert controller.decide(0.1).delta == 2
+
+
+class TestPIDController:
+    def test_converges_on_a_linear_plant(self):
+        """Closing the loop around rate = 2 * cores reaches the setpoint."""
+        target = TargetWindow(9.0, 11.0)
+        controller = PIDController(target, kp=2.0, ki=0.5, maximum_output=16.0)
+        cores = 1.0
+        for _ in range(40):
+            rate = 2.0 * cores
+            cores = controller.decide(rate).value
+        assert 9.0 <= 2.0 * cores <= 11.0
+
+    def test_output_clamped(self):
+        controller = PIDController(TargetWindow(100.0, 110.0), maximum_output=4.0)
+        for _ in range(20):
+            value = controller.decide(0.0).value
+        assert value == 4.0
+
+    def test_reset_clears_integrator(self):
+        controller = PIDController(TargetWindow(10.0, 12.0), ki=1.0)
+        for _ in range(5):
+            controller.decide(0.0)
+        wound_up = controller.decide(0.0).value
+        controller.reset()
+        fresh = controller.decide(0.0).value
+        assert fresh < wound_up
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PIDController(TargetWindow(1.0, 2.0), minimum_output=5.0, maximum_output=1.0)
+
+
+class TestLadderController:
+    def test_descends_until_target_met(self):
+        controller = LadderController(TargetWindow(30.0, float("inf")), levels=6)
+        rates = [8.0, 12.0, 20.0, 33.0]
+        deltas = [controller.decide(r).delta for r in rates]
+        assert deltas == [1, 1, 1, 0]
+        assert controller.level == 3
+
+    def test_stops_at_bottom_of_ladder(self):
+        controller = LadderController(TargetWindow(30.0, float("inf")), levels=2)
+        controller.decide(1.0)
+        assert controller.decide(1.0).delta == 0
+        assert controller.level == 1
+
+    def test_never_climbs_back_into_a_rejected_level(self):
+        controller = LadderController(TargetWindow(30.0, float("inf")), levels=4, climb_margin=0.1)
+        controller.decide(10.0)   # level 0 rejected -> level 1
+        controller.decide(100.0)  # plenty of headroom, but level 0 was rejected
+        assert controller.level == 1
+        assert 0 in controller.rejected_levels
+
+    def test_climbs_into_untried_levels_with_headroom(self):
+        controller = LadderController(
+            TargetWindow(30.0, float("inf")), levels=4, initial_level=2, climb_margin=0.1
+        )
+        assert controller.decide(100.0).delta == -1
+        assert controller.level == 1
+
+    def test_reset_restores_initial_level_and_memory(self):
+        controller = LadderController(TargetWindow(30.0, float("inf")), levels=4, initial_level=1)
+        controller.decide(1.0)
+        controller.reset()
+        assert controller.level == 1
+        assert controller.rejected_levels == frozenset()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LadderController(TargetWindow(1.0, 2.0), levels=0)
+        with pytest.raises(ValueError):
+            LadderController(TargetWindow(1.0, 2.0), levels=3, initial_level=3)
+
+
+class TestDecisionSpacer:
+    def test_waits_for_warmup_then_spaces_decisions(self):
+        spacer = DecisionSpacer(interval=5)
+        decided = [i for i in range(30) if spacer.should_decide(i)]
+        assert decided == [5, 10, 15, 20, 25]
+
+    def test_custom_warmup(self):
+        spacer = DecisionSpacer(interval=10, warmup=0)
+        assert spacer.should_decide(0)
+        assert not spacer.should_decide(5)
+        assert spacer.should_decide(10)
+
+    def test_reset(self):
+        spacer = DecisionSpacer(interval=5)
+        assert spacer.should_decide(7)
+        spacer.reset()
+        assert spacer.should_decide(7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecisionSpacer(0)
+        with pytest.raises(ValueError):
+            DecisionSpacer(5, warmup=-1)

@@ -1,0 +1,195 @@
+"""Tests for the BlockEncoder pipeline and the AdaptiveEncoder loop."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core.heartbeat import Heartbeat
+from repro.encoder.adaptive import AdaptiveEncoder
+from repro.encoder.encoder import BlockEncoder
+from repro.encoder.frames import SyntheticVideoSource
+from repro.encoder.settings import PRESET_LADDER, preset
+
+FRAME = 32  # small frames keep the pipeline tests quick
+
+
+@pytest.fixture
+def source() -> SyntheticVideoSource:
+    return SyntheticVideoSource(FRAME, FRAME, seed=2, num_objects=2)
+
+
+class TestBlockEncoder:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            BlockEncoder(30, 30, block_size=8)  # not a multiple of the block size
+        with pytest.raises(ValueError):
+            BlockEncoder(32, 32, block_size=0)
+        with pytest.raises(ValueError):
+            BlockEncoder(32, 32, intra_period=0)
+
+    def test_first_frame_is_intra(self, source):
+        encoder = BlockEncoder(FRAME, FRAME, settings=preset(8))
+        result = encoder.encode_frame(source.frame(0))
+        assert result.intra
+        assert result.frame_index == 0
+        assert result.work > 0
+        assert math.isfinite(result.psnr)
+
+    def test_inter_frames_use_references(self, source):
+        encoder = BlockEncoder(FRAME, FRAME, settings=preset(8))
+        encoder.encode_frame(source.frame(0))
+        result = encoder.encode_frame(source.frame(1))
+        assert not result.intra
+        assert len(encoder.reference_frames) == 2
+
+    def test_reference_list_bounded_at_five(self, source):
+        encoder = BlockEncoder(FRAME, FRAME, settings=preset(0))
+        for i in range(8):
+            encoder.encode_frame(source.frame(i))
+        assert len(encoder.reference_frames) == 5
+
+    def test_wrong_frame_shape_rejected(self, source):
+        encoder = BlockEncoder(FRAME, FRAME)
+        with pytest.raises(ValueError):
+            encoder.encode_frame(np.zeros((FRAME, FRAME + 8)))
+
+    def test_demanding_preset_does_more_work_than_light(self, source):
+        heavy = BlockEncoder(FRAME, FRAME, settings=preset(0))
+        light = BlockEncoder(FRAME, FRAME, settings=preset(len(PRESET_LADDER) - 1))
+        heavy_work = [heavy.encode_frame(source.frame(i)).work for i in range(4)]
+        light_work = [light.encode_frame(source.frame(i)).work for i in range(4)]
+        assert np.mean(heavy_work[1:]) > 5 * np.mean(light_work[1:])
+
+    def test_ladder_work_is_monotonically_non_increasing(self, source):
+        """Each ladder level must cost no more than the level above it."""
+        works = []
+        for level in range(len(PRESET_LADDER)):
+            encoder = BlockEncoder(FRAME, FRAME, settings=preset(level))
+            for i in range(6):  # reach the steady reference count
+                result = encoder.encode_frame(source.frame(i))
+            works.append(result.work)
+        assert all(a >= b * 0.95 for a, b in zip(works, works[1:])), works
+
+    def test_demanding_preset_quality_at_least_as_good(self, source):
+        heavy = BlockEncoder(FRAME, FRAME, settings=preset(0))
+        light = BlockEncoder(FRAME, FRAME, settings=preset(len(PRESET_LADDER) - 1))
+        heavy_psnr = [heavy.encode_frame(source.frame(i)).psnr for i in range(6)]
+        light_psnr = [light.encode_frame(source.frame(i)).psnr for i in range(6)]
+        assert np.mean(heavy_psnr[1:]) >= np.mean(light_psnr[1:]) - 0.1
+
+    def test_intra_period_forces_refresh(self, source):
+        encoder = BlockEncoder(FRAME, FRAME, settings=preset(9), intra_period=4)
+        results = [encoder.encode_frame(source.frame(i)) for i in range(8)]
+        assert [r.intra for r in results] == [True, False, False, False] * 2
+
+    def test_reset(self, source):
+        encoder = BlockEncoder(FRAME, FRAME)
+        encoder.encode_frame(source.frame(0))
+        encoder.reset()
+        assert encoder.frames_encoded == 0
+        assert encoder.reference_frames == []
+
+    def test_encode_sequence(self, source):
+        encoder = BlockEncoder(FRAME, FRAME, settings=preset(9))
+        results = encoder.encode_sequence(source.frames(3))
+        assert [r.frame_index for r in results] == [0, 1, 2]
+
+    def test_reconstruction_tracks_source(self, source):
+        """PSNR of every encoded frame stays in a sensible range (> 25 dB)."""
+        encoder = BlockEncoder(FRAME, FRAME, settings=preset(5))
+        for i in range(5):
+            result = encoder.encode_frame(source.frame(i))
+            assert result.psnr > 25.0
+
+
+class TestAdaptiveEncoder:
+    @staticmethod
+    def make(source, *, adaptive=True, target_min=30.0, work_rate=None, initial_level=0):
+        clock = SimulatedClock()
+        heartbeat = Heartbeat(window=20, clock=clock, history=1024)
+        encoder = AdaptiveEncoder(
+            source,
+            heartbeat,
+            target_min=target_min,
+            check_interval=10,
+            initial_level=initial_level,
+            work_rate=work_rate,
+            adaptive=adaptive,
+        )
+        return clock, heartbeat, encoder
+
+    def test_publishes_target_to_heartbeat(self, source):
+        _, heartbeat, _ = self.make(source, work_rate=1e6)
+        assert heartbeat.target_min == 30.0
+        assert heartbeat.target_max >= 30.0
+
+    def test_sheds_quality_when_too_slow(self, source):
+        # Capacity low enough that the initial preset cannot reach the goal.
+        _, _, encoder = self.make(source, work_rate=2e5)
+        encoder.encode(40)
+        assert encoder.level > 0
+        assert any(record.adapted for record in encoder.records)
+
+    def test_non_adaptive_never_changes_level(self, source):
+        _, _, encoder = self.make(source, adaptive=False, work_rate=2e5)
+        encoder.encode(30)
+        assert encoder.level == 0
+        assert not any(record.adapted for record in encoder.records)
+
+    def test_keeps_quality_when_goal_already_met(self, source):
+        _, _, encoder = self.make(source, work_rate=1e9)
+        encoder.encode(30)
+        assert encoder.level == 0
+
+    def test_simulated_clock_advances_by_work_over_rate(self, source):
+        clock, _, encoder = self.make(source, work_rate=1e6, adaptive=False)
+        record = encoder.encode_next()
+        assert clock.now() == pytest.approx(record.work / 1e6)
+
+    def test_wall_clock_mode_does_not_require_simulated_clock(self, source):
+        heartbeat = Heartbeat(window=20)
+        encoder = AdaptiveEncoder(source, heartbeat, target_min=1.0, check_interval=5)
+        encoder.encode(3)
+        assert heartbeat.count == 3
+
+    def test_set_work_rate_only_in_simulated_mode(self, source):
+        heartbeat = Heartbeat(window=20)
+        encoder = AdaptiveEncoder(source, heartbeat, target_min=1.0)
+        with pytest.raises(ValueError):
+            encoder.set_work_rate(123.0)
+
+    def test_capacity_loss_triggers_further_adaptation(self, source):
+        # Start at a level that meets the goal, then halve the capacity.
+        _, _, encoder = self.make(source, work_rate=None, initial_level=5)
+        # Pick a capacity that gives the initial level ~1.3x the goal.
+        probe = BlockEncoder(FRAME, FRAME, settings=preset(5))
+        steady = [probe.encode_frame(source.frame(i)).work for i in range(4)][-1]
+        clock = SimulatedClock()
+        heartbeat = Heartbeat(window=20, clock=clock, history=1024)
+        encoder = AdaptiveEncoder(
+            source,
+            heartbeat,
+            target_min=30.0,
+            check_interval=10,
+            initial_level=5,
+            work_rate=steady * 40.0,
+        )
+        encoder.encode(20)
+        level_before = encoder.level
+        encoder.set_work_rate(steady * 40.0 * 0.5)  # two of four "cores" fail
+        encoder.encode(40)
+        assert encoder.level > level_before
+        assert encoder.records[-1].heart_rate >= 30.0 * 0.9
+
+    def test_invalid_parameters(self, source):
+        heartbeat = Heartbeat(window=20)
+        with pytest.raises(ValueError):
+            AdaptiveEncoder(source, heartbeat, check_interval=0)
+        with pytest.raises(ValueError):
+            AdaptiveEncoder(source, heartbeat, work_rate=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveEncoder(source, Heartbeat(window=20), work_rate=1.0).encode(-1)

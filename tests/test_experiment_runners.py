@@ -1,0 +1,98 @@
+"""Tests for the shared experiment runner helpers (adaptive + scheduler)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control import TargetWindow
+from repro.experiments.adaptive_runner import (
+    AdaptiveRunConfig,
+    calibrate_work_rate,
+    run_encoder,
+)
+from repro.experiments.scheduler_runner import SchedulerRunConfig, run_scheduled_workload
+from repro.faults import FailureEvent, FaultInjector
+from repro.workloads.ferret import FerretWorkload
+
+TINY = AdaptiveRunConfig(frames=50, frame_width=32, frame_height=32, check_interval=10, rate_window=10)
+
+
+class TestCalibration:
+    def test_work_rate_makes_initial_preset_hit_calibration_rate(self):
+        work_rate = calibrate_work_rate(TINY)
+        output = run_encoder(TINY, adaptive=False, work_rate=work_rate)
+        rates = output.heart_rates()
+        # The steady-state rate of the non-adaptive run matches the calibration
+        # rate within a few percent (early frames are cheaper: fewer references).
+        assert np.mean(rates[-15:]) == pytest.approx(TINY.calibration_rate, rel=0.10)
+
+    def test_calibration_scales_linearly_with_requested_rate(self):
+        slow = calibrate_work_rate(TINY)
+        fast_config = AdaptiveRunConfig(
+            frames=TINY.frames,
+            frame_width=TINY.frame_width,
+            frame_height=TINY.frame_height,
+            check_interval=TINY.check_interval,
+            rate_window=TINY.rate_window,
+            calibration_rate=TINY.calibration_rate * 2,
+        )
+        fast = calibrate_work_rate(fast_config)
+        assert fast == pytest.approx(2 * slow, rel=1e-6)
+
+
+class TestAdaptiveRunner:
+    def test_records_and_capacity_fractions_have_run_length(self):
+        output = run_encoder(TINY, adaptive=True)
+        assert len(output.records) == TINY.frames
+        assert len(output.capacity_fractions) == TINY.frames
+        assert output.levels().shape == (TINY.frames,)
+        assert output.psnrs().shape == (TINY.frames,)
+
+    def test_injector_scales_capacity(self):
+        injector = FaultInjector([FailureEvent(beat=20, cores=4)], total_cores=8)
+        work_rate = calibrate_work_rate(TINY)
+        output = run_encoder(TINY, adaptive=False, work_rate=work_rate, injector=injector)
+        fractions = np.array(output.capacity_fractions)
+        assert fractions[10] == 1.0
+        assert fractions[30] == 0.5
+        rates = output.heart_rates()
+        # The non-adaptive encoder slows down roughly in proportion.
+        assert np.mean(rates[-10:]) < np.mean(rates[12:20])
+
+    def test_same_seed_same_trace(self):
+        work_rate = calibrate_work_rate(TINY)
+        a = run_encoder(TINY, adaptive=True, work_rate=work_rate)
+        b = run_encoder(TINY, adaptive=True, work_rate=work_rate)
+        assert np.array_equal(a.heart_rates(), b.heart_rates())
+        assert np.array_equal(a.levels(), b.levels())
+
+
+class TestSchedulerRunner:
+    def test_traces_and_bookkeeping(self):
+        workload = FerretWorkload(seed=0, noise=0.0)
+        config = SchedulerRunConfig(target_min=20.0, target_max=25.0, beats=120, rate_window=10)
+        output = run_scheduled_workload(workload, config, title="test run")
+        assert output.traces.title == "test run"
+        for name in ("heart_rate", "cores", "target_min", "target_max"):
+            assert name in output.traces
+            assert len(output.traces[name]) == 120
+        assert output.heartbeat.target_min == 20.0
+        assert output.scheduler.decisions
+
+    def test_application_ends_inside_its_window(self):
+        workload = FerretWorkload(seed=0, noise=0.0)
+        config = SchedulerRunConfig(target_min=20.0, target_max=25.0, beats=150, rate_window=10)
+        output = run_scheduled_workload(workload, config)
+        target = TargetWindow(20.0, 25.0)
+        assert output.fraction_in_window(target, skip=60) > 0.5
+        rates = output.traces["heart_rate"].values
+        assert 18.0 <= np.mean(rates[-30:]) <= 27.0
+
+    def test_start_cores_honoured(self):
+        workload = FerretWorkload(seed=0, noise=0.0)
+        config = SchedulerRunConfig(
+            target_min=20.0, target_max=25.0, beats=30, start_cores=4, rate_window=10
+        )
+        output = run_scheduled_workload(workload, config)
+        assert output.traces["cores"].values[0] == 4

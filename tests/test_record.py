@@ -1,0 +1,79 @@
+"""Tests for heartbeat records and their array packing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.record import (
+    RECORD_DTYPE,
+    HeartbeatRecord,
+    array_to_records,
+    iter_intervals,
+    records_to_array,
+)
+
+
+class TestHeartbeatRecord:
+    def test_fields(self):
+        rec = HeartbeatRecord(beat=3, timestamp=1.5, tag=7, thread_id=42)
+        assert rec.beat == 3
+        assert rec.timestamp == 1.5
+        assert rec.tag == 7
+        assert rec.thread_id == 42
+
+    def test_defaults(self):
+        rec = HeartbeatRecord(beat=0, timestamp=0.0)
+        assert rec.tag == 0
+        assert rec.thread_id == 0
+
+    def test_is_immutable(self):
+        rec = HeartbeatRecord(beat=0, timestamp=0.0)
+        with pytest.raises(AttributeError):
+            rec.beat = 1  # type: ignore[misc]
+
+    def test_interval_since(self):
+        a = HeartbeatRecord(beat=0, timestamp=1.0)
+        b = HeartbeatRecord(beat=1, timestamp=2.5)
+        assert b.interval_since(a) == pytest.approx(1.5)
+
+    def test_interval_since_rejects_out_of_order(self):
+        a = HeartbeatRecord(beat=0, timestamp=2.0)
+        b = HeartbeatRecord(beat=1, timestamp=1.0)
+        with pytest.raises(ValueError):
+            b.interval_since(a)
+
+    def test_as_tuple(self):
+        rec = HeartbeatRecord(beat=1, timestamp=2.0, tag=3, thread_id=4)
+        assert rec.as_tuple() == (1, 2.0, 3, 4)
+
+
+class TestArrayConversion:
+    def test_dtype_field_layout(self):
+        assert RECORD_DTYPE.names == ("beat", "timestamp", "tag", "thread_id")
+        assert RECORD_DTYPE.itemsize == 32  # four 8-byte fields
+
+    def test_roundtrip(self):
+        records = [HeartbeatRecord(beat=i, timestamp=i * 0.5, tag=i % 3, thread_id=9) for i in range(10)]
+        arr = records_to_array(records)
+        assert arr.dtype == RECORD_DTYPE
+        assert len(arr) == 10
+        assert array_to_records(arr) == records
+
+    def test_empty_roundtrip(self):
+        arr = records_to_array([])
+        assert arr.shape == (0,)
+        assert array_to_records(arr) == []
+
+    def test_array_to_records_rejects_wrong_dtype(self):
+        with pytest.raises(ValueError):
+            array_to_records(np.zeros(3, dtype=np.float64))
+
+
+class TestIterIntervals:
+    def test_intervals(self):
+        records = [HeartbeatRecord(beat=i, timestamp=t) for i, t in enumerate([0.0, 1.0, 3.0, 6.0])]
+        assert list(iter_intervals(records)) == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_single_record_has_no_intervals(self):
+        assert list(iter_intervals([HeartbeatRecord(beat=0, timestamp=0.0)])) == []

@@ -1,0 +1,101 @@
+"""Tests for the process-level heartbeat registry."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.errors import RegistryError
+from repro.core.heartbeat import Heartbeat
+from repro.core.registry import HeartbeatRegistry
+
+
+class TestGlobalRegistration:
+    def test_initialize_and_get(self):
+        registry = HeartbeatRegistry()
+        created = registry.initialize(window=5)
+        assert registry.get() is created
+        assert registry.has_global
+
+    def test_double_initialize_rejected(self):
+        registry = HeartbeatRegistry()
+        registry.initialize()
+        with pytest.raises(RegistryError):
+            registry.initialize()
+
+    def test_get_without_initialize_rejected(self):
+        with pytest.raises(RegistryError):
+            HeartbeatRegistry().get()
+
+    def test_finalize_clears_everything(self):
+        registry = HeartbeatRegistry()
+        global_hb = registry.initialize()
+        registry.initialize_local()
+        registry.finalize()
+        assert not registry.has_global
+        assert not registry.has_local()
+        assert global_hb.closed
+
+
+class TestLocalRegistration:
+    def test_local_is_per_thread(self):
+        registry = HeartbeatRegistry()
+        registry.initialize()
+        mine = registry.initialize_local()
+        assert registry.get(local=True) is mine
+
+        seen: dict[str, object] = {}
+
+        def other_thread() -> None:
+            try:
+                registry.get(local=True)
+            except RegistryError as exc:
+                seen["error"] = exc
+
+        t = threading.Thread(target=other_thread)
+        t.start()
+        t.join()
+        assert "error" in seen  # the other thread has no local heartbeat
+
+    def test_double_local_initialize_rejected(self):
+        registry = HeartbeatRegistry()
+        registry.initialize_local()
+        with pytest.raises(RegistryError):
+            registry.initialize_local()
+
+    def test_finalize_local_only_for_registered_thread(self):
+        registry = HeartbeatRegistry()
+        with pytest.raises(RegistryError):
+            registry.finalize_local()
+
+    def test_iter_locals(self):
+        registry = HeartbeatRegistry()
+        registry.initialize_local()
+        pairs = list(registry.iter_locals())
+        assert len(pairs) == 1
+        tid, hb = pairs[0]
+        assert tid == threading.get_ident()
+        assert isinstance(hb, Heartbeat)
+
+    def test_local_inherits_default_kwargs_from_global(self):
+        from repro.clock import ManualClock
+
+        clock = ManualClock()
+        registry = HeartbeatRegistry()
+        registry.initialize(window=5, clock=clock)
+        local = registry.initialize_local(window=5)
+        assert local.clock is clock
+
+    def test_custom_factory(self):
+        created = []
+
+        def factory(window: int = 0, **kwargs: object) -> Heartbeat:
+            hb = Heartbeat(window, **kwargs)
+            created.append(hb)
+            return hb
+
+        registry = HeartbeatRegistry(factory=factory)
+        registry.initialize(window=7)
+        assert len(created) == 1
+        assert created[0].window == 7

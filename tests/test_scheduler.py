@@ -1,0 +1,181 @@
+"""Tests for the heartbeat-driven external scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.control import TargetWindow
+from repro.core.heartbeat import Heartbeat
+from repro.core.monitor import HeartbeatMonitor
+from repro.scheduler import (
+    CoreAllocator,
+    ExternalScheduler,
+    MinimizeCoresPolicy,
+    ProportionalPolicy,
+)
+from repro.sim.engine import ExecutionEngine
+from repro.sim.machine import SimulatedMachine
+from repro.sim.process import SimulatedProcess
+from repro.sim.scaling import LinearScaling
+
+
+class LinearWorkload:
+    """Rate equals the core count when each beat is one second of work."""
+
+    name = "linear"
+    scaling = LinearScaling(1.0)
+
+    def work_per_beat(self, beat_index: int) -> float:
+        return 1.0
+
+    def tag(self, beat_index: int) -> int:
+        return beat_index
+
+
+def build(target=(2.5, 3.5), cores=8, start_cores=1, decision_interval=3, rate_window=5):
+    clock = SimulatedClock()
+    machine = SimulatedMachine(cores)
+    heartbeat = Heartbeat(window=rate_window, clock=clock, history=4096)
+    heartbeat.set_target_rate(*target)
+    process = SimulatedProcess(LinearWorkload(), heartbeat, machine, cores=start_cores)
+    monitor = HeartbeatMonitor.attach(heartbeat, window=rate_window)
+    allocator = CoreAllocator(machine, process, max_cores=cores)
+    scheduler = ExternalScheduler(
+        monitor,
+        allocator,
+        decision_interval=decision_interval,
+        rate_window=rate_window,
+    )
+    engine = ExecutionEngine(clock)
+    scheduler.attach(engine)
+    return clock, machine, heartbeat, process, scheduler, engine
+
+
+class TestCoreAllocator:
+    def test_set_and_clamp(self):
+        machine = SimulatedMachine(8)
+        process = SimulatedProcess(LinearWorkload(), Heartbeat(window=5), machine, cores=1)
+        allocator = CoreAllocator(machine, process, min_cores=1, max_cores=6)
+        assert allocator.set_cores(4) == 4
+        assert allocator.set_cores(99) == 6
+        assert allocator.set_cores(0) == 1
+        assert allocator.current_cores == 1
+
+    def test_adjust_and_history(self):
+        machine = SimulatedMachine(8)
+        process = SimulatedProcess(LinearWorkload(), Heartbeat(window=5), machine, cores=2)
+        allocator = CoreAllocator(machine, process)
+        allocator.adjust(+3, beat=10)
+        allocator.adjust(-1, beat=20)
+        allocator.set_cores(4, beat=30)  # no change -> not recorded
+        assert [c.new_cores for c in allocator.history] == [5, 4]
+        assert allocator.history[0].delta == 3
+
+    def test_validation(self):
+        machine = SimulatedMachine(4)
+        process = SimulatedProcess(LinearWorkload(), Heartbeat(window=5), machine)
+        with pytest.raises(ValueError):
+            CoreAllocator(machine, process, min_cores=0)
+        with pytest.raises(ValueError):
+            CoreAllocator(machine, process, min_cores=4, max_cores=2)
+
+
+class TestPolicies:
+    def test_minimize_cores_policy_steps_by_one(self):
+        policy = MinimizeCoresPolicy(TargetWindow(2.5, 3.5))
+        assert policy.next_cores(rate=1.0, current_cores=2) == 3
+        assert policy.next_cores(rate=5.0, current_cores=4) == 3
+        assert policy.next_cores(rate=3.0, current_cores=3) == 3
+
+    def test_proportional_policy_can_jump(self):
+        policy = ProportionalPolicy(TargetWindow(10.0, 12.0), gain=2.0, max_step=4)
+        assert policy.next_cores(rate=1.0, current_cores=1) > 2
+
+    def test_pid_policy_returns_absolute_core_counts(self):
+        policy = ProportionalPolicy(TargetWindow(4.0, 6.0), use_pid=True, max_cores=8)
+        cores = policy.next_cores(rate=1.0, current_cores=1)
+        assert 1 <= cores <= 8
+
+
+class TestExternalScheduler:
+    def test_reads_target_published_by_the_application(self):
+        _, _, _, _, scheduler, _ = build(target=(2.5, 3.5))
+        assert scheduler.target.minimum == 2.5
+        assert scheduler.target.maximum == 3.5
+
+    def test_requires_some_target(self):
+        clock = SimulatedClock()
+        machine = SimulatedMachine(4)
+        heartbeat = Heartbeat(window=5, clock=clock)  # never publishes a target
+        process = SimulatedProcess(LinearWorkload(), heartbeat, machine)
+        monitor = HeartbeatMonitor.attach(heartbeat)
+        allocator = CoreAllocator(machine, process)
+        with pytest.raises(ValueError):
+            ExternalScheduler(monitor, allocator)
+
+    def test_converges_into_the_target_window(self):
+        clock, _, heartbeat, process, scheduler, engine = build(target=(2.5, 3.5))
+        result = engine.run(process, 60, rate_window=5)
+        rates = result.heart_rates()
+        # The linear workload needs exactly 3 cores for a 3 beat/s rate.
+        assert process.allocated_cores == 3
+        assert rates[-1] == pytest.approx(3.0)
+        assert scheduler.decisions, "the scheduler must have acted"
+
+    def test_reclaims_cores_when_load_drops(self):
+        class DroppingWorkload(LinearWorkload):
+            def work_per_beat(self, beat_index: int) -> float:
+                return 1.0 if beat_index < 40 else 0.34
+
+        clock = SimulatedClock()
+        machine = SimulatedMachine(8)
+        heartbeat = Heartbeat(window=5, clock=clock, history=4096)
+        heartbeat.set_target_rate(2.5, 3.5)
+        process = SimulatedProcess(DroppingWorkload(), heartbeat, machine, cores=1)
+        monitor = HeartbeatMonitor.attach(heartbeat, window=5)
+        allocator = CoreAllocator(machine, process)
+        scheduler = ExternalScheduler(monitor, allocator, decision_interval=3, rate_window=5)
+        engine = ExecutionEngine(clock)
+        scheduler.attach(engine)
+        result = engine.run(process, 100, rate_window=5)
+        cores = result.cores()
+        assert cores[35] == 3          # held the window with 3 cores
+        assert cores[-1] == 1          # the cheaper phase needs only one
+        assert result.heart_rates()[-1] >= 2.5
+
+    def test_does_not_touch_other_processes(self):
+        clock, machine, heartbeat, process, scheduler, engine = build()
+        other_hb = Heartbeat(window=5, clock=clock)
+        other = SimulatedProcess(LinearWorkload(), other_hb, machine, cores=2, pid=4242)
+        engine.run(other, 20, rate_window=5)
+        assert other.allocated_cores == 2
+        assert not scheduler.decisions
+
+    def test_decision_records_and_reset(self):
+        _, _, _, process, scheduler, engine = build()
+        engine.run(process, 30, rate_window=5)
+        assert all(d.cores_after >= d.cores_before - 1 for d in scheduler.decisions)
+        changed = [d for d in scheduler.decisions if d.changed]
+        assert changed
+        scheduler.reset()
+        assert scheduler.decisions == []
+
+    def test_effective_window_shrinks_after_a_change(self):
+        _, _, _, _, scheduler, _ = build(rate_window=10)
+        assert scheduler._effective_window(20) == 10
+        scheduler._last_change_beat = 18
+        assert scheduler._effective_window(20) == 2
+        assert scheduler._effective_window(40) == 10
+
+    def test_invalid_decision_interval(self):
+        clock = SimulatedClock()
+        machine = SimulatedMachine(2)
+        heartbeat = Heartbeat(window=5, clock=clock)
+        heartbeat.set_target_rate(1.0, 2.0)
+        process = SimulatedProcess(LinearWorkload(), heartbeat, machine)
+        monitor = HeartbeatMonitor.attach(heartbeat)
+        allocator = CoreAllocator(machine, process)
+        with pytest.raises(ValueError):
+            ExternalScheduler(monitor, allocator, decision_interval=0)

@@ -1,0 +1,173 @@
+"""Tests for the simulated process and the execution engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core.heartbeat import Heartbeat
+from repro.sim.engine import ExecutionEngine
+from repro.sim.machine import SimulatedMachine
+from repro.sim.process import SimulatedProcess
+from repro.sim.scaling import AmdahlScaling, LinearScaling
+
+
+class ConstantWorkload:
+    """One second of single-core work per beat, perfectly parallel."""
+
+    name = "constant"
+    scaling = LinearScaling(1.0)
+
+    def __init__(self, work: float = 1.0) -> None:
+        self.work = work
+
+    def work_per_beat(self, beat_index: int) -> float:
+        return self.work
+
+    def tag(self, beat_index: int) -> int:
+        return beat_index * 10
+
+
+def make_process(cores: int = 1, machine_cores: int = 8, workload=None):
+    clock = SimulatedClock()
+    machine = SimulatedMachine(machine_cores)
+    heartbeat = Heartbeat(window=10, clock=clock, history=4096)
+    process = SimulatedProcess(workload or ConstantWorkload(), heartbeat, machine, cores=cores)
+    return clock, machine, heartbeat, process
+
+
+class TestSimulatedProcess:
+    def test_beat_duration_scales_with_cores(self):
+        _, machine, _, process = make_process(cores=1)
+        assert process.beat_duration(0) == pytest.approx(1.0)
+        process.set_cores(4)
+        assert process.beat_duration(0) == pytest.approx(0.25)
+
+    def test_beat_duration_infinite_without_capacity(self):
+        _, machine, _, process = make_process(cores=2)
+        machine.fail_cores(8)
+        assert process.beat_duration(0) == float("inf")
+
+    def test_effective_cores_bounded_by_alive(self):
+        _, machine, _, process = make_process(cores=8)
+        machine.fail_cores(5)
+        assert process.allocated_cores == 8
+        assert process.effective_cores == 3
+
+
+class TestExecutionEngine:
+    def test_run_advances_clock_and_registers_beats(self):
+        clock, _, heartbeat, process = make_process(cores=1)
+        engine = ExecutionEngine(clock)
+        result = engine.run(process, 10)
+        assert result.beats == 10
+        assert clock.now() == pytest.approx(10.0)
+        assert heartbeat.count == 10
+        assert heartbeat.global_heart_rate() == pytest.approx(1.0)
+        # Tags come from the workload.
+        assert [e.tag for e in result.events][:3] == [0, 10, 20]
+
+    def test_rate_reflects_core_allocation(self):
+        clock, _, heartbeat, process = make_process(cores=4)
+        engine = ExecutionEngine(clock)
+        result = engine.run(process, 20)
+        assert result.average_heart_rate() == pytest.approx(4.0, rel=1e-6)
+
+    def test_amdahl_limits_observed_rate(self):
+        workload = ConstantWorkload()
+        workload.scaling = AmdahlScaling(0.5)
+        clock, _, heartbeat, process = make_process(cores=8, workload=workload)
+        engine = ExecutionEngine(clock)
+        result = engine.run(process, 10)
+        assert result.average_heart_rate() == pytest.approx(workload.scaling.speedup(8), rel=1e-6)
+
+    def test_hooks_observe_and_modify(self):
+        clock, machine, heartbeat, process = make_process(cores=1)
+        engine = ExecutionEngine(clock)
+        observed: list[int] = []
+
+        def add_core_at_beat_five(beat, proc, _engine):
+            if beat == 5:
+                proc.set_cores(2)
+
+        engine.add_before_beat(add_core_at_beat_five)
+        engine.add_after_beat(lambda beat, proc, _e: observed.append(proc.allocated_cores))
+        result = engine.run(process, 10)
+        assert observed[:5] == [1] * 5
+        assert observed[5:] == [2] * 5
+        # Later beats are twice as fast.
+        durations = [e.duration for e in result.events]
+        assert durations[0] == pytest.approx(1.0)
+        assert durations[-1] == pytest.approx(0.5)
+
+    def test_stops_when_stalled(self):
+        clock, machine, _, process = make_process(cores=1)
+        engine = ExecutionEngine(clock)
+
+        def kill_all_cores(beat, proc, _engine):
+            if beat == 3:
+                machine.fail_cores(8)
+
+        engine.add_before_beat(kill_all_cores)
+        result = engine.run(process, 10)
+        assert result.beats == 3
+
+    def test_stall_raises_when_requested(self):
+        clock, machine, _, process = make_process(cores=1)
+        machine.fail_cores(8)
+        engine = ExecutionEngine(clock)
+        with pytest.raises(RuntimeError):
+            engine.run(process, 1, stop_when_stalled=False)
+
+    def test_per_beat_overhead(self):
+        clock, _, _, process = make_process(cores=1)
+        engine = ExecutionEngine(clock, per_beat_overhead=0.5)
+        engine.run(process, 4)
+        assert clock.now() == pytest.approx(6.0)
+
+    def test_negative_inputs_rejected(self):
+        clock, _, _, process = make_process()
+        with pytest.raises(ValueError):
+            ExecutionEngine(clock, per_beat_overhead=-1.0)
+        with pytest.raises(ValueError):
+            ExecutionEngine(clock).run(process, -1)
+
+    def test_run_result_series(self):
+        clock, _, _, process = make_process(cores=2)
+        result = ExecutionEngine(clock).run(process, 5)
+        assert result.timestamps().shape == (5,)
+        assert np.all(np.diff(result.timestamps()) > 0)
+        assert list(result.cores()) == [2] * 5
+        assert result.duration == pytest.approx(2.5)
+
+
+class TestConcurrentExecution:
+    def test_two_processes_share_the_clock(self):
+        clock = SimulatedClock()
+        machine = SimulatedMachine(8)
+        hb_a = Heartbeat(window=10, clock=clock, history=1024)
+        hb_b = Heartbeat(window=10, clock=clock, history=1024)
+        fast = SimulatedProcess(ConstantWorkload(0.5), hb_a, machine, cores=1, pid=101)
+        slow = SimulatedProcess(ConstantWorkload(2.0), hb_b, machine, cores=1, pid=102)
+        engine = ExecutionEngine(clock)
+        results = engine.run_concurrent([fast, slow], beats=4)
+        assert results[101].beats == 4
+        assert results[102].beats == 4
+        # The fast process's rate is four times the slow one's.
+        assert hb_a.global_heart_rate() == pytest.approx(4 * hb_b.global_heart_rate(), rel=1e-6)
+        # Shared clock ends at the slowest process's finish time.
+        assert clock.now() == pytest.approx(8.0)
+
+    def test_stalled_process_dropped(self):
+        clock = SimulatedClock()
+        machine_ok = SimulatedMachine(2)
+        machine_dead = SimulatedMachine(2)
+        machine_dead.fail_cores(2)
+        hb_a = Heartbeat(window=10, clock=clock)
+        hb_b = Heartbeat(window=10, clock=clock)
+        ok = SimulatedProcess(ConstantWorkload(), hb_a, machine_ok, cores=1, pid=201)
+        dead = SimulatedProcess(ConstantWorkload(), hb_b, machine_dead, cores=1, pid=202)
+        results = ExecutionEngine(clock).run_concurrent([ok, dead], beats=3)
+        assert results[201].beats == 3
+        assert results[202].beats == 0

@@ -1,0 +1,157 @@
+"""Tests for the simulated machine substrate (cores, machine, scaling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.core import SimulatedCore
+from repro.sim.machine import SimulatedMachine
+from repro.sim.scaling import (
+    AmdahlScaling,
+    LinearScaling,
+    SaturatingScaling,
+    TabulatedScaling,
+)
+
+
+class TestSimulatedCore:
+    def test_defaults(self):
+        core = SimulatedCore(core_id=0)
+        assert core.speed == 1.0
+        assert core.alive
+
+    def test_dvfs_changes_speed(self):
+        core = SimulatedCore(core_id=0, base_speed=2.0)
+        core.set_frequency(0.5)
+        assert core.speed == pytest.approx(1.0)
+
+    def test_failure_and_repair(self):
+        core = SimulatedCore(core_id=0)
+        core.fail()
+        assert core.speed == 0.0
+        core.repair()
+        assert core.speed == 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SimulatedCore(core_id=0, base_speed=0.0)
+        with pytest.raises(ValueError):
+            SimulatedCore(core_id=0, frequency=0.0)
+        core = SimulatedCore(core_id=0)
+        with pytest.raises(ValueError):
+            core.set_frequency(-1.0)
+
+
+class TestScalingModels:
+    def test_amdahl_limits(self):
+        model = AmdahlScaling(0.1)
+        assert model.speedup(1) == pytest.approx(1.0)
+        assert model.speedup(8) == pytest.approx(1.0 / (0.1 + 0.9 / 8))
+        assert model.speedup(0) == 0.0
+        # Speedup never exceeds 1/serial_fraction.
+        assert model.speedup(10_000) < 10.0
+
+    def test_amdahl_zero_serial_is_linear(self):
+        assert AmdahlScaling(0.0).speedup(6) == pytest.approx(6.0)
+
+    def test_amdahl_validates_fraction(self):
+        with pytest.raises(ValueError):
+            AmdahlScaling(1.5)
+
+    def test_linear(self):
+        model = LinearScaling(0.9)
+        assert model.speedup(1) == pytest.approx(1.0)
+        assert model.speedup(5) == pytest.approx(1 + 0.9 * 4)
+        assert model.efficiency(5) == pytest.approx(model.speedup(5) / 5)
+
+    def test_saturating(self):
+        model = SaturatingScaling(max_speedup=4.0, efficiency=1.0)
+        assert model.speedup(3) == pytest.approx(3.0)
+        assert model.speedup(10) == pytest.approx(4.0)
+
+    def test_tabulated_interpolates(self):
+        model = TabulatedScaling([1.0, 1.8, 2.4])
+        assert model.speedup(1) == pytest.approx(1.0)
+        assert model.speedup(1.5) == pytest.approx(1.4)
+        assert model.speedup(10) == pytest.approx(2.4)  # flat extrapolation
+
+    def test_tabulated_validation(self):
+        with pytest.raises(ValueError):
+            TabulatedScaling([])
+        with pytest.raises(ValueError):
+            TabulatedScaling([2.0, 3.0])  # must start at 1.0
+        with pytest.raises(ValueError):
+            TabulatedScaling([1.0, 0.5])  # must be non-decreasing
+
+    def test_marginal_gain_decreases_for_amdahl(self):
+        model = AmdahlScaling(0.2)
+        gains = [model.marginal_gain(n) for n in range(1, 8)]
+        assert all(a >= b for a, b in zip(gains, gains[1:]))
+
+    def test_negative_cores_rejected(self):
+        with pytest.raises(ValueError):
+            LinearScaling().speedup(-1)
+
+
+class TestSimulatedMachine:
+    def test_construction(self):
+        machine = SimulatedMachine(8)
+        assert machine.num_cores == 8
+        assert machine.alive_cores == 8
+        with pytest.raises(ValueError):
+            SimulatedMachine(0)
+
+    def test_allocation_clamping(self):
+        machine = SimulatedMachine(4)
+        assert machine.allocate(pid=1, cores=10) == 4
+        assert machine.allocate(pid=1, cores=0) == 1
+        assert machine.allocation(1) == 1
+
+    def test_unknown_pid_defaults_to_one_core(self):
+        machine = SimulatedMachine(4)
+        assert machine.allocation(99) == 1
+        assert machine.effective_cores(99) == 1
+
+    def test_release(self):
+        machine = SimulatedMachine(4)
+        machine.allocate(1, 3)
+        machine.release(1)
+        assert machine.allocation(1) == 1
+
+    def test_failures_reduce_effective_cores(self):
+        machine = SimulatedMachine(8)
+        machine.allocate(1, 8)
+        assert machine.fail_cores(3) == 3
+        assert machine.alive_cores == 5
+        assert machine.effective_cores(1) == 5
+        assert machine.effective_speed(1) == pytest.approx(5.0)
+
+    def test_fail_more_than_available(self):
+        machine = SimulatedMachine(2)
+        assert machine.fail_cores(5) == 2
+        assert machine.alive_cores == 0
+        assert machine.effective_speed(1) == 0.0
+
+    def test_repair(self):
+        machine = SimulatedMachine(4)
+        machine.fail_core(3)
+        machine.repair_core(3)
+        assert machine.alive_cores == 4
+        machine.fail_cores(2)
+        machine.repair_all()
+        assert machine.alive_cores == 4
+
+    def test_dvfs_whole_machine_and_single_core(self):
+        machine = SimulatedMachine(4)
+        machine.set_frequency(0.5)
+        assert machine.mean_alive_speed() == pytest.approx(0.5)
+        machine.set_frequency(1.0, core_id=0)
+        machine.allocate(1, 1)
+        # The fastest core backs a single-core allocation.
+        assert machine.effective_speed(1) == pytest.approx(1.0)
+
+    def test_effective_speed_uses_fastest_alive_cores(self):
+        machine = SimulatedMachine(4)
+        machine.cores[0].base_speed = 2.0
+        machine.allocate(1, 2)
+        assert machine.effective_speed(1) == pytest.approx(3.0)

@@ -1,0 +1,228 @@
+"""Tests for the real computational kernels behind the PARSEC-like workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.blackscholes import black_scholes_price
+from repro.workloads.bodytrack import ParticleFilter
+from repro.workloads.canneal import NetlistAnnealer
+from repro.workloads.dedup import ChunkingDeduplicator
+from repro.workloads.facesim import SpringMassMesh
+from repro.workloads.ferret import SimilarityIndex
+from repro.workloads.fluidanimate import SPHFluid
+from repro.workloads.streamcluster import OnlineKMedian
+from repro.workloads.swaptions import price_swaption
+
+
+class TestBlackScholes:
+    def test_call_put_parity(self):
+        spot = np.array([100.0])
+        strike = np.array([100.0])
+        rate = np.array([0.05])
+        vol = np.array([0.2])
+        expiry = np.array([1.0])
+        call = black_scholes_price(spot, strike, rate, vol, expiry, np.array([True]))
+        put = black_scholes_price(spot, strike, rate, vol, expiry, np.array([False]))
+        parity = call - put - spot + strike * np.exp(-rate * expiry)
+        assert abs(parity[0]) < 1e-9
+
+    def test_known_value(self):
+        # Standard textbook case: S=100, K=100, r=5%, sigma=20%, T=1 -> C ~ 10.45.
+        price = black_scholes_price(
+            np.array([100.0]), np.array([100.0]), np.array([0.05]),
+            np.array([0.2]), np.array([1.0]), np.array([True]),
+        )
+        assert price[0] == pytest.approx(10.4506, abs=1e-3)
+
+    def test_deep_in_the_money_call_approaches_intrinsic(self):
+        price = black_scholes_price(
+            np.array([200.0]), np.array([100.0]), np.array([0.01]),
+            np.array([0.1]), np.array([0.1]), np.array([True]),
+        )
+        assert price[0] == pytest.approx(200.0 - 100.0 * np.exp(-0.001), abs=0.1)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            black_scholes_price(
+                np.array([-1.0]), np.array([100.0]), np.array([0.05]),
+                np.array([0.2]), np.array([1.0]), np.array([True]),
+            )
+
+
+class TestSwaptions:
+    def test_price_is_nonnegative_and_finite(self):
+        rng = np.random.default_rng(0)
+        price = price_swaption(0.04, 5.0, 5.0, 0.2, 0.04, paths=512, rng=rng)
+        assert np.isfinite(price)
+        assert price >= 0.0
+
+    def test_higher_strike_lower_payer_price(self):
+        rng_a, rng_b = np.random.default_rng(1), np.random.default_rng(1)
+        low = price_swaption(0.02, 5.0, 5.0, 0.2, 0.04, paths=2048, rng=rng_a)
+        high = price_swaption(0.08, 5.0, 5.0, 0.2, 0.04, paths=2048, rng=rng_b)
+        assert low > high
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            price_swaption(0.04, -1.0, 5.0, 0.2, 0.04)
+        with pytest.raises(ValueError):
+            price_swaption(0.04, 5.0, 5.0, 0.2, 0.04, paths=0)
+
+
+class TestStreamcluster:
+    def test_clusters_form_around_centres(self):
+        rng = np.random.default_rng(0)
+        clusterer = OnlineKMedian(dims=4, facility_cost=50.0)
+        centres = np.array([[0.0] * 4, [100.0] * 4])
+        points = np.concatenate(
+            [centres[i % 2] + rng.normal(0, 1.0, 4).reshape(1, 4) for i in range(400)]
+        )
+        clusterer.consume(points)
+        assert 2 <= clusterer.num_centers <= 10
+
+    def test_cost_accumulates(self):
+        rng = np.random.default_rng(1)
+        clusterer = OnlineKMedian(dims=3)
+        points = rng.uniform(0, 100, size=(200, 3))
+        cost = clusterer.consume(points)
+        assert cost >= 0
+        assert clusterer.total_cost == pytest.approx(cost)
+
+    def test_dimension_mismatch_rejected(self):
+        clusterer = OnlineKMedian(dims=3)
+        with pytest.raises(ValueError):
+            clusterer.consume(np.zeros((10, 2)))
+
+
+class TestParticleFilter:
+    def test_tracks_a_stationary_target(self):
+        pf = ParticleFilter(512, seed=0)
+        target = np.array([5.0, 5.0])
+        errors = []
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            estimate = pf.step(target + rng.normal(0, 0.1, 2))
+            errors.append(np.linalg.norm(estimate - target))
+        assert np.mean(errors[-10:]) < 1.0
+
+    def test_invalid_particle_count(self):
+        with pytest.raises(ValueError):
+            ParticleFilter(0)
+
+
+class TestCanneal:
+    def test_annealing_reduces_cost(self):
+        annealer = NetlistAnnealer(elements=128, grid=32, seed=0)
+        before = annealer.total_cost()
+        for _ in range(20):
+            annealer.anneal_moves(128)
+        after = annealer.total_cost()
+        assert after < before
+
+    def test_accept_count_bounded(self):
+        annealer = NetlistAnnealer(elements=64, seed=1)
+        accepted, _ = annealer.anneal_moves(100)
+        assert 0 <= accepted <= 100
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            NetlistAnnealer(elements=2)
+        with pytest.raises(ValueError):
+            NetlistAnnealer().anneal_moves(0)
+
+
+class TestDedup:
+    def test_repeated_data_is_detected(self):
+        dedup = ChunkingDeduplicator(min_chunk=64, max_chunk=1024)
+        rng = np.random.default_rng(0)
+        block = rng.integers(0, 256, 4096, dtype=np.uint8).tobytes()
+        dedup.deduplicate(block + block + block)
+        assert dedup.duplicates > 0
+        assert dedup.duplicate_ratio > 0.2
+
+    def test_unique_data_has_few_duplicates(self):
+        dedup = ChunkingDeduplicator(min_chunk=64, max_chunk=1024)
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 256, 32768, dtype=np.uint8).tobytes()
+        chunks, duplicates = dedup.deduplicate(data)
+        assert chunks > 0
+        assert duplicates / max(chunks, 1) < 0.1
+
+    def test_chunk_boundaries_respect_bounds(self):
+        dedup = ChunkingDeduplicator(min_chunk=128, max_chunk=512)
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 256, 8192, dtype=np.uint8).tobytes()
+        boundaries = dedup.chunk_boundaries(data)
+        assert boundaries[-1] == len(data)
+        sizes = np.diff([0] + boundaries)
+        assert (sizes <= 512).all()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ChunkingDeduplicator(min_chunk=1024, max_chunk=64)
+
+
+class TestFacesim:
+    def test_mesh_stays_finite_and_bounded(self):
+        mesh = SpringMassMesh(side=12, seed=0)
+        for i in range(20):
+            displacement = mesh.step(actuation=np.sin(i * 0.3))
+            assert np.isfinite(displacement)
+        assert displacement < 10.0
+
+    def test_actuation_moves_the_mesh(self):
+        mesh = SpringMassMesh(side=10, seed=0)
+        quiet = mesh.step(actuation=0.0)
+        loud = mesh.step(actuation=20.0)
+        assert loud != pytest.approx(quiet)
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            SpringMassMesh(side=1)
+
+
+class TestFerret:
+    def test_query_finds_itself(self):
+        index = SimilarityIndex(entries=256, dims=16, seed=0)
+        target = index.database[37]
+        ranked, scores = index.query(target, k=5)
+        assert ranked[0] == 37
+        assert scores[0] == pytest.approx(1.0)
+
+    def test_scores_sorted_descending(self):
+        index = SimilarityIndex(entries=128, dims=8, seed=1)
+        rng = np.random.default_rng(2)
+        _, scores = index.query(rng.normal(0, 1, 8), k=10)
+        assert list(scores) == sorted(scores, reverse=True)
+
+    def test_invalid_query(self):
+        index = SimilarityIndex(entries=16, dims=8, seed=0)
+        with pytest.raises(ValueError):
+            index.query(np.zeros(4))
+        with pytest.raises(ValueError):
+            index.query(np.zeros(8), k=0)
+
+
+class TestFluidanimate:
+    def test_particles_stay_in_box(self):
+        fluid = SPHFluid(particles=128, box=10.0, seed=0)
+        for _ in range(10):
+            density = fluid.step()
+        assert np.isfinite(density)
+        assert (fluid.position >= 0.0).all()
+        assert (fluid.position <= 10.0).all()
+
+    def test_gravity_pulls_fluid_down(self):
+        fluid = SPHFluid(particles=128, box=10.0, seed=1)
+        before = fluid.position[:, 2].mean()
+        for _ in range(20):
+            fluid.step()
+        assert fluid.position[:, 2].mean() < before
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            SPHFluid(particles=0)
+        with pytest.raises(ValueError):
+            SPHFluid(particles=8).step(dt=0.0)

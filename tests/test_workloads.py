@@ -1,0 +1,166 @@
+"""Tests for the workload cost models, suite registry and Table-2 runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core.heartbeat import Heartbeat
+from repro.sim.engine import ExecutionEngine
+from repro.sim.machine import SimulatedMachine
+from repro.sim.process import SimulatedProcess
+from repro.workloads import (
+    WORKLOAD_CLASSES,
+    BlackscholesWorkload,
+    BodytrackWorkload,
+    StreamclusterWorkload,
+    X264Workload,
+    create_workload,
+    run_table2,
+    workload_names,
+)
+from repro.workloads.base import REFERENCE_CORES, Workload
+from repro.workloads.x264 import FIGURE2_PHASES
+
+
+class TestRegistry:
+    def test_all_ten_benchmarks_present(self):
+        assert len(WORKLOAD_CLASSES) == 10
+        assert workload_names() == [
+            "blackscholes", "bodytrack", "canneal", "dedup", "facesim",
+            "ferret", "fluidanimate", "streamcluster", "swaptions", "x264",
+        ]
+
+    def test_create_workload(self):
+        workload = create_workload("ferret", seed=3)
+        assert workload.name == "ferret"
+        assert workload.seed == 3
+
+    def test_create_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            create_workload("not-a-benchmark")
+
+    def test_every_workload_has_paper_metadata(self):
+        for cls in WORKLOAD_CLASSES.values():
+            info = cls.info()
+            assert info.heartbeat_location
+            assert info.paper_heart_rate and info.paper_heart_rate > 0
+
+
+class TestCostModel:
+    def test_calibration_hits_paper_rate_on_reference_machine(self):
+        """Every workload's cost model reproduces its Table-2 rate on 8 cores."""
+        for name in workload_names():
+            workload = create_workload(name, seed=0, noise=0.0)
+            clock = SimulatedClock()
+            machine = SimulatedMachine(REFERENCE_CORES)
+            hb = Heartbeat(window=20, clock=clock, history=256)
+            process = SimulatedProcess(workload, hb, machine, cores=REFERENCE_CORES)
+            ExecutionEngine(clock).run(process, 50)
+            assert hb.global_heart_rate() == pytest.approx(
+                workload.PAPER_HEART_RATE, rel=0.02
+            ), name
+
+    def test_fewer_cores_is_never_faster(self):
+        for name in ("blackscholes", "dedup", "x264"):
+            workload = create_workload(name, seed=0, noise=0.0)
+            rates = []
+            for cores in (1, 2, 4, 8):
+                clock = SimulatedClock()
+                machine = SimulatedMachine(8)
+                hb = Heartbeat(window=20, clock=clock)
+                process = SimulatedProcess(workload, hb, machine, cores=cores)
+                ExecutionEngine(clock).run(process, 20)
+                rates.append(hb.global_heart_rate())
+            assert rates == sorted(rates), name
+
+    def test_noise_preserves_mean_cost(self):
+        noisy = BodytrackWorkload(seed=0, noise=0.1)
+        quiet = BodytrackWorkload(seed=0, noise=0.0)
+        noisy_mean = np.mean([noisy.work_per_beat(i) for i in range(500)])
+        assert noisy_mean == pytest.approx(quiet.work_per_beat(0), rel=0.05)
+
+    def test_noise_is_deterministic_per_beat(self):
+        workload = BodytrackWorkload(seed=7, noise=0.1)
+        assert workload.work_per_beat(13) == workload.work_per_beat(13)
+        other = BodytrackWorkload(seed=7, noise=0.1)
+        assert other.work_per_beat(13) == workload.work_per_beat(13)
+
+    def test_explicit_target_rate_used_verbatim(self):
+        workload = StreamclusterWorkload.figure6(seed=0, noise=0.0)
+        assert workload.base_work == pytest.approx(
+            workload.scaling.speedup(8) / StreamclusterWorkload.FIGURE6_RATE
+        )
+
+    def test_table2_rate_scales_with_beat_granularity(self):
+        per_25k = BlackscholesWorkload(seed=0, noise=0.0)
+        per_5k = BlackscholesWorkload(options_per_beat=5_000, seed=0, noise=0.0)
+        assert per_5k.base_work == pytest.approx(per_25k.base_work / 5.0)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            BlackscholesWorkload(options_per_beat=0)
+        with pytest.raises(ValueError):
+            BodytrackWorkload(load_drop_factor=0.0)
+        with pytest.raises(ValueError):
+            BodytrackWorkload(noise=-0.1)
+
+
+class TestPhases:
+    def test_bodytrack_figure5_load_drop(self):
+        workload = BodytrackWorkload.figure5(seed=0, noise=0.0)
+        assert workload.work_per_beat(0) > workload.work_per_beat(200)
+        assert workload.phase_multiplier(140) == pytest.approx(1.52)
+        assert workload.phase_multiplier(141) == pytest.approx(0.3)
+
+    def test_x264_figure2_phase_structure(self):
+        workload = X264Workload.figure2(seed=0, noise=0.0)
+        assert workload.phase_multiplier(50) == pytest.approx(1.0)
+        assert workload.phase_multiplier(200) == pytest.approx(0.5)
+        assert workload.phase_multiplier(400) == pytest.approx(1.0)
+        assert workload.phases == FIGURE2_PHASES
+
+    def test_x264_phases_must_start_at_zero(self):
+        from repro.workloads.x264 import RatePhase
+
+        with pytest.raises(ValueError):
+            X264Workload(phases=(RatePhase(start_beat=10, cost_multiplier=1.0),))
+
+    def test_flat_profile_by_default(self):
+        workload = X264Workload(seed=0)
+        assert workload.phase_multiplier(0) == workload.phase_multiplier(500) == 1.0
+
+
+class TestInstrumentedRuns:
+    def test_run_instrumented_registers_one_beat_per_unit(self):
+        workload = create_workload("ferret", seed=0)
+        hb = Heartbeat(window=10)
+        results = workload.run_instrumented(hb, beats=15)
+        assert len(results) == 15
+        assert hb.count == 15
+        assert [r.tag for r in hb.get_history()] == list(range(15))
+
+    def test_run_instrumented_rejects_negative(self):
+        workload = create_workload("ferret", seed=0)
+        with pytest.raises(ValueError):
+            workload.run_instrumented(Heartbeat(window=5), beats=-1)
+
+
+class TestTable2Runner:
+    def test_rows_cover_the_suite_and_match_paper(self):
+        rows = run_table2(beats_per_workload=40, seed=0)
+        assert [r.benchmark for r in rows] == workload_names()
+        for row in rows:
+            assert row.beats == 40
+            assert row.relative_error < 0.05, row.benchmark
+
+    def test_subset_and_custom_factory(self):
+        rows = run_table2(
+            names=["x264"],
+            beats_per_workload=30,
+            workload_factory=lambda name: create_workload(name, seed=5, noise=0.0),
+        )
+        assert len(rows) == 1
+        assert rows[0].benchmark == "x264"
+        assert rows[0].relative_error < 0.02
