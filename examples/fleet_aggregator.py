@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Fleet observation: batched ingestion + the sharded multi-stream aggregator.
+
+Simulates a small "fleet" of instrumented services, each registering progress
+with the batched API (``heartbeat_batch`` — one lock acquisition and one
+vectorized buffer write per batch of work items), while a single external
+observer watches all of them through a :class:`HeartbeatAggregator`: the
+paper's Figure 1(b) observer generalized from one stream to many.
+
+Run with::
+
+    python examples/fleet_aggregator.py
+"""
+
+from __future__ import annotations
+
+from repro import Heartbeat, HeartbeatAggregator
+from repro.clock import SimulatedClock
+
+
+def main() -> None:
+    clock = SimulatedClock()
+
+    # Twelve services, each publishing the same goal but progressing at a
+    # different pace; service i completes 120 - 9*i work items per tick.
+    aggregator = HeartbeatAggregator(clock=clock, num_shards=4, liveness_timeout=5.0)
+    services: dict[str, Heartbeat] = {}
+    for i in range(12):
+        service = Heartbeat(window=256, clock=clock, name=f"svc-{i:02d}", history=4096)
+        service.set_target_rate(60.0, 1000.0)
+        aggregator.attach(service.name, service)
+        services[service.name] = service
+
+    # One simulated second per tick; each service ingests its whole tick's
+    # worth of completed work items as a single batch.
+    for tick in range(30):
+        clock.advance(1.0)
+        for i, service in enumerate(services.values()):
+            completed = 120 - 9 * i
+            if tick < 20 or i != 3:  # svc-03 goes silent after tick 20
+                service.heartbeat_batch(completed, tag=tick)
+
+    # One sharded poll observes the whole fleet.
+    sample = aggregator.poll()
+    print(f"fleet of {len(sample)} streams, {sample.total_beats()} beats total")
+    for name, reading in sample:
+        print(
+            f"  {name}: rate={reading.rate:7.1f} beat/s "
+            f"target=[{reading.target_min:.0f}, {reading.target_max:.0f}] "
+            f"status={reading.status.value}"
+        )
+
+    summary = sample.summary()
+    print(
+        f"summary: mean={summary.mean:.1f} p50={summary.percentiles[50.0]:.1f} "
+        f"p90={summary.percentiles[90.0]:.1f} p99={summary.percentiles[99.0]:.1f} "
+        f"lagging={summary.lagging} stalled={summary.stalled}"
+    )
+    print("lagging (worst first):", ", ".join(sample.lagging()) or "none")
+    print("stalled:", ", ".join(sample.stalled()) or "none")
+
+    aggregator.close()
+    for service in services.values():
+        service.finalize()
+
+
+if __name__ == "__main__":
+    main()

@@ -32,8 +32,11 @@ from repro.clock import Clock, ManualClock, SimulatedClock, WallClock
 from repro.core import (
     DEFAULT_WINDOW,
     FileBackend,
+    FleetSample,
+    FleetSummary,
     HealthStatus,
     Heartbeat,
+    HeartbeatAggregator,
     HeartbeatError,
     HeartbeatMonitor,
     HeartbeatRecord,
@@ -50,6 +53,9 @@ __all__ = [
     "HeartbeatMonitor",
     "MonitorReading",
     "HealthStatus",
+    "HeartbeatAggregator",
+    "FleetSample",
+    "FleetSummary",
     "HeartbeatRecord",
     "HeartbeatError",
     "MemoryBackend",

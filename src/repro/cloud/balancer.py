@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cloud.cluster import CloudCluster, CloudNode, CloudVM
-from repro.core.monitor import HeartbeatMonitor
+from repro.core.aggregator import FleetSample, HeartbeatAggregator
 
 __all__ = ["BalancerAction", "HeartbeatLoadBalancer"]
 
@@ -36,6 +36,11 @@ class BalancerAction:
     reason: str
 
 
+def _stream_name(vm: CloudVM) -> str:
+    """Aggregator stream name for one VM's heartbeat."""
+    return f"vm-{vm.vm_id}"
+
+
 class HeartbeatLoadBalancer:
     """Observes every VM's heartbeats and manages placement.
 
@@ -49,6 +54,11 @@ class HeartbeatLoadBalancer:
     headroom:
         Fractional rate above a VM's target maximum regarded as "comfortably
         exceeding" its goal for consolidation purposes.
+    num_shards:
+        Reader shards of the underlying
+        :class:`~repro.core.aggregator.HeartbeatAggregator`; every management
+        pass observes the whole fleet with one sharded poll instead of one
+        monitor round-trip per VM.
     """
 
     def __init__(
@@ -57,6 +67,7 @@ class HeartbeatLoadBalancer:
         *,
         liveness_timeout: float = 5.0,
         headroom: float = 0.2,
+        num_shards: int = 1,
     ) -> None:
         if liveness_timeout <= 0:
             raise ValueError(f"liveness_timeout must be positive, got {liveness_timeout}")
@@ -66,50 +77,93 @@ class HeartbeatLoadBalancer:
         self.liveness_timeout = float(liveness_timeout)
         self.headroom = float(headroom)
         self.actions: list[BalancerAction] = []
-        self._monitors: dict[int, HeartbeatMonitor] = {}
+        self._aggregator = HeartbeatAggregator(
+            clock=cluster.clock,
+            liveness_timeout=self.liveness_timeout,
+            num_shards=num_shards,
+        )
+        self._last_sample: FleetSample | None = None
 
     # ------------------------------------------------------------------ #
     # Observation
     # ------------------------------------------------------------------ #
-    def monitor_for(self, vm: CloudVM) -> HeartbeatMonitor:
-        """The (cached) monitor observing ``vm``'s heartbeat stream."""
-        monitor = self._monitors.get(vm.vm_id)
-        if monitor is None:
-            monitor = HeartbeatMonitor.attach(
-                vm.heartbeat, liveness_timeout=self.liveness_timeout
-            )
-            self._monitors[vm.vm_id] = monitor
-        return monitor
+    @property
+    def aggregator(self) -> HeartbeatAggregator:
+        """The fleet aggregator observing every VM's heartbeat stream."""
+        return self._aggregator
+
+    def observe(self) -> FleetSample:
+        """Poll every VM's heartbeats in one sharded pass."""
+        self._sync_streams()
+        self._last_sample = self._aggregator.poll()
+        return self._last_sample
 
     def vm_rate(self, vm: CloudVM) -> float:
-        return self.monitor_for(vm).current_rate()
+        """The VM's observed heart rate; ``0.0`` when its stream is unreadable."""
+        reading = self._fleet().get(_stream_name(vm))
+        return reading.rate if reading is not None else 0.0
 
     def vm_alive(self, vm: CloudVM) -> bool:
-        return self.monitor_for(vm).is_alive(self.liveness_timeout)
+        """Liveness of the VM's stream; an unreadable stream counts as dead."""
+        reading = self._fleet().get(_stream_name(vm))
+        if reading is None:
+            return False
+        return reading.age is not None and reading.age <= self.liveness_timeout
+
+    def _fleet(self) -> FleetSample:
+        """The current fleet sample, reusing this tick's poll when possible."""
+        sample = self._last_sample
+        if sample is not None and sample.taken_at == self.cluster.clock.now():
+            # Membership, not count: same-tick VM churn (one added, one
+            # removed) must invalidate the cache, and errored streams —
+            # absent from the readings but present in errors — must not.
+            observed = set(sample.names) | set(sample.errors)
+            if observed == {_stream_name(vm) for vm in self.cluster.vms.values()}:
+                return sample
+        return self.observe()
+
+    def _sync_streams(self) -> None:
+        """Reconcile aggregator attachments with the cluster's VM set."""
+        current = {_stream_name(vm): vm for vm in self.cluster.vms.values()}
+        for name in self._aggregator.names:
+            if name not in current:
+                self._aggregator.detach(name)
+        for name, vm in current.items():
+            if name not in self._aggregator:
+                self._aggregator.attach(name, vm.heartbeat)
 
     # ------------------------------------------------------------------ #
     # Management pass
     # ------------------------------------------------------------------ #
     def manage(self) -> list[BalancerAction]:
         """Run one observe-decide-act pass; returns the actions taken."""
+        fleet = self.observe()
         actions: list[BalancerAction] = []
-        actions.extend(self._handle_failures())
-        actions.extend(self._handle_slow_vms())
-        actions.extend(self._consolidate())
+        actions.extend(self._handle_failures(fleet))
+        actions.extend(self._handle_slow_vms(fleet))
+        actions.extend(self._consolidate(fleet))
         self.actions.extend(actions)
         return actions
 
     # ------------------------------------------------------------------ #
     # Individual behaviours
     # ------------------------------------------------------------------ #
-    def _handle_failures(self) -> list[BalancerAction]:
+    def _handle_failures(self, fleet: FleetSample) -> list[BalancerAction]:
         actions: list[BalancerAction] = []
         for vm in self.cluster.vms.values():
             if not vm.placed:
                 continue
+            reading = fleet.get(_stream_name(vm))
             node = self.cluster.nodes[vm.node_id]
             node_failed = not node.alive
-            silent = vm.heartbeat.count > 0 and not self.vm_alive(vm)
+            # A stream that errored during the poll (reading is None) is as
+            # good as silent: its producer can no longer be observed.
+            silent = reading is None or (
+                reading.total_beats > 0
+                and not (reading.age is not None and reading.age <= self.liveness_timeout)
+            )
+            if reading is None and vm.heartbeat.count == 0:
+                silent = False  # never-started VM, not a failure signal
             if node_failed or silent:
                 target = self._best_node(exclude={vm.node_id})
                 if target is None:
@@ -129,7 +183,7 @@ class HeartbeatLoadBalancer:
                 )
         return actions
 
-    def _handle_slow_vms(self) -> list[BalancerAction]:
+    def _handle_slow_vms(self, fleet: FleetSample) -> list[BalancerAction]:
         actions: list[BalancerAction] = []
         for vm in self.cluster.vms.values():
             if not vm.placed:
@@ -146,8 +200,11 @@ class HeartbeatLoadBalancer:
                         )
                     )
                 continue
-            rate = self.vm_rate(vm)
-            if vm.heartbeat.count < 2 or rate >= vm.target_min:
+            reading = fleet.get(_stream_name(vm))
+            if reading is None or reading.total_beats < 2:
+                continue
+            rate = reading.rate
+            if rate >= vm.target_min:
                 continue
             # Below target: find a node with more headroom than the current one.
             current = vm.node_id
@@ -169,17 +226,17 @@ class HeartbeatLoadBalancer:
                 )
         return actions
 
-    def _consolidate(self) -> list[BalancerAction]:
+    def _consolidate(self, fleet: FleetSample) -> list[BalancerAction]:
         actions: list[BalancerAction] = []
         # Only consolidate when every placed VM comfortably exceeds its goal.
         placed = [vm for vm in self.cluster.vms.values() if vm.placed]
         if not placed:
             return actions
         for vm in placed:
-            if vm.heartbeat.count < 2:
+            reading = fleet.get(_stream_name(vm))
+            if reading is None or reading.total_beats < 2:
                 return actions
-            rate = self.vm_rate(vm)
-            if rate < vm.target_max * (1.0 + self.headroom):
+            if reading.rate < vm.target_max * (1.0 + self.headroom):
                 return actions
         # Pack VMs onto the fewest nodes whose capacity covers their demand.
         nodes = sorted(
@@ -231,6 +288,11 @@ class HeartbeatLoadBalancer:
                     )
                 )
         return actions
+
+    def close(self) -> None:
+        """Release the fleet aggregator (idempotent)."""
+        self._aggregator.close()
+        self._last_sample = None
 
     # ------------------------------------------------------------------ #
     # Helpers

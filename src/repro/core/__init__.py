@@ -7,6 +7,7 @@ object API, the C-style functional API of Table 1, the storage backends
 :class:`HeartbeatMonitor`.
 """
 
+from repro.core.aggregator import FleetSample, FleetSummary, HeartbeatAggregator
 from repro.core.api import (
     HB_current_rate,
     HB_finalize,
@@ -15,6 +16,7 @@ from repro.core.api import (
     HB_get_target_min,
     HB_global_rate,
     HB_heartbeat,
+    HB_heartbeat_n,
     HB_initialize,
     HB_is_initialized,
     HB_set_target_rate,
@@ -58,6 +60,9 @@ __all__ = [
     "HeartbeatMonitor",
     "MonitorReading",
     "HealthStatus",
+    "HeartbeatAggregator",
+    "FleetSample",
+    "FleetSummary",
     "HeartbeatRegistry",
     "HeartbeatRecord",
     "CircularBuffer",
@@ -65,6 +70,7 @@ __all__ = [
     # functional API (Table 1)
     "HB_initialize",
     "HB_heartbeat",
+    "HB_heartbeat_n",
     "HB_current_rate",
     "HB_set_target_rate",
     "HB_get_target_min",

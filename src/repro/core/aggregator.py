@@ -1,0 +1,463 @@
+"""Sharded fleet-level aggregation of many heartbeat streams.
+
+The paper's external observer (Figure 1b) reads *one* application's
+heartbeats.  Scaling that idea to a cluster manager or load balancer watching
+thousands of instrumented applications turns the observer into a fan-in
+problem: polling streams one at a time from one thread makes the observation
+period grow linearly with the fleet, which is exactly the single-stream
+bottleneck batched fan-in aggregation removes in massively parallel
+evaluation loops.
+
+:class:`HeartbeatAggregator` is that fan-in stage.  It attaches to any mix of
+stream kinds — in-process :class:`~repro.core.heartbeat.Heartbeat` objects,
+heartbeat log files, shared-memory segments, whole registries, or raw
+snapshot providers — shards them across a pool of reader threads, and turns
+one :meth:`poll` into a :class:`FleetSample`: a columnar view of every
+stream's rate, goal and health on which fleet-level queries (:meth:`rates`,
+:meth:`lagging`, :meth:`FleetSample.percentiles`) are vectorized numpy
+operations rather than per-stream loops.
+
+Each stream is classified by :func:`repro.core.monitor.reading_from_snapshot`
+— the same rule the per-stream :class:`~repro.core.monitor.HeartbeatMonitor`
+applies — so "slow" means the same thing to a fleet observer as to a
+dedicated one.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.clock import Clock, WallClock
+from repro.core.backends.base import BackendSnapshot
+from repro.core.backends.file import read_heartbeat_log
+from repro.core.backends.shared_memory import SharedMemoryReader
+from repro.core.errors import HeartbeatError, MonitorAttachError
+from repro.core.heartbeat import Heartbeat
+from repro.core.monitor import (
+    HealthStatus,
+    HeartbeatMonitor,
+    MonitorReading,
+    reading_from_snapshot,
+)
+from repro.core.registry import HeartbeatRegistry
+
+__all__ = ["HeartbeatAggregator", "FleetSample", "FleetSummary"]
+
+
+@dataclass(frozen=True, slots=True)
+class FleetSummary:
+    """Aggregate statistics over one :class:`FleetSample`.
+
+    ``streams`` counts every attached stream; ``measurable`` only those with
+    at least two beats (streams still warming up have no defined rate and are
+    excluded from the rate statistics and percentiles).
+    """
+
+    streams: int
+    measurable: int
+    mean: float
+    minimum: float
+    maximum: float
+    std: float
+    percentiles: Mapping[float, float]
+    lagging: int
+    stalled: int
+
+
+@dataclass(frozen=True, slots=True)
+class FleetSample:
+    """One consistent observation of every attached stream.
+
+    ``names`` and ``readings`` are parallel sequences in attachment order.
+    Streams whose source failed to answer (e.g. their writer exited and the
+    segment vanished mid-poll) appear in ``errors`` instead, so one dead
+    producer never poisons the fleet view.
+    """
+
+    names: tuple[str, ...]
+    readings: tuple[MonitorReading, ...]
+    errors: Mapping[str, str]
+    taken_at: float
+    _by_name: dict[str, MonitorReading] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_by_name", dict(zip(self.names, self.readings, strict=True))
+        )
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __iter__(self) -> Iterator[tuple[str, MonitorReading]]:
+        return iter(zip(self.names, self.readings))
+
+    def reading(self, name: str) -> MonitorReading:
+        """The reading for one stream (``KeyError`` if absent or errored)."""
+        return self._by_name[name]
+
+    def get(self, name: str) -> MonitorReading | None:
+        """Like :meth:`reading`, but ``None`` for absent or errored streams."""
+        return self._by_name.get(name)
+
+    # ------------------------------------------------------------------ #
+    # Vectorized fleet queries
+    # ------------------------------------------------------------------ #
+    def rates(self) -> np.ndarray:
+        """Per-stream windowed heart rates, in attachment order."""
+        return np.array([r.rate for r in self.readings], dtype=np.float64)
+
+    def total_beats(self) -> int:
+        """Total beats ever produced across the fleet."""
+        return int(sum(r.total_beats for r in self.readings))
+
+    def lagging(self, target: float | None = None) -> list[str]:
+        """Streams making less progress than required, worst first.
+
+        With ``target=None`` a stream lags when it is classified SLOW or
+        STALLED against its own published goal; with an explicit ``target``
+        every measurable stream whose rate is below it (and every stalled
+        stream) lags.  Results are sorted by rate ascending so the most
+        starved stream leads — the order a balancer wants to service.
+        """
+        out: list[tuple[float, str]] = []
+        for name, reading in self:
+            if reading.status is HealthStatus.STALLED:
+                out.append((reading.rate, name))
+            elif target is None:
+                if reading.status is HealthStatus.SLOW:
+                    out.append((reading.rate, name))
+            elif reading.total_beats >= 2 and reading.rate < target:
+                out.append((reading.rate, name))
+        return [name for _, name in sorted(out)]
+
+    def stalled(self) -> list[str]:
+        """Streams whose last beat is older than the liveness timeout."""
+        return [n for n, r in self if r.status is HealthStatus.STALLED]
+
+    def by_status(self) -> dict[HealthStatus, list[str]]:
+        """Stream names grouped by health classification."""
+        out: dict[HealthStatus, list[str]] = {status: [] for status in HealthStatus}
+        for name, reading in self:
+            out[reading.status].append(name)
+        return out
+
+    def _measurable_rates(self) -> np.ndarray:
+        """Rates of streams with a defined rate (at least two beats)."""
+        return np.array(
+            [r.rate for r in self.readings if r.total_beats >= 2], dtype=np.float64
+        )
+
+    def percentiles(self, q: Sequence[float] = (50.0, 90.0, 99.0)) -> dict[float, float]:
+        """Rate percentiles over the measurable streams (empty fleet: zeros)."""
+        return _rate_percentiles(self._measurable_rates(), q)
+
+    def summary(self, q: Sequence[float] = (50.0, 90.0, 99.0)) -> FleetSummary:
+        """Compact fleet-health roll-up (the observer's dashboard line)."""
+        measurable = self._measurable_rates()
+        lagging = sum(1 for r in self.readings if r.status is HealthStatus.SLOW)
+        stalled = sum(1 for r in self.readings if r.status is HealthStatus.STALLED)
+        empty = measurable.size == 0
+        return FleetSummary(
+            streams=len(self.names),
+            measurable=int(measurable.size),
+            mean=0.0 if empty else float(np.mean(measurable)),
+            minimum=0.0 if empty else float(np.min(measurable)),
+            maximum=0.0 if empty else float(np.max(measurable)),
+            std=0.0 if empty else float(np.std(measurable)),
+            percentiles=_rate_percentiles(measurable, q),
+            lagging=lagging,
+            stalled=stalled,
+        )
+
+
+def _rate_percentiles(rates: np.ndarray, q: Sequence[float]) -> dict[float, float]:
+    """Percentile dict over a rate array; an empty array yields all zeros."""
+    if rates.size == 0:
+        return {float(p): 0.0 for p in q}
+    values = np.percentile(rates, list(q))
+    return {float(p): float(v) for p, v in zip(q, values, strict=True)}
+
+
+class _Stream:
+    """One attached stream: a snapshot provider plus its teardown hook."""
+
+    __slots__ = ("name", "source", "close")
+
+    def __init__(
+        self,
+        name: str,
+        source: Callable[[], BackendSnapshot],
+        close: Callable[[], None] | None,
+    ) -> None:
+        self.name = name
+        self.source = source
+        self.close = close
+
+
+class HeartbeatAggregator:
+    """Fan-in observer over many heartbeat streams.
+
+    Parameters
+    ----------
+    clock:
+        Time base used for beat ages and liveness; it must match the clock
+        the producers stamp beats with (simulated fleets pass the shared
+        simulated clock).
+    window:
+        Rate window applied to every stream; ``0`` uses each producer's
+        published default window.
+    liveness_timeout:
+        Seconds without a beat after which a stream is classified STALLED.
+        ``None`` disables the check.
+    num_shards:
+        Number of reader threads the attached streams are sharded across
+        during :meth:`poll`.  ``0`` selects a shard per CPU (capped at 8);
+        ``1`` polls inline with no thread hand-off.
+    """
+
+    def __init__(
+        self,
+        *,
+        clock: Clock | None = None,
+        window: int = 0,
+        liveness_timeout: float | None = None,
+        num_shards: int = 1,
+    ) -> None:
+        if num_shards < 0:
+            raise ValueError(f"num_shards must be >= 0, got {num_shards}")
+        if num_shards == 0:
+            num_shards = min(os.cpu_count() or 1, 8)
+        self._clock = clock if clock is not None else WallClock()
+        self._window = int(window)
+        self._liveness_timeout = liveness_timeout
+        self._num_shards = int(num_shards)
+        self._lock = threading.Lock()
+        self._streams: dict[str, _Stream] = {}
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Attachment
+    # ------------------------------------------------------------------ #
+    def attach(self, name: str, heartbeat: Heartbeat) -> None:
+        """Attach an in-process heartbeat object as stream ``name``."""
+        self.attach_source(name, heartbeat.backend.snapshot)
+
+    def attach_file(self, name: str, path: str | os.PathLike[str]) -> None:
+        """Attach a heartbeat log file written by a ``FileBackend``."""
+        path = os.fspath(path)
+        if not os.path.exists(path):
+            raise MonitorAttachError(f"heartbeat log {path!r} does not exist")
+
+        def _snapshot() -> BackendSnapshot:
+            default_window, tmin, tmax, records = read_heartbeat_log(path)
+            return BackendSnapshot(
+                records=records,
+                total_beats=int(records.shape[0]),
+                target_min=tmin,
+                target_max=tmax,
+                default_window=default_window,
+            )
+
+        self.attach_source(name, _snapshot)
+
+    def attach_shared_memory(self, name: str, segment: str | None = None) -> None:
+        """Attach a shared-memory segment (``segment`` defaults to ``name``)."""
+        reader = SharedMemoryReader(segment if segment is not None else name)
+        try:
+            self.attach_source(name, reader.snapshot, close=reader.close)
+        except Exception:
+            reader.close()  # don't leak the mapping on a rejected attachment
+            raise
+
+    def attach_monitor(self, name: str, monitor: "HeartbeatMonitor") -> None:
+        """Adopt an existing per-stream monitor attachment as stream ``name``.
+
+        The monitor keeps working independently; closing it (for
+        shared-memory attachments) also invalidates the aggregator's stream,
+        so hand over teardown to :meth:`detach`/:meth:`close` instead.
+        """
+        self.attach_source(name, monitor.snapshot_source)
+
+    def attach_registry(
+        self, registry: HeartbeatRegistry | None = None, *, prefix: str = ""
+    ) -> list[str]:
+        """Attach every stream of a process registry; returns the names used.
+
+        ``registry`` defaults to the process-wide registry behind the
+        functional Table 1 API, so ``attach_registry()`` turns the aggregator
+        into an observer of everything this process instruments.
+        """
+        if registry is None:
+            from repro.core.api import get_registry
+
+            registry = get_registry()
+        attached: list[str] = []
+        streams: list[tuple[str, Heartbeat]] = []
+        if registry.has_global:
+            hb = registry.get(local=False)
+            streams.append((prefix + hb.name, hb))
+        streams.extend(
+            (f"{prefix}{hb.name}", hb) for _, hb in registry.iter_locals()
+        )
+        for name, hb in streams:
+            self.attach(name, hb)
+            attached.append(name)
+        return attached
+
+    def attach_source(
+        self,
+        name: str,
+        source: Callable[[], BackendSnapshot],
+        *,
+        close: Callable[[], None] | None = None,
+    ) -> None:
+        """Attach a raw snapshot provider (the lowest-level attachment)."""
+        with self._lock:
+            if self._closed:
+                raise MonitorAttachError("aggregator is closed")
+            if name in self._streams:
+                raise MonitorAttachError(f"stream {name!r} is already attached")
+            self._streams[name] = _Stream(str(name), source, close)
+
+    def detach(self, name: str) -> None:
+        """Detach one stream, releasing its reader resources."""
+        with self._lock:
+            stream = self._streams.pop(name, None)
+        if stream is None:
+            raise MonitorAttachError(f"no stream named {name!r} is attached")
+        if stream.close is not None:
+            stream.close()
+
+    @property
+    def names(self) -> list[str]:
+        """Names of the attached streams, in attachment order."""
+        with self._lock:
+            return list(self._streams)
+
+    @property
+    def num_shards(self) -> int:
+        return self._num_shards
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._streams)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._streams
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    def poll(self) -> FleetSample:
+        """Snapshot every attached stream and classify the whole fleet.
+
+        Streams are split round-robin over ``num_shards`` reader threads;
+        each shard drains its slice independently, so the wall time of a poll
+        is the slowest shard, not the sum of every stream's read latency.
+        """
+        with self._lock:
+            streams = list(self._streams.values())
+        now = self._clock.now()
+        results: list[tuple[str, MonitorReading] | None] = [None] * len(streams)
+        errors: dict[str, str] = {}
+        error_lock = threading.Lock()
+
+        def _drain(shard: list[tuple[int, _Stream]]) -> None:
+            for index, stream in shard:
+                try:
+                    snap = stream.source()
+                except HeartbeatError as exc:
+                    with error_lock:
+                        errors[stream.name] = str(exc)
+                    continue
+                results[index] = (
+                    stream.name,
+                    reading_from_snapshot(
+                        snap,
+                        now=now,
+                        window=self._window,
+                        liveness_timeout=self._liveness_timeout,
+                    ),
+                )
+
+        shards: list[list[tuple[int, _Stream]]] = [
+            [] for _ in range(min(self._num_shards, max(len(streams), 1)))
+        ]
+        for index, stream in enumerate(streams):
+            shards[index % len(shards)].append((index, stream))
+        if len(shards) == 1:
+            _drain(shards[0])
+        else:
+            pool = self._ensure_pool()
+            for future in [pool.submit(_drain, shard) for shard in shards]:
+                future.result()
+
+        kept = [entry for entry in results if entry is not None]
+        return FleetSample(
+            names=tuple(name for name, _ in kept),
+            readings=tuple(reading for _, reading in kept),
+            errors=errors,
+            taken_at=now,
+        )
+
+    def rates(self) -> dict[str, float]:
+        """Convenience: poll once and return ``{stream name: rate}``."""
+        sample = self.poll()
+        return {name: reading.rate for name, reading in sample}
+
+    def lagging(self, target: float | None = None) -> list[str]:
+        """Convenience: poll once and return the lagging streams, worst first."""
+        return self.poll().lagging(target)
+
+    def summary(self, q: Sequence[float] = (50.0, 90.0, 99.0)) -> FleetSummary:
+        """Convenience: poll once and roll the fleet up into one summary."""
+        return self.poll().summary(q)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Detach every stream and stop the reader pool.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            streams = list(self._streams.values())
+            self._streams.clear()
+            pool, self._pool = self._pool, None
+        for stream in streams:
+            if stream.close is not None:
+                stream.close()
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "HeartbeatAggregator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise MonitorAttachError("aggregator is closed")
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._num_shards,
+                    thread_name_prefix="hb-aggregator",
+                )
+            return self._pool
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HeartbeatAggregator(streams={len(self)}, shards={self._num_shards}, "
+            f"window={self._window})"
+        )

@@ -32,6 +32,7 @@ from repro.core.registry import HeartbeatRegistry
 __all__ = [
     "HB_initialize",
     "HB_heartbeat",
+    "HB_heartbeat_n",
     "HB_current_rate",
     "HB_set_target_rate",
     "HB_get_target_min",
@@ -82,6 +83,17 @@ def HB_initialize(window: int = 0, local: bool = False, **kwargs: object) -> Hea
 def HB_heartbeat(tag: int = 0, local: bool = False) -> int:
     """Register a heartbeat to indicate progress (paper: ``HB_heartbeat``)."""
     return _registry.get(local).heartbeat(tag)
+
+
+def HB_heartbeat_n(n: int, tag: int = 0, local: bool = False) -> int:
+    """Register ``n`` heartbeats in one batched call.
+
+    The batched counterpart of :func:`HB_heartbeat`: one lock acquisition and
+    one vectorized buffer write ingest the whole batch, so instrumenting "one
+    beat per work item" stays affordable even for very fine-grained items.
+    Returns the sequence number of the first beat in the batch.
+    """
+    return _registry.get(local).heartbeat_batch(n, tag)
 
 
 def HB_current_rate(window: int = 0, local: bool = False) -> float:

@@ -61,6 +61,22 @@ class Backend(abc.ABC):
     def append(self, beat: int, timestamp: float, tag: int, thread_id: int) -> None:
         """Persist one heartbeat record."""
 
+    def append_many(self, records: np.ndarray) -> None:
+        """Persist a batch of heartbeat records in production order.
+
+        ``records`` is a structured array of dtype
+        :data:`repro.core.record.RECORD_DTYPE`.  Backends override this with
+        a vectorized implementation (one slab write, one seqlock cycle, one
+        file write); the base implementation falls back to per-record
+        :meth:`append` so third-party backends stay correct without changes.
+        """
+        if records.dtype != RECORD_DTYPE:
+            raise ValueError(f"records dtype must be {RECORD_DTYPE}, got {records.dtype}")
+        for row in records:
+            self.append(
+                int(row["beat"]), float(row["timestamp"]), int(row["tag"]), int(row["thread_id"])
+            )
+
     @abc.abstractmethod
     def set_targets(self, target_min: float, target_max: float) -> None:
         """Publish the application's target heart-rate range."""

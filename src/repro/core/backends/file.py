@@ -90,6 +90,22 @@ class FileBackend(Backend):
         self._fh.write(line)
         self._total += 1
 
+    def append_many(self, records: np.ndarray) -> None:
+        if self._closed:
+            raise BackendError("heartbeat log is closed")
+        if records.dtype != RECORD_DTYPE:
+            raise ValueError(f"records dtype must be {RECORD_DTYPE}, got {records.dtype}")
+        if records.shape[0] == 0:
+            return
+        # tolist() materialises python scalars once; per-row structured-array
+        # field access would dominate the batch otherwise.
+        lines = "".join(
+            f"{beat} {timestamp!r} {tag} {thread_id}\n"
+            for beat, timestamp, tag, thread_id in records.tolist()
+        )
+        self._fh.write(lines.encode("ascii"))
+        self._total += int(records.shape[0])
+
     def set_targets(self, target_min: float, target_max: float) -> None:
         self._target_min = float(target_min)
         self._target_max = float(target_max)

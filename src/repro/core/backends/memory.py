@@ -29,6 +29,9 @@ class MemoryBackend(Backend):
     def append(self, beat: int, timestamp: float, tag: int, thread_id: int) -> None:
         self._buffer.append_raw(beat, timestamp, tag, thread_id)
 
+    def append_many(self, records) -> None:
+        self._buffer.push_many(records)
+
     def set_targets(self, target_min: float, target_max: float) -> None:
         self._target_min = float(target_min)
         self._target_max = float(target_max)

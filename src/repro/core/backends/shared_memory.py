@@ -36,11 +36,20 @@ sees a torn record.
 from __future__ import annotations
 
 from multiprocessing import resource_tracker, shared_memory
+import mmap
 import os
+import sys
+import time
+
+try:  # POSIX only; Windows uses named file mappings with no resource tracker.
+    import _posixshmem
+except ImportError:  # pragma: no cover - non-POSIX platform
+    _posixshmem = None
 
 import numpy as np
 
 from repro.core.backends.base import Backend, BackendSnapshot
+from repro.core.buffer import circular_batch_slices
 from repro.core.errors import BackendError, BackendFormatError
 from repro.core.record import RECORD_DTYPE
 
@@ -70,6 +79,67 @@ assert _HEADER_DTYPE.itemsize == HEADER_SIZE
 def segment_size(capacity: int) -> int:
     """Total shared-memory segment size for ``capacity`` record slots."""
     return HEADER_SIZE + capacity * RECORD_DTYPE.itemsize
+
+
+def _untrack_segment(shm: shared_memory.SharedMemory) -> None:
+    """Remove ``shm`` from this process's resource tracker, if present.
+
+    The tracker assumes whoever registered a segment will also unlink it; a
+    writer whose segment was already unlinked elsewhere must deregister
+    explicitly or the tracker warns about a leaked segment at process exit.
+    """
+    try:  # pragma: no cover - platform dependent
+        resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:
+        pass
+
+
+class _PosixAttachment:
+    """Read/write mapping of an existing POSIX segment, tracker-free.
+
+    Duck-types the slice of :class:`multiprocessing.shared_memory.SharedMemory`
+    the readers use (``buf``, ``name``, ``close``) while opening the segment
+    with ``shm_open`` + ``mmap`` directly, so nothing is ever registered with
+    the resource tracker.
+    """
+
+    __slots__ = ("name", "_name", "_mmap", "buf")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._name = name if name.startswith("/") else "/" + name
+        fd = _posixshmem.shm_open(self._name, os.O_RDWR, mode=0)
+        try:
+            size = os.fstat(fd).st_size
+            self._mmap = mmap.mmap(fd, size)
+        finally:
+            os.close(fd)
+        self.buf: memoryview | None = memoryview(self._mmap)
+
+    def close(self) -> None:
+        if self.buf is not None:
+            self.buf.release()
+            self.buf = None
+            self._mmap.close()
+
+
+def _attach_untracked(name: str):
+    """Attach to an existing segment without registering it for cleanup.
+
+    Only the writer owns a segment's lifetime.  Python < 3.13 registers
+    *every* mapping with the resource tracker, and the tracker — which may be
+    shared with the writer's process — keeps one cache entry per name, so a
+    reader that registers and later unregisters clobbers the writer's entry
+    and turns the writer's eventual unlink into a tracker ``KeyError``.
+    Keeping readers entirely off the tracker's books (what ``track=False``
+    does natively from 3.13 on) avoids both that and the converse leak.
+    """
+    if sys.version_info >= (3, 13):
+        return shared_memory.SharedMemory(name=name, create=False, track=False)
+    if _posixshmem is not None:
+        return _PosixAttachment(name)
+    # Windows named mappings are not resource-tracked; a plain attach is safe.
+    return shared_memory.SharedMemory(name=name, create=False)  # pragma: no cover
 
 
 class _SharedLayout:
@@ -139,6 +209,29 @@ class SharedMemoryBackend(Backend):
         header["total"] = total + 1
         header["sequence"] = int(header["sequence"]) + 1  # even: write published
 
+    def append_many(self, records: np.ndarray) -> None:
+        """Publish a whole batch of records under a single seqlock cycle.
+
+        Observers either see the segment before the batch or after all of it;
+        the per-record protocol would otherwise force a reader racing with a
+        large batch to retry once per record.
+        """
+        if self._closed:
+            raise BackendError("shared-memory backend is closed")
+        if records.dtype != RECORD_DTYPE:
+            raise ValueError(f"records dtype must be {RECORD_DTYPE}, got {records.dtype}")
+        n = int(records.shape[0])
+        if n == 0:
+            return
+        header = self._layout.header
+        total = int(header["total"])
+        placement = circular_batch_slices(total, self.capacity, n)
+        header["sequence"] = int(header["sequence"]) + 1  # odd: write in progress
+        for destination, source in placement:
+            self._layout.records[destination] = records[source]
+        header["total"] = total + n
+        header["sequence"] = int(header["sequence"]) + 1  # even: write published
+
     def set_targets(self, target_min: float, target_max: float) -> None:
         if self._closed:
             raise BackendError("shared-memory backend is closed")
@@ -168,8 +261,11 @@ class SharedMemoryBackend(Backend):
         self._shm.close()
         try:
             self._shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - already unlinked
-            pass
+        except FileNotFoundError:
+            # Someone else already unlinked the segment.  unlink() only
+            # deregisters on success, so deregister explicitly or the
+            # resource tracker reports a leaked segment at process exit.
+            _untrack_segment(self._shm)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SharedMemoryBackend(name={self.name!r}, capacity={self.capacity})"
@@ -184,17 +280,13 @@ class SharedMemoryReader:
 
     def __init__(self, name: str) -> None:
         try:
-            self._shm = shared_memory.SharedMemory(name=name, create=False)
+            # Attach untracked: only the writer owns the segment lifetime, so
+            # a reader must never unlink it (or warn about it) on exit.
+            self._shm = _attach_untracked(name)
         except (OSError, ValueError) as exc:
             raise BackendFormatError(
                 f"cannot attach to shared-memory segment {name!r}: {exc}"
             ) from exc
-        # The reader must not unregister/unlink the writer's segment when it
-        # exits; only the writer owns the segment lifetime.
-        try:  # pragma: no cover - platform dependent
-            resource_tracker.unregister(self._shm._name, "shared_memory")  # type: ignore[attr-defined]
-        except Exception:
-            pass
         header_probe = np.ndarray(
             shape=(), dtype=_HEADER_DTYPE, buffer=self._shm.buf[:HEADER_SIZE]
         )
@@ -236,7 +328,11 @@ class SharedMemoryReader:
 def _read_snapshot(layout: _SharedLayout, capacity: int, n: int | None) -> BackendSnapshot:
     """Seqlock-consistent snapshot of the segment."""
     header = layout.header
-    for _ in range(64):
+    for attempt in range(256):
+        if attempt:
+            # Yield so a writer mid-batch (possibly sharing our GIL) can
+            # publish; escalate to a real sleep if it keeps winning the race.
+            time.sleep(0.0001 if attempt % 32 == 31 else 0)
         seq_before = int(header["sequence"])
         if seq_before % 2 == 1:
             continue  # write in progress; retry

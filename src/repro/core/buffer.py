@@ -16,7 +16,30 @@ import numpy as np
 from repro.core.errors import InvalidWindowError
 from repro.core.record import RECORD_DTYPE, HeartbeatRecord, array_to_records
 
-__all__ = ["CircularBuffer"]
+__all__ = ["CircularBuffer", "circular_batch_slices"]
+
+
+def circular_batch_slices(
+    total: int, capacity: int, n: int
+) -> list[tuple[slice, slice]]:
+    """Placement of an ``n``-record batch into a circular array of ``capacity``.
+
+    Returns ``(destination, source)`` slice pairs — one pair, or two when the
+    batch wraps around the end of the storage — that place the last
+    ``min(n, capacity)`` records of the batch at the slots they would occupy
+    had every record been appended individually after ``total`` prior
+    appends.  Shared by :meth:`CircularBuffer.push_many` and the
+    shared-memory backend's batched seqlock write so the nontrivial index
+    math lives in exactly one place.
+    """
+    keep = min(n, capacity)
+    skip = n - keep
+    start = (total + skip) % capacity
+    first = min(keep, capacity - start)
+    pairs = [(slice(start, start + first), slice(skip, skip + first))]
+    if keep > first:
+        pairs.append((slice(0, keep - first), slice(skip + first, n)))
+    return pairs
 
 
 class CircularBuffer:
@@ -104,6 +127,27 @@ class CircularBuffer:
         slot = self._total % self._capacity
         self._data[slot] = (beat, timestamp, tag, thread_id)
         self._total += 1
+
+    def push_many(self, records: np.ndarray) -> None:
+        """Append a batch of records with at most two slab writes.
+
+        ``records`` must be a structured array of dtype
+        :data:`repro.core.record.RECORD_DTYPE` in production order.  The
+        result is identical to appending each record individually — including
+        eviction of the oldest records — but the copy is vectorized: the
+        batch lands as one contiguous slice assignment, or two when it wraps
+        around the end of the circular storage.  Batches larger than the
+        capacity keep only their last ``capacity`` records, placed at the
+        slots they would have occupied had every record been appended.
+        """
+        if records.dtype != RECORD_DTYPE:
+            raise ValueError(f"records dtype must be {RECORD_DTYPE}, got {records.dtype}")
+        n = int(records.shape[0])
+        if n == 0:
+            return
+        for destination, source in circular_batch_slices(self._total, self._capacity, n):
+            self._data[destination] = records[source]
+        self._total += n
 
     def clear(self) -> None:
         """Drop all retained records and reset the total counter."""

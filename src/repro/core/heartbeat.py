@@ -13,6 +13,7 @@ Paper (Table 1)             This class
 ==========================  =======================================
 ``HB_initialize``           ``Heartbeat(window=..., ...)``
 ``HB_heartbeat``            :meth:`heartbeat`
+``HB_heartbeat_n``          :meth:`heartbeat_batch`
 ``HB_current_rate``         :meth:`current_rate`
 ``HB_set_target_rate``      :meth:`set_target_rate`
 ``HB_get_target_min``       :meth:`target_min` (property)
@@ -40,7 +41,7 @@ from repro.core.errors import (
     InvalidWindowError,
 )
 from repro.core.rate import global_rate, windowed_rate
-from repro.core.record import HeartbeatRecord
+from repro.core.record import RECORD_DTYPE, HeartbeatRecord
 from repro.core.window import MAX_WINDOW, resolve_window, validate_default_window
 
 __all__ = ["Heartbeat"]
@@ -125,6 +126,64 @@ class Heartbeat:
                 self._first_timestamp = now
             self._last_timestamp = now
             return beat
+
+    def heartbeat_batch(
+        self,
+        n: int,
+        tag: int | Sequence[int] | np.ndarray = 0,
+        *,
+        thread_id: int | None = None,
+    ) -> int:
+        """Register ``n`` heartbeats at once; return the first sequence number.
+
+        The batched ingestion path: one lock acquisition, one clock read and
+        one vectorized backend write cover the whole batch, so the amortized
+        per-beat cost is a small fraction of :meth:`heartbeat`'s — the paper's
+        one-beat-per-25 000-options amortization without losing the beat
+        count.  The batch says "``n`` units of work finished since the last
+        beat", so the records' timestamps are spread linearly across the
+        interval from the previous beat to now (ending exactly at now); rate
+        windows that fall inside a single batch therefore still measure the
+        true throughput instead of a zero span.  The first-ever batch has no
+        preceding beat and stamps every record with the current time.
+
+        ``tag`` may be a scalar (stamped on every record) or a length-``n``
+        sequence of per-record tags.  ``heartbeat_batch(1)`` is equivalent to
+        :meth:`heartbeat` including its return value; ``n == 0`` is a no-op
+        that returns the sequence number the next beat will receive.
+        Negative ``n`` raises ``ValueError``.
+        """
+        if self._closed:
+            raise HeartbeatClosedError(f"heartbeat {self.name!r} is finalized")
+        if isinstance(n, bool) or not isinstance(n, (int, np.integer)):
+            raise ValueError(f"n must be an int, got {n!r}")
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        tid = threading.get_ident() if thread_id is None else int(thread_id)
+        with self._lock:
+            if n == 0:
+                return self._count
+            now = self._clock.now()
+            first = self._count
+            n = int(n)
+            records = np.empty(n, dtype=RECORD_DTYPE)
+            records["beat"] = np.arange(first, first + n, dtype=np.int64)
+            previous = self._last_timestamp
+            if previous is None or previous >= now:
+                records["timestamp"] = now
+            else:
+                step = (now - previous) / n
+                timestamps = previous + step * np.arange(1, n + 1)
+                timestamps[-1] = now  # exact, despite float rounding
+                records["timestamp"] = timestamps
+            records["tag"] = tag  # scalar broadcast or per-record array
+            records["thread_id"] = tid
+            self._backend.append_many(records)
+            self._count += int(n)
+            if self._first_timestamp is None:
+                self._first_timestamp = now
+            self._last_timestamp = now
+            return first
 
     def set_target_rate(self, target_min: float, target_max: float) -> None:
         """Publish the heart-rate range this application wants to maintain."""

@@ -40,7 +40,7 @@ from repro.core.rate import windowed_rate
 from repro.core.record import RECORD_DTYPE, HeartbeatRecord, array_to_records
 from repro.core.window import resolve_window
 
-__all__ = ["HeartbeatMonitor", "HealthStatus", "MonitorReading"]
+__all__ = ["HeartbeatMonitor", "HealthStatus", "MonitorReading", "reading_from_snapshot"]
 
 
 class HealthStatus(Enum):
@@ -82,6 +82,61 @@ class MonitorReading:
     @property
     def in_target(self) -> bool:
         return self.status is HealthStatus.HEALTHY
+
+
+def reading_from_snapshot(
+    snap: BackendSnapshot,
+    *,
+    now: float,
+    window: int = 0,
+    liveness_timeout: float | None = None,
+) -> MonitorReading:
+    """Classify one backend snapshot into a :class:`MonitorReading`.
+
+    This is the single interpretation of a heartbeat stream's state shared by
+    the per-stream :class:`HeartbeatMonitor` and the fleet-level
+    :class:`repro.core.aggregator.HeartbeatAggregator`, so a stream is
+    "slow" or "stalled" by exactly the same rule no matter which observer is
+    asking.  ``now`` is the observer's current time in the producer's time
+    base.
+    """
+    requested = int(window)
+    default_window = snap.default_window if snap.default_window > 0 else max(requested, 1)
+    effective = resolve_window(requested, default_window, snap.retained)
+    timestamps = snap.records["timestamp"]
+    rate = windowed_rate(timestamps[timestamps.shape[0] - effective :]) if effective >= 2 else 0.0
+    last_ts: float | None = float(timestamps[-1]) if timestamps.shape[0] else None
+    age = (now - last_ts) if last_ts is not None else None
+    status = _classify_snapshot(rate, snap, age, liveness_timeout)
+    return MonitorReading(
+        rate=rate,
+        total_beats=snap.total_beats,
+        target_min=snap.target_min,
+        target_max=snap.target_max,
+        last_timestamp=last_ts,
+        age=age,
+        status=status,
+    )
+
+
+def _classify_snapshot(
+    rate: float,
+    snap: BackendSnapshot,
+    age: float | None,
+    liveness_timeout: float | None,
+) -> HealthStatus:
+    if snap.retained == 0:
+        return HealthStatus.UNKNOWN
+    if liveness_timeout is not None and age is not None and age > liveness_timeout:
+        return HealthStatus.STALLED
+    if snap.target_min <= 0.0 and snap.target_max <= 0.0:
+        # No published goal: any progress is healthy.
+        return HealthStatus.HEALTHY
+    if rate < snap.target_min:
+        return HealthStatus.SLOW
+    if snap.target_max > 0.0 and rate > snap.target_max:
+        return HealthStatus.FAST
+    return HealthStatus.HEALTHY
 
 
 class HeartbeatMonitor:
@@ -191,24 +246,21 @@ class HeartbeatMonitor:
     # ------------------------------------------------------------------ #
     def read(self, window: int | None = None) -> MonitorReading:
         """Poll the source and classify the application's current health."""
-        snap = self._source()
-        requested = self._window if window is None else int(window)
-        default_window = snap.default_window if snap.default_window > 0 else max(requested, 1)
-        effective = resolve_window(requested, default_window, snap.retained)
-        timestamps = snap.records["timestamp"]
-        rate = windowed_rate(timestamps[timestamps.shape[0] - effective :]) if effective >= 2 else 0.0
-        last_ts: float | None = float(timestamps[-1]) if timestamps.shape[0] else None
-        age = (self._clock.now() - last_ts) if last_ts is not None else None
-        status = self._classify(rate, snap, age)
-        return MonitorReading(
-            rate=rate,
-            total_beats=snap.total_beats,
-            target_min=snap.target_min,
-            target_max=snap.target_max,
-            last_timestamp=last_ts,
-            age=age,
-            status=status,
+        return reading_from_snapshot(
+            self._source(),
+            now=self._clock.now(),
+            window=self._window if window is None else int(window),
+            liveness_timeout=self._liveness_timeout,
         )
+
+    @property
+    def snapshot_source(self) -> Callable[[], BackendSnapshot]:
+        """The snapshot provider this monitor polls.
+
+        Exposed so a :class:`repro.core.aggregator.HeartbeatAggregator` can
+        adopt an existing monitor attachment as one stream of a fleet.
+        """
+        return self._source
 
     def current_rate(self, window: int | None = None) -> float:
         """Convenience: the windowed rate only."""
@@ -255,25 +307,3 @@ class HeartbeatMonitor:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    # ------------------------------------------------------------------ #
-    # Internals
-    # ------------------------------------------------------------------ #
-    def _classify(
-        self, rate: float, snap: BackendSnapshot, age: float | None
-    ) -> HealthStatus:
-        if snap.retained == 0:
-            return HealthStatus.UNKNOWN
-        if (
-            self._liveness_timeout is not None
-            and age is not None
-            and age > self._liveness_timeout
-        ):
-            return HealthStatus.STALLED
-        if snap.target_min <= 0.0 and snap.target_max <= 0.0:
-            # No published goal: any progress is healthy.
-            return HealthStatus.HEALTHY
-        if rate < snap.target_min:
-            return HealthStatus.SLOW
-        if snap.target_max > 0.0 and rate > snap.target_max:
-            return HealthStatus.FAST
-        return HealthStatus.HEALTHY

@@ -11,7 +11,7 @@ ladder and the cost model the simulated-machine experiments use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

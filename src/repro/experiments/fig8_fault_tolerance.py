@@ -16,7 +16,7 @@ rate, which is the paper's point about the generality of the approach.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -24,7 +24,6 @@ import time
 from typing import Sequence
 
 # Importing the experiment modules populates the registry.
-from repro.experiments import base as _base
 from repro.experiments import (  # noqa: F401  (imported for registration side effects)
     fig2_x264_phases,
     fig3_adaptive_rate,

@@ -1,0 +1,274 @@
+"""Tests for the sharded multi-stream heartbeat aggregator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import api
+from repro.core.aggregator import HeartbeatAggregator
+from repro.core.backends import FileBackend, SharedMemoryBackend
+from repro.core.errors import HeartbeatError, MonitorAttachError
+from repro.core.heartbeat import Heartbeat
+from repro.core.monitor import HealthStatus
+
+
+def build_fleet(clock, agg, n=6, *, window=10, target=(5.0, 100.0)):
+    """Attach ``n`` heartbeats beating at 10/(i+1) beats/s for 10 seconds."""
+    streams = {}
+    for i in range(n):
+        hb = Heartbeat(window=window, clock=clock, name=f"s{i}")
+        hb.set_target_rate(*target)
+        agg.attach(f"s{i}", hb)
+        streams[f"s{i}"] = hb
+    for tick in range(100):
+        clock.advance(0.1)
+        for i, hb in enumerate(streams.values()):
+            if tick % (i + 1) == 0:
+                hb.heartbeat()
+    return streams
+
+
+class TestAttachment:
+    def test_attach_and_names_in_order(self, sim_clock):
+        agg = HeartbeatAggregator(clock=sim_clock)
+        for i in range(5):
+            agg.attach(f"s{i}", Heartbeat(window=10, clock=sim_clock))
+        assert agg.names == [f"s{i}" for i in range(5)]
+        assert len(agg) == 5
+        assert "s3" in agg and "nope" not in agg
+
+    def test_duplicate_name_rejected(self, sim_clock):
+        agg = HeartbeatAggregator(clock=sim_clock)
+        agg.attach("dup", Heartbeat(window=10, clock=sim_clock))
+        with pytest.raises(MonitorAttachError):
+            agg.attach("dup", Heartbeat(window=10, clock=sim_clock))
+
+    def test_rejected_shared_memory_attach_closes_reader(self, sim_clock):
+        backend = SharedMemoryBackend(capacity=16)
+        hb = Heartbeat(window=5, clock=sim_clock, backend=backend)
+        agg = HeartbeatAggregator(clock=sim_clock)
+        agg.attach("dup", Heartbeat(window=5, clock=sim_clock))
+        try:
+            with pytest.raises(MonitorAttachError):
+                agg.attach_shared_memory("dup", backend.name)  # name collision
+            # The rejected reader must not keep a mapping open: the writer can
+            # still close and unlink its segment without a dangling attach.
+        finally:
+            agg.close()
+            hb.finalize()
+
+    def test_detach(self, sim_clock):
+        agg = HeartbeatAggregator(clock=sim_clock)
+        agg.attach("a", Heartbeat(window=10, clock=sim_clock))
+        agg.detach("a")
+        assert len(agg) == 0
+        with pytest.raises(MonitorAttachError):
+            agg.detach("a")
+
+    def test_attach_file_stream(self, tmp_path, sim_clock):
+        backend = FileBackend(tmp_path / "stream.log")
+        hb = Heartbeat(window=5, clock=sim_clock, backend=backend)
+        for _ in range(6):
+            sim_clock.advance(0.5)
+            hb.heartbeat()
+        agg = HeartbeatAggregator(clock=sim_clock)
+        agg.attach_file("logged", tmp_path / "stream.log")
+        assert agg.rates()["logged"] == pytest.approx(2.0)
+        hb.finalize()
+
+    def test_attach_file_missing_rejected(self, tmp_path):
+        agg = HeartbeatAggregator()
+        with pytest.raises(MonitorAttachError):
+            agg.attach_file("missing", tmp_path / "nope.log")
+
+    def test_attach_shared_memory_stream(self, sim_clock):
+        backend = SharedMemoryBackend(capacity=64)
+        hb = Heartbeat(window=5, clock=sim_clock, backend=backend)
+        for _ in range(10):
+            sim_clock.advance(0.25)
+            hb.heartbeat()
+        agg = HeartbeatAggregator(clock=sim_clock)
+        agg.attach_shared_memory("shm", backend.name)
+        try:
+            assert agg.rates()["shm"] == pytest.approx(4.0)
+        finally:
+            agg.close()  # must close the reader before the writer unlinks
+            hb.finalize()
+
+    def test_attach_monitor(self, sim_clock):
+        from repro.core.monitor import HeartbeatMonitor
+
+        hb = Heartbeat(window=5, clock=sim_clock)
+        monitor = HeartbeatMonitor.attach(hb)
+        agg = HeartbeatAggregator(clock=sim_clock)
+        agg.attach_monitor("adopted", monitor)
+        for _ in range(6):
+            sim_clock.advance(0.5)
+            hb.heartbeat()
+        assert agg.rates()["adopted"] == pytest.approx(monitor.current_rate())
+
+    def test_attach_registry(self, sim_clock):
+        api.reset_registry()
+        try:
+            api.HB_initialize(window=10, clock=sim_clock)
+            api.HB_initialize(window=10, local=True, clock=sim_clock)
+            agg = HeartbeatAggregator(clock=sim_clock)
+            names = agg.attach_registry()
+            assert "global" in names and any(n.startswith("local-") for n in names)
+            assert len(agg) == 2
+        finally:
+            api.reset_registry()
+
+    def test_closed_aggregator_rejects_attach(self, sim_clock):
+        agg = HeartbeatAggregator(clock=sim_clock)
+        agg.close()
+        with pytest.raises(MonitorAttachError):
+            agg.attach("late", Heartbeat(window=10, clock=sim_clock))
+
+
+class TestFleetQueries:
+    def test_rates_match_per_stream_monitors(self, sim_clock):
+        agg = HeartbeatAggregator(clock=sim_clock)
+        streams = build_fleet(sim_clock, agg)
+        from repro.core.monitor import HeartbeatMonitor
+
+        rates = agg.rates()
+        for name, hb in streams.items():
+            assert rates[name] == pytest.approx(HeartbeatMonitor.attach(hb).current_rate())
+
+    def test_lagging_sorted_worst_first(self, sim_clock):
+        agg = HeartbeatAggregator(clock=sim_clock)
+        build_fleet(sim_clock, agg, n=6)  # rates 10, 5, 3.3, 2.5, 2, 1.7
+        lagging = agg.lagging()  # published target_min is 5.0
+        assert lagging == ["s5", "s4", "s3", "s2"]
+
+    def test_lagging_with_explicit_target(self, sim_clock):
+        agg = HeartbeatAggregator(clock=sim_clock)
+        build_fleet(sim_clock, agg, n=4)  # rates 10, 5, 3.33, 2.5
+        assert agg.lagging(4.0) == ["s3", "s2"]
+
+    def test_percentiles_and_summary(self, sim_clock):
+        agg = HeartbeatAggregator(clock=sim_clock)
+        build_fleet(sim_clock, agg, n=5)
+        sample = agg.poll()
+        rates = sample.rates()
+        assert rates.shape == (5,)
+        pct = sample.percentiles((0.0, 50.0, 100.0))
+        assert pct[0.0] == pytest.approx(float(np.min(rates)))
+        assert pct[100.0] == pytest.approx(float(np.max(rates)))
+        summary = sample.summary()
+        assert summary.streams == summary.measurable == 5
+        assert summary.minimum <= summary.mean <= summary.maximum
+        assert summary.lagging == 3  # s2, s3, s4 sit below target_min=5
+        assert sample.total_beats() == sum(r.total_beats for r in sample.readings)
+
+    def test_stalled_streams_flagged(self, sim_clock):
+        agg = HeartbeatAggregator(clock=sim_clock, liveness_timeout=2.0)
+        fast = Heartbeat(window=5, clock=sim_clock, name="fast")
+        dead = Heartbeat(window=5, clock=sim_clock, name="dead")
+        agg.attach("fast", fast)
+        agg.attach("dead", dead)
+        for _ in range(10):
+            sim_clock.advance(0.5)
+            fast.heartbeat()
+            dead.heartbeat()
+        for _ in range(10):
+            sim_clock.advance(0.5)
+            fast.heartbeat()  # dead stops beating
+        sample = agg.poll()
+        assert sample.stalled() == ["dead"]
+        assert "dead" in sample.lagging()
+        assert sample.summary().stalled == 1
+        assert sample.by_status()[HealthStatus.STALLED] == ["dead"]
+
+    def test_empty_fleet(self, sim_clock):
+        agg = HeartbeatAggregator(clock=sim_clock)
+        sample = agg.poll()
+        assert len(sample) == 0
+        assert sample.rates().shape == (0,)
+        assert sample.lagging() == []
+        assert sample.summary().streams == 0
+        assert sample.percentiles() == {50.0: 0.0, 90.0: 0.0, 99.0: 0.0}
+
+    def test_warming_up_streams_excluded_from_percentiles(self, sim_clock):
+        agg = HeartbeatAggregator(clock=sim_clock)
+        warm = Heartbeat(window=5, clock=sim_clock)
+        cold = Heartbeat(window=5, clock=sim_clock)
+        agg.attach("warm", warm)
+        agg.attach("cold", cold)
+        for _ in range(5):
+            sim_clock.advance(1.0)
+            warm.heartbeat()
+        summary = agg.summary()
+        assert summary.streams == 2
+        assert summary.measurable == 1
+        assert summary.mean == pytest.approx(1.0)
+
+
+class TestSharding:
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 16])
+    def test_results_independent_of_shard_count(self, sim_clock, num_shards):
+        agg = HeartbeatAggregator(clock=sim_clock, num_shards=num_shards)
+        streams = build_fleet(sim_clock, agg, n=9)
+        sample = agg.poll()
+        assert list(sample.names) == [f"s{i}" for i in range(9)]
+        assert sample.errors == {}
+        inline = HeartbeatAggregator(clock=sim_clock, num_shards=1)
+        for name, hb in streams.items():
+            inline.attach(name, hb)
+        expected = inline.poll()
+        assert [r.rate for r in sample.readings] == [r.rate for r in expected.readings]
+        agg.close()
+        inline.close()
+
+    def test_auto_shards_positive(self):
+        agg = HeartbeatAggregator(num_shards=0)
+        assert agg.num_shards >= 1
+        agg.close()
+
+    def test_negative_shards_rejected(self):
+        with pytest.raises(ValueError):
+            HeartbeatAggregator(num_shards=-1)
+
+
+class TestFailureIsolation:
+    def test_dead_stream_reported_not_fatal(self, sim_clock):
+        agg = HeartbeatAggregator(clock=sim_clock)
+        healthy = Heartbeat(window=5, clock=sim_clock)
+        agg.attach("healthy", healthy)
+
+        def broken():
+            raise HeartbeatError("writer went away")
+
+        agg.attach_source("broken", broken)
+        for _ in range(3):
+            sim_clock.advance(1.0)
+            healthy.heartbeat()
+        sample = agg.poll()
+        assert list(sample.names) == ["healthy"]
+        assert "broken" in sample.errors
+        assert "writer went away" in sample.errors["broken"]
+
+    def test_reading_lookup(self, sim_clock):
+        agg = HeartbeatAggregator(clock=sim_clock)
+        build_fleet(sim_clock, agg, n=2)
+        sample = agg.poll()
+        assert sample.reading("s0").rate > 0
+        with pytest.raises(KeyError):
+            sample.reading("absent")
+
+
+class TestLifecycle:
+    def test_close_idempotent_and_context_manager(self, sim_clock):
+        with HeartbeatAggregator(clock=sim_clock) as agg:
+            agg.attach("s", Heartbeat(window=5, clock=sim_clock))
+        agg.close()  # second close is a no-op
+
+    def test_close_releases_shared_memory_readers(self, sim_clock):
+        backend = SharedMemoryBackend(capacity=16)
+        hb = Heartbeat(window=5, clock=sim_clock, backend=backend)
+        agg = HeartbeatAggregator(clock=sim_clock)
+        agg.attach_shared_memory("shm", backend.name)
+        agg.close()
+        hb.finalize()  # unlink succeeds because the reader already closed

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.backends import (
@@ -178,6 +177,120 @@ class TestSharedMemoryBackend:
         try:
             with SharedMemoryReader(backend.name) as reader:
                 assert reader.writer_pid() == os.getpid()
+        finally:
+            backend.close()
+
+
+class TestSharedMemoryCleanup:
+    """Segment lifetime regressions: repeated cycles must not leak or warn."""
+
+    def test_repeated_open_close_cycles_reuse_name(self):
+        for _ in range(20):
+            backend = SharedMemoryBackend(name="hb-cycle-test", capacity=8)
+            write_beats(backend, 4)
+            with SharedMemoryReader(backend.name) as reader:
+                assert reader.snapshot().total_beats == 4
+            backend.close()
+        # The final close unlinked the segment; a fresh attach must fail.
+        with pytest.raises(BackendFormatError):
+            SharedMemoryReader("hb-cycle-test")
+
+    def test_close_survives_external_unlink(self):
+        from multiprocessing import shared_memory
+
+        backend = SharedMemoryBackend(capacity=8)
+        # Simulate another process (or a crash handler) unlinking first.
+        foreign = shared_memory.SharedMemory(name=backend.name, create=False)
+        foreign.unlink()
+        foreign.close()
+        backend.close()  # must not raise despite the missing segment
+        assert backend._closed
+
+    def test_no_resource_tracker_leak_warnings(self):
+        """Open/close cycles in a subprocess emit no tracker complaints.
+
+        Python's resource tracker prints "leaked shared_memory objects"
+        warnings at interpreter exit for segments that were registered but
+        never unlinked — which is exactly what mis-ordered unregister/close
+        logic produces.  Run the cycles in a clean interpreter and assert a
+        silent exit.
+        """
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.core.backends.shared_memory import SharedMemoryBackend, SharedMemoryReader\n"
+            "for i in range(10):\n"
+            "    w = SharedMemoryBackend(capacity=8)\n"
+            "    w.append(0, 0.0, 0, 0)\n"
+            "    r = SharedMemoryReader(w.name)\n"
+            "    r.snapshot()\n"
+            "    r.close()\n"
+            "    w.close()\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "leaked" not in result.stderr
+        assert "resource_tracker" not in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_no_tracker_errors_with_cross_process_reader(self):
+        """A reader in another process must not disturb the writer's tracker.
+
+        Parent and child share one resource-tracker process; a reader that
+        registers its attachment and then deregisters it would clobber the
+        writer's entry in the shared tracker cache and turn the writer's
+        unlink into a tracker KeyError (printed on the shared stderr).
+        """
+        import subprocess
+        import sys
+
+        script = (
+            "import multiprocessing as mp\n"
+            "from repro.core.backends.shared_memory import SharedMemoryBackend, SharedMemoryReader\n"
+            "def worker(name_q, done_q):\n"
+            "    w = SharedMemoryBackend(capacity=8)\n"
+            "    w.append(0, 0.0, 0, 0)\n"
+            "    name_q.put(w.name)\n"
+            "    done_q.get()\n"
+            "    w.close()\n"
+            "if __name__ == '__main__':\n"
+            "    name_q, done_q = mp.Queue(), mp.Queue()\n"
+            "    proc = mp.Process(target=worker, args=(name_q, done_q))\n"
+            "    proc.start()\n"
+            "    reader = SharedMemoryReader(name_q.get())\n"
+            "    assert reader.snapshot().total_beats == 1\n"
+            "    reader.close()\n"
+            "    done_q.put(True)\n"
+            "    proc.join()\n"
+            "    assert proc.exitcode == 0\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "KeyError" not in result.stderr
+        assert "Traceback" not in result.stderr
+        assert "leaked" not in result.stderr
+
+    def test_reader_close_keeps_writer_segment_alive(self):
+        backend = SharedMemoryBackend(capacity=8)
+        try:
+            write_beats(backend, 3)
+            reader = SharedMemoryReader(backend.name)
+            reader.close()
+            # A second attachment still works: the reader's close did not
+            # unlink (or deregister-and-destroy) the writer's segment.
+            with SharedMemoryReader(backend.name) as again:
+                assert again.snapshot().total_beats == 3
         finally:
             backend.close()
 

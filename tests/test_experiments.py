@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.experiments.adaptive_runner import AdaptiveRunConfig, calibrate_work_rate, run_encoder
-from repro.experiments.base import EXPERIMENTS, ExperimentResult
+from repro.experiments.base import ExperimentResult
 from repro.experiments.fig2_x264_phases import Fig2Config
 from repro.experiments.fig2_x264_phases import run as run_fig2
 from repro.experiments.fig5_bodytrack_scheduler import Fig5Config
@@ -21,7 +21,6 @@ from repro.experiments.fig6_streamcluster_scheduler import run as run_fig6
 from repro.experiments.fig7_x264_scheduler import Fig7Config
 from repro.experiments.fig7_x264_scheduler import run as run_fig7
 from repro.experiments.fig8_fault_tolerance import Fig8Config
-from repro.experiments.fig8_fault_tolerance import run as run_fig8
 from repro.experiments.overhead import OverheadConfig
 from repro.experiments.overhead import run as run_overhead
 from repro.experiments.runner import available_experiments, run_experiments

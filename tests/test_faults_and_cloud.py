@@ -139,6 +139,55 @@ class TestCloudCluster:
 
 
 class TestHeartbeatLoadBalancer:
+    def test_errored_stream_treated_as_failure_not_crash(self):
+        """A VM whose snapshot raises must be failed over, not abort manage()."""
+        from repro.core.errors import BackendError
+
+        cluster = CloudCluster()
+        node_a = cluster.add_node(capacity=20.0)
+        node_b = cluster.add_node(capacity=20.0)
+        broken = cluster.add_vm(work_per_beat=1.0, target_min=1.0, target_max=10.0, node=node_a)
+        cluster.add_vm(work_per_beat=1.0, target_min=1.0, target_max=10.0, node=node_b)
+        for _ in range(5):
+            cluster.step(1.0)
+        balancer = HeartbeatLoadBalancer(cluster)
+
+        def exploding_snapshot(n=None):
+            raise BackendError("segment vanished")
+
+        broken.heartbeat.backend.snapshot = exploding_snapshot
+        actions = balancer.manage()  # must not raise KeyError
+        failovers = [a for a in actions if a.kind == "failover" and a.vm_id == broken.vm_id]
+        assert len(failovers) == 1
+        assert broken.node_id != node_a.node_id
+        # Per-VM queries degrade gracefully too, and reuse this tick's poll
+        # even though one stream is errored.
+        assert balancer.vm_rate(broken) == 0.0
+        assert balancer.vm_alive(broken) is False
+        sample_before = balancer._last_sample
+        balancer.vm_rate(broken)
+        assert balancer._last_sample is sample_before
+
+    def test_same_tick_vm_churn_invalidates_fleet_cache(self):
+        """A VM added after this tick's poll must be observed, not defaulted.
+
+        Regression: with the clock unadvanced, one VM removed and one added
+        keeps the stream *count* equal, so a count-based cache check would
+        serve the stale sample and report the live new VM as dead.
+        """
+        cluster = CloudCluster()
+        node = cluster.add_node(capacity=20.0)
+        cluster.add_vm(work_per_beat=1.0, target_min=1.0, target_max=10.0, node=node)
+        for _ in range(5):
+            cluster.step(1.0)
+        balancer = HeartbeatLoadBalancer(cluster)
+        balancer.observe()
+        removed = next(iter(cluster.vms))
+        del cluster.vms[removed]  # same-tick churn: one out ...
+        fresh = cluster.add_vm(work_per_beat=1.0, target_min=1.0, target_max=10.0, node=node)
+        fresh.heartbeat.heartbeat()  # ... one in, beating at this very tick
+        assert balancer.vm_alive(fresh)
+
     def test_consolidates_light_vms_and_powers_down(self):
         cluster = CloudCluster()
         node_a = cluster.add_node(capacity=100.0)

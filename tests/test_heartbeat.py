@@ -6,7 +6,6 @@ import threading
 
 import pytest
 
-from repro.clock import ManualClock
 from repro.core.errors import (
     HeartbeatClosedError,
     InvalidTargetError,

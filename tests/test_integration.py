@@ -5,7 +5,6 @@ from __future__ import annotations
 import multiprocessing as mp
 
 import numpy as np
-import pytest
 
 from repro.clock import SimulatedClock, WallClock
 from repro.core import SharedMemoryBackend

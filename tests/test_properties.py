@@ -10,7 +10,6 @@ from repro.clock import ManualClock, SimulatedClock
 from repro.core.buffer import CircularBuffer
 from repro.core.heartbeat import Heartbeat
 from repro.core.rate import moving_rate_series, windowed_rate
-from repro.core.record import HeartbeatRecord
 from repro.core.window import resolve_window
 from repro.sim.scaling import AmdahlScaling, LinearScaling, SaturatingScaling
 

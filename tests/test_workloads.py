@@ -20,7 +20,7 @@ from repro.workloads import (
     run_table2,
     workload_names,
 )
-from repro.workloads.base import REFERENCE_CORES, Workload
+from repro.workloads.base import REFERENCE_CORES
 from repro.workloads.x264 import FIGURE2_PHASES
 
 
