@@ -8,11 +8,14 @@ an assertion.
 
 Run under pytest for the benchmark suite, or directly —
 
-    python benchmarks/bench_overhead.py
+    python benchmarks/bench_overhead.py [--mode ingest|network|all]
 
 — to write the ingestion numbers to ``BENCH_overhead.json`` (CI's
-benchmark-smoke artifact).  ``BENCH_QUICK=1`` selects a fast iteration count;
-``BENCH_BEATS`` overrides it explicitly.
+benchmark-smoke artifact).  ``--mode network`` measures the network backend:
+beats/sec into a live localhost collector (single vs batched) and the
+drop-oldest path with the collector down, extending the paper's Table 2
+overhead story to the wire.  ``BENCH_QUICK=1`` selects a fast iteration
+count; ``BENCH_BEATS`` overrides it explicitly.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from repro.core.backends import FileBackend, MemoryBackend, SharedMemoryBackend
 from repro.core.heartbeat import Heartbeat
 from repro.core.monitor import HeartbeatMonitor
 from repro.experiments.overhead import OverheadConfig, run
+from repro.net import HeartbeatCollector, NetworkBackend
 
 #: Batch size at which the tentpole speedup is measured and asserted.
 BATCH_SIZE = 64
@@ -96,6 +100,59 @@ def run_ingest_comparison(tmp_path, kinds=("memory", "file", "shared_memory")) -
             "batched_beats_per_sec": batched,
             "speedup": batched / single,
         }
+    return results
+
+
+def run_network_comparison() -> dict:
+    """Measure the network backend: live collector vs collector down.
+
+    With the collector up this is the wire-mode counterpart of
+    :func:`run_ingest_comparison`; with it down, the numbers demonstrate the
+    drop-oldest contract — the beat path keeps its throughput and sheds the
+    oldest queued records instead of blocking on a dead peer.
+    """
+    beats = _ingest_beats()
+    results: dict = {"beats": beats, "batch_size": BATCH_SIZE, "mode": "network"}
+    with HeartbeatCollector() as collector:
+        single = measure_single(
+            NetworkBackend(collector.endpoint, stream="bench-single", capacity=8192), beats
+        )
+        batched = measure_batched(
+            NetworkBackend(collector.endpoint, stream="bench-batched", capacity=8192), beats
+        )
+        results["collector_up"] = {
+            "single_beats_per_sec": single,
+            "batched_beats_per_sec": batched,
+            "speedup": batched / single,
+        }
+        endpoint = collector.endpoint
+    # The collector above is now closed: same endpoint, nobody listening.
+    # The queue bound sits below the beat count so drop-oldest must engage.
+    backend = NetworkBackend(
+        endpoint,
+        stream="bench-down",
+        capacity=8192,
+        max_pending=max(256, beats // 4),
+        backoff_initial=0.05,
+        close_deadline=0.5,
+    )
+    hb = Heartbeat(window=20, backend=backend)
+    batches, remainder = divmod(beats, BATCH_SIZE)
+    start = time.perf_counter()
+    for _ in range(batches):
+        hb.heartbeat_batch(BATCH_SIZE)
+    if remainder:
+        hb.heartbeat_batch(remainder)
+    elapsed = time.perf_counter() - start
+    time.sleep(0.3)  # let the sender thread observe the refused connection
+    stats = backend.stats()
+    hb.finalize()
+    results["collector_down"] = {
+        "batched_beats_per_sec": beats / elapsed,
+        "dropped_records": stats["dropped_records"],
+        "pending_records": stats["pending_records"],
+        "connect_failures": stats["connect_failures"],
+    }
     return results
 
 
@@ -170,6 +227,22 @@ def test_batched_ingest_speedup(tmp_path):
         assert speedup > 1.0, f"{kind}: batched path never beat single-beat ({speedup:.2f}x)"
 
 
+def test_network_batch_latency(benchmark):
+    """Latency of one 64-beat heartbeat_batch call through the network backend.
+
+    The beat path only copies into the local buffer and the bounded send
+    queue — the socket lives on the background sender thread — so this must
+    sit in the same order of magnitude as the memory backend, not the wire.
+    """
+    with HeartbeatCollector() as collector:
+        backend = NetworkBackend(collector.endpoint, stream="bench-latency", capacity=8192)
+        hb = Heartbeat(window=20, backend=backend)
+        try:
+            benchmark(hb.heartbeat_batch, BATCH_SIZE)
+        finally:
+            hb.finalize()
+
+
 def test_monitor_read_latency(benchmark):
     """Latency of an external observer's full health reading."""
     hb = Heartbeat(window=100, history=8192)
@@ -181,22 +254,56 @@ def test_monitor_read_latency(benchmark):
     assert reading.total_beats == 5000
 
 
-def main() -> int:
-    """Standalone mode: measure ingestion and write ``BENCH_overhead.json``."""
+def main(argv: list[str] | None = None) -> int:
+    """Standalone mode: measure ingestion and write the JSON artifact."""
+    import argparse
     import pathlib
     import tempfile
 
-    out_path = pathlib.Path(os.environ.get("BENCH_OUTPUT", "BENCH_overhead.json"))
-    with tempfile.TemporaryDirectory() as tmp:
-        results = run_ingest_comparison(pathlib.Path(tmp))
-    results["timestamp"] = time.time()
-    out_path.write_text(json.dumps(results, indent=2) + "\n")
-    for kind, row in results["backends"].items():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--mode",
+        choices=("ingest", "network", "all"),
+        default="ingest",
+        help="ingest: local backends; network: beats/sec over TCP (collector up and down)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="artifact path (default: $BENCH_OUTPUT or BENCH_overhead.json)",
+    )
+    args = parser.parse_args(argv)
+    out_path = pathlib.Path(
+        args.output or os.environ.get("BENCH_OUTPUT", "BENCH_overhead.json")
+    )
+
+    results: dict = {"timestamp": time.time()}
+    if args.mode in ("ingest", "all"):
+        with tempfile.TemporaryDirectory() as tmp:
+            results.update(run_ingest_comparison(pathlib.Path(tmp)))
+        for kind, row in results["backends"].items():
+            print(
+                f"{kind:>14}: single {row['single_beats_per_sec']:>12,.0f} beats/s   "
+                f"batched({results['batch_size']}) {row['batched_beats_per_sec']:>14,.0f} beats/s   "
+                f"speedup {row['speedup']:6.1f}x"
+            )
+    if args.mode in ("network", "all"):
+        network = run_network_comparison()
+        results["network"] = network
+        results.setdefault("beats", network["beats"])
+        results.setdefault("batch_size", network["batch_size"])
+        up, down = network["collector_up"], network["collector_down"]
         print(
-            f"{kind:>14}: single {row['single_beats_per_sec']:>12,.0f} beats/s   "
-            f"batched({results['batch_size']}) {row['batched_beats_per_sec']:>14,.0f} beats/s   "
-            f"speedup {row['speedup']:6.1f}x"
+            f"{'network (up)':>14}: single {up['single_beats_per_sec']:>12,.0f} beats/s   "
+            f"batched({network['batch_size']}) {up['batched_beats_per_sec']:>14,.0f} beats/s   "
+            f"speedup {up['speedup']:6.1f}x"
         )
+        print(
+            f"{'network (down)':>14}: batched {down['batched_beats_per_sec']:>14,.0f} beats/s   "
+            f"dropped {down['dropped_records']:,} records   "
+            f"connect failures {down['connect_failures']}"
+        )
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {out_path}")
     return 0
 

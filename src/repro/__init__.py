@@ -13,6 +13,8 @@ The package reproduces Hoffmann et al.'s Application Heartbeats framework
 * :mod:`repro.scheduler` — the heartbeat-driven external core scheduler (Figures 5–7);
 * :mod:`repro.faults` — core-failure injection (Figure 8);
 * :mod:`repro.cloud` — heartbeat-driven cluster management (Section 2.6);
+* :mod:`repro.net` — networked telemetry: wire protocol, TCP exporter
+  backend and collector server for cross-machine fleet observation;
 * :mod:`repro.analysis` / :mod:`repro.experiments` — traces, tables and the
   per-figure regeneration harness.
 
@@ -46,6 +48,7 @@ from repro.core import (
     moving_rate_series,
     windowed_rate,
 )
+from repro.net import HeartbeatCollector, NetworkBackend
 
 __all__ = [
     "__version__",
@@ -61,6 +64,8 @@ __all__ = [
     "MemoryBackend",
     "FileBackend",
     "SharedMemoryBackend",
+    "NetworkBackend",
+    "HeartbeatCollector",
     "Clock",
     "WallClock",
     "SimulatedClock",

@@ -1,0 +1,246 @@
+"""Command-line interface: ``python -m repro``.
+
+Two subcommands wrap the networked-telemetry subsystem so a fleet can be
+collected and watched without writing any code:
+
+``collect``
+    Run a :class:`repro.net.collector.HeartbeatCollector` and periodically
+    print a one-line fleet summary.  Binds ``127.0.0.1:0`` by default and
+    prints the actual endpoint on startup (machine-readable via
+    ``--port-file``), so scripted producers can discover the port.
+
+``watch``
+    Render a live fleet table.  With ``--listen`` it runs its own collector
+    and watches whatever producers dial in; ``--shm`` and ``--file``
+    additionally attach local shared-memory segments and heartbeat log
+    files, so one table can mix remote and same-host streams.
+
+Both commands are bounded by ``--duration`` (handy for tests and demos) and
+exit cleanly on Ctrl-C.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Sequence
+
+from repro.clock import WallClock
+from repro.core.aggregator import FleetSample, HeartbeatAggregator
+from repro.core.errors import HeartbeatError
+from repro.net.collector import HeartbeatCollector
+from repro.net.protocol import parse_address
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Heartbeat telemetry tools (Application Heartbeats reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    collect = sub.add_parser("collect", help="run a TCP heartbeat collector")
+    collect.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        help="host:port to listen on (default 127.0.0.1:0 — an ephemeral port)",
+    )
+    collect.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port to this file once listening (for scripts)",
+    )
+    collect.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between summary lines"
+    )
+    collect.add_argument(
+        "--duration", type=float, default=None, help="stop after this many seconds"
+    )
+    collect.add_argument(
+        "--liveness", type=float, default=5.0, help="seconds without a beat before 'stalled'"
+    )
+    collect.add_argument(
+        "--quiet", action="store_true", help="no periodic summaries, just collect"
+    )
+
+    watch = sub.add_parser("watch", help="live fleet table from a collector and/or local streams")
+    watch.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="run a collector at this address and watch its producers (use port 0 for ephemeral)",
+    )
+    watch.add_argument(
+        "--shm",
+        action="append",
+        default=[],
+        metavar="SEGMENT",
+        help="attach a shared-memory heartbeat segment (repeatable)",
+    )
+    watch.add_argument(
+        "--file",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="attach a heartbeat log file (repeatable)",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=1.0, help="seconds between table refreshes"
+    )
+    watch.add_argument(
+        "--duration", type=float, default=None, help="stop after this many seconds"
+    )
+    watch.add_argument(
+        "--liveness", type=float, default=5.0, help="seconds without a beat before 'stalled'"
+    )
+    watch.add_argument("--window", type=int, default=0, help="rate window (0: producer default)")
+    watch.add_argument("--once", action="store_true", help="print one table and exit")
+    return parser
+
+
+def _emit(line: str, *, stream=None) -> None:
+    print(line, file=stream if stream is not None else sys.stdout, flush=True)
+
+
+def _fmt_age(age: float | None) -> str:
+    return f"{age:6.1f}" if age is not None else "     -"
+
+
+def _fleet_table(sample: FleetSample) -> str:
+    lines = [f"{'stream':<24} {'beats':>9} {'rate':>10} {'target':>17} {'age(s)':>6} status"]
+    for name, reading in sample:
+        target = f"[{reading.target_min:.1f}, {reading.target_max:.1f}]"
+        lines.append(
+            f"{name:<24} {reading.total_beats:>9d} {reading.rate:>10.2f} "
+            f"{target:>17} {_fmt_age(reading.age)} {reading.status.value}"
+        )
+    for name, error in sample.errors.items():
+        lines.append(f"{name:<24} {'-':>9} {'-':>10} {'-':>17} {'-':>6} error: {error}")
+    summary = sample.summary()
+    lines.append(
+        f"-- {summary.streams} streams, {summary.measurable} measurable | "
+        f"mean {summary.mean:.2f} p50 {summary.percentiles[50.0]:.2f} "
+        f"p90 {summary.percentiles[90.0]:.2f} p99 {summary.percentiles[99.0]:.2f} | "
+        f"{summary.lagging} lagging, {summary.stalled} stalled"
+    )
+    return "\n".join(lines)
+
+
+def _run_loop(duration: float | None, interval: float, tick) -> None:
+    """Call ``tick()`` every ``interval`` seconds until duration/Ctrl-C."""
+    deadline = None if duration is None else time.monotonic() + duration
+    try:
+        while True:
+            tick()
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return
+                time.sleep(min(interval, remaining))
+            else:
+                time.sleep(interval)
+    except KeyboardInterrupt:
+        return
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    host, port = parse_address(args.bind)
+    try:
+        with HeartbeatCollector(host, port) as collector:
+            _emit(f"collector listening on {collector.endpoint}")
+            if args.port_file:
+                with open(args.port_file, "w", encoding="utf-8") as fh:
+                    fh.write(f"{collector.port}\n")
+            aggregator = HeartbeatAggregator(
+                clock=WallClock(rebase=False), liveness_timeout=args.liveness
+            )
+            aggregator.attach_collector(collector)
+
+            def tick() -> None:
+                if args.quiet:
+                    return
+                summary = aggregator.summary()
+                stats = collector.stats()
+                _emit(
+                    f"streams={summary.streams} beats={stats['records']} "
+                    f"mean={summary.mean:.2f} p99={summary.percentiles[99.0]:.2f} "
+                    f"lagging={summary.lagging} stalled={summary.stalled} "
+                    f"protocol_errors={stats['protocol_errors']}"
+                )
+
+            _run_loop(args.duration, args.interval, tick)
+            aggregator.close()
+    finally:
+        # Never leave a stale port file: scripts poll it for discovery.
+        if args.port_file:
+            try:
+                os.unlink(args.port_file)
+            except OSError:
+                pass
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    if args.listen is None and not args.shm and not args.file:
+        _emit("watch: nothing to watch — pass --listen, --shm and/or --file", stream=sys.stderr)
+        return 2
+    collector: HeartbeatCollector | None = None
+    aggregator = HeartbeatAggregator(
+        clock=WallClock(rebase=False), window=args.window, liveness_timeout=args.liveness
+    )
+    try:
+        if args.listen is not None:
+            host, port = parse_address(args.listen)
+            collector = HeartbeatCollector(host, port)
+            _emit(f"collector listening on {collector.endpoint}")
+            aggregator.attach_collector(collector)
+        for segment in args.shm:
+            try:
+                aggregator.attach_shared_memory(f"shm:{segment}", segment)
+            except HeartbeatError as exc:
+                _emit(f"cannot attach shared-memory segment {segment!r}: {exc}", stream=sys.stderr)
+                return 1
+        for path in args.file:
+            try:
+                aggregator.attach_file(f"file:{os.path.basename(path)}", path)
+            except HeartbeatError as exc:
+                _emit(f"cannot attach heartbeat log {path!r}: {exc}", stream=sys.stderr)
+                return 1
+
+        def tick() -> None:
+            _emit(_fleet_table(aggregator.poll()))
+
+        if args.once:
+            tick()
+        else:
+            _run_loop(args.duration, args.interval, tick)
+    finally:
+        aggregator.close()
+        if collector is not None:
+            collector.close()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "collect":
+            return _cmd_collect(args)
+        if args.command == "watch":
+            return _cmd_watch(args)
+    except BrokenPipeError:
+        # Downstream pipe closed (e.g. `repro collect | head`): exit quietly
+        # the way any well-behaved CLI does, with stdout pointed at devnull
+        # so interpreter shutdown doesn't print a second traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

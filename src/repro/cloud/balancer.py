@@ -19,8 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.clock import Clock
 from repro.cloud.cluster import CloudCluster, CloudNode, CloudVM
-from repro.core.aggregator import FleetSample, HeartbeatAggregator
+from repro.core.aggregator import CollectorLike, FleetSample, HeartbeatAggregator
 
 __all__ = ["BalancerAction", "HeartbeatLoadBalancer"]
 
@@ -59,6 +60,18 @@ class HeartbeatLoadBalancer:
         :class:`~repro.core.aggregator.HeartbeatAggregator`; every management
         pass observes the whole fleet with one sharded poll instead of one
         monitor round-trip per VM.
+    collector:
+        Remote-fleet mode: a :class:`repro.net.collector.HeartbeatCollector`
+        (or anything :class:`~repro.core.aggregator.CollectorLike`) whose
+        registered streams — named ``vm-<id>`` by each VM's network backend —
+        are polled *instead of* the VMs' in-process heartbeat objects.  This
+        is the balancer of the paper's Section 2.6 moved off-box: the VMs
+        run anywhere, ship heartbeats over TCP, and the balancer manages
+        placement purely from the collected telemetry.
+    clock:
+        Observer time base for liveness ages; defaults to the cluster clock.
+        Remote fleets stamped with ``WallClock(rebase=False)`` pass the same
+        here.
     """
 
     def __init__(
@@ -68,6 +81,8 @@ class HeartbeatLoadBalancer:
         liveness_timeout: float = 5.0,
         headroom: float = 0.2,
         num_shards: int = 1,
+        collector: CollectorLike | None = None,
+        clock: Clock | None = None,
     ) -> None:
         if liveness_timeout <= 0:
             raise ValueError(f"liveness_timeout must be positive, got {liveness_timeout}")
@@ -77,11 +92,13 @@ class HeartbeatLoadBalancer:
         self.liveness_timeout = float(liveness_timeout)
         self.headroom = float(headroom)
         self.actions: list[BalancerAction] = []
+        self._collector = collector
         self._aggregator = HeartbeatAggregator(
-            clock=cluster.clock,
+            clock=clock if clock is not None else cluster.clock,
             liveness_timeout=self.liveness_timeout,
             num_shards=num_shards,
         )
+        self._expected: set[str] = set()
         self._last_sample: FleetSample | None = None
 
     # ------------------------------------------------------------------ #
@@ -118,19 +135,42 @@ class HeartbeatLoadBalancer:
             # removed) must invalidate the cache, and errored streams —
             # absent from the readings but present in errors — must not.
             observed = set(sample.names) | set(sample.errors)
-            if observed == {_stream_name(vm) for vm in self.cluster.vms.values()}:
+            if self._collector is None:
+                expected = {_stream_name(vm) for vm in self.cluster.vms.values()}
+            else:
+                # Collector registrations only change on a sync, so the last
+                # sync's membership is the right cache key for remote mode.
+                expected = self._expected & {_stream_name(vm) for vm in self.cluster.vms.values()}
+            if observed == expected:
                 return sample
         return self.observe()
 
     def _sync_streams(self) -> None:
-        """Reconcile aggregator attachments with the cluster's VM set."""
+        """Reconcile aggregator attachments with the cluster's VM set.
+
+        In local mode every VM's in-process heartbeat is attached directly;
+        in remote-fleet mode VM streams are attached from the collector as
+        they register, so a VM whose producer has not dialled in yet simply
+        has no reading (and is treated as silent by the failure handler once
+        it should have beaten).
+        """
         current = {_stream_name(vm): vm for vm in self.cluster.vms.values()}
+        if self._collector is not None:
+            available = set(self._collector.stream_ids())
+            expected = set(current) & available
+        else:
+            expected = set(current)
         for name in self._aggregator.names:
-            if name not in current:
+            if name not in expected:
                 self._aggregator.detach(name)
         for name, vm in current.items():
-            if name not in self._aggregator:
+            if name in self._aggregator or name not in expected:
+                continue
+            if self._collector is not None:
+                self._aggregator.attach_source(name, self._collector.snapshot_source(name))
+            else:
                 self._aggregator.attach(name, vm.heartbeat)
+        self._expected = expected
 
     # ------------------------------------------------------------------ #
     # Management pass

@@ -38,6 +38,7 @@ from repro.core.errors import (
     InvalidTargetError,
     InvalidWindowError,
     MonitorAttachError,
+    ProtocolError,
     RegistryError,
 )
 from repro.core.heartbeat import Heartbeat
@@ -103,6 +104,7 @@ __all__ = [
     "InvalidTargetError",
     "BackendError",
     "BackendFormatError",
+    "ProtocolError",
     "MonitorAttachError",
     "RegistryError",
 ]

@@ -29,7 +29,7 @@ import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Mapping, Sequence
+from typing import Callable, Iterator, Mapping, Protocol, Sequence
 
 import numpy as np
 
@@ -47,7 +47,21 @@ from repro.core.monitor import (
 )
 from repro.core.registry import HeartbeatRegistry
 
-__all__ = ["HeartbeatAggregator", "FleetSample", "FleetSummary"]
+__all__ = ["HeartbeatAggregator", "FleetSample", "FleetSummary", "CollectorLike"]
+
+
+class CollectorLike(Protocol):
+    """What :meth:`HeartbeatAggregator.attach_collector` needs from a collector.
+
+    :class:`repro.net.collector.HeartbeatCollector` satisfies it; so would
+    any other fan-in stage that registers named streams dynamically.
+    """
+
+    def stream_ids(self) -> list[str]: ...  # pragma: no cover - protocol stub
+
+    def snapshot_source(
+        self, stream_id: str
+    ) -> Callable[[], BackendSnapshot]: ...  # pragma: no cover - protocol stub
 
 
 @dataclass(frozen=True, slots=True)
@@ -239,6 +253,7 @@ class HeartbeatAggregator:
         self._num_shards = int(num_shards)
         self._lock = threading.Lock()
         self._streams: dict[str, _Stream] = {}
+        self._collectors: list[tuple[str, CollectorLike]] = []
         self._pool: ThreadPoolExecutor | None = None
         self._closed = False
 
@@ -311,6 +326,55 @@ class HeartbeatAggregator:
             attached.append(name)
         return attached
 
+    def attach_collector(self, collector: CollectorLike, *, prefix: str = "") -> list[str]:
+        """Observe every stream of a network collector; returns the names added.
+
+        The attachment is *dynamic*: streams that register with the collector
+        after this call are picked up automatically at the start of every
+        :meth:`poll`, so a fleet observer attaches once and new producers
+        simply appear.  Stream names are ``prefix + stream_id``; ids already
+        attached (by an earlier sync or manually) are left untouched.
+
+        The producers and this aggregator must share a time base for
+        liveness ages to mean anything — remote producers normally stamp
+        beats with ``WallClock(rebase=False)``, so pass the same here.
+        """
+        with self._lock:
+            if self._closed:
+                raise MonitorAttachError("aggregator is closed")
+            self._collectors.append((str(prefix), collector))
+        return self._sync_collectors()
+
+    def _sync_collectors(self) -> list[str]:
+        """Attach collector streams that appeared since the last sync."""
+        with self._lock:
+            collectors = list(self._collectors)
+            existing = set(self._streams)
+        added: list[str] = []
+        for prefix, collector in collectors:
+            # One lock acquisition per collector with news, not one per
+            # stream id: the steady state (thousands of long-lived streams,
+            # nothing new) stays a lock-free set scan.
+            missing = [
+                (prefix + stream_id, stream_id)
+                for stream_id in collector.stream_ids()
+                if prefix + stream_id not in existing
+            ]
+            if not missing:
+                continue
+            with self._lock:
+                if self._closed:
+                    break
+                for name, stream_id in missing:
+                    if name in self._streams:
+                        continue
+                    self._streams[name] = _Stream(
+                        name, collector.snapshot_source(stream_id), None
+                    )
+                    existing.add(name)
+                    added.append(name)
+        return added
+
     def attach_source(
         self,
         name: str,
@@ -363,6 +427,8 @@ class HeartbeatAggregator:
         each shard drains its slice independently, so the wall time of a poll
         is the slowest shard, not the sum of every stream's read latency.
         """
+        if self._collectors:
+            self._sync_collectors()
         with self._lock:
             streams = list(self._streams.values())
         now = self._clock.now()
@@ -432,6 +498,7 @@ class HeartbeatAggregator:
             self._closed = True
             streams = list(self._streams.values())
             self._streams.clear()
+            self._collectors.clear()
             pool, self._pool = self._pool, None
         for stream in streams:
             if stream.close is not None:

@@ -23,6 +23,7 @@ primary interface for new code; this module is a faithful facade over it.
 
 from __future__ import annotations
 
+import os
 import threading
 
 from repro.core.heartbeat import Heartbeat
@@ -66,7 +67,9 @@ def reset_registry() -> None:
         _registry = HeartbeatRegistry()
 
 
-def HB_initialize(window: int = 0, local: bool = False, **kwargs: object) -> Heartbeat:
+def HB_initialize(
+    window: int = 0, local: bool = False, remote: str | None = None, **kwargs: object
+) -> Heartbeat:
     """Initialise the heartbeat runtime (paper: ``HB_initialize``).
 
     ``window`` is the default number of heartbeats used to compute the
@@ -74,10 +77,41 @@ def HB_initialize(window: int = 0, local: bool = False, **kwargs: object) -> Hea
     created for the calling thread instead of the application-global one.
     Extra keyword arguments (``clock``, ``backend``, ``history``) are passed
     to :class:`~repro.core.heartbeat.Heartbeat`.
+
+    With ``remote="host:port"`` the stream is backed by a
+    :class:`repro.net.exporter.NetworkBackend` shipping batched heartbeats
+    to a :class:`repro.net.collector.HeartbeatCollector` at that address,
+    registered as ``"global-<pid>"`` (or ``"local-<pid>-<tid>"``).  Beats are
+    then stamped with the host-wide monotonic clock
+    (``WallClock(rebase=False)``) unless a ``clock`` is supplied, so the
+    collector's observers compute liveness ages against the producer's time
+    base.
     """
-    if local:
-        return _registry.initialize_local(window, **kwargs)
-    return _registry.initialize(window, **kwargs)
+    backend = None
+    if remote is not None:
+        if "backend" in kwargs:
+            raise ValueError("pass either remote= or backend=, not both")
+        from repro.clock import WallClock
+        from repro.net.exporter import NetworkBackend
+
+        if local:
+            stream = f"local-{os.getpid()}-{threading.get_ident()}"
+        else:
+            stream = f"global-{os.getpid()}"
+        kwargs = dict(kwargs)
+        backend = NetworkBackend(remote, stream=str(kwargs.pop("stream", stream)))
+        kwargs["backend"] = backend
+        kwargs.setdefault("clock", WallClock(rebase=False))
+    try:
+        if local:
+            return _registry.initialize_local(window, **kwargs)
+        return _registry.initialize(window, **kwargs)
+    except Exception:
+        if backend is not None:
+            # Registry rejected the stream (already initialized, bad window,
+            # ...): release the backend we created or its sender thread leaks.
+            backend.close()
+        raise
 
 
 def HB_heartbeat(tag: int = 0, local: bool = False) -> int:

@@ -15,6 +15,7 @@ __all__ = [
     "InvalidTargetError",
     "BackendError",
     "BackendFormatError",
+    "ProtocolError",
     "MonitorAttachError",
     "RegistryError",
 ]
@@ -54,6 +55,15 @@ class BackendFormatError(BackendError):
 
     Raised when attaching to a shared-memory segment or file whose header
     magic/version does not match this implementation.
+    """
+
+
+class ProtocolError(BackendFormatError):
+    """A networked heartbeat byte stream violated the wire protocol.
+
+    Raised while encoding or decoding telemetry frames: bad magic, an
+    unsupported version, a corrupt length prefix or a failed CRC check.  A
+    collector responds by dropping the offending connection, never by dying.
     """
 
 

@@ -44,7 +44,10 @@ class HeartbeatRegistry:
         with self._lock:
             if self._global is not None:
                 raise RegistryError("global heartbeat already initialized")
-            self._default_kwargs = dict(kwargs)
+            # Local heartbeats inherit the global configuration, except the
+            # backend: a backend instance is one stream's storage and sharing
+            # it would interleave two streams into one buffer.
+            self._default_kwargs = {k: v for k, v in kwargs.items() if k != "backend"}
             self._global = self._factory(window, name="global", **kwargs)
             return self._global
 

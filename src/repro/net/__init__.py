@@ -1,0 +1,54 @@
+"""Networked heartbeat telemetry.
+
+The paper requires the heartbeat buffer to live "in a universally accessible
+location" so that *any* external observer can read it.  The memory, file and
+shared-memory backends satisfy that on one host; this package carries
+heartbeats across machine boundaries so the observer of Figure 1(b) can be a
+fleet manager on a different machine entirely:
+
+* :mod:`repro.net.protocol` — the versioned, length-prefixed binary frame
+  format (hello / batch / targets / close) with CRC sanity checks and
+  zero-copy numpy packing of the shared record dtype;
+* :mod:`repro.net.exporter` — :class:`NetworkBackend`, a storage backend that
+  buffers beats locally and ships them over TCP on a background thread with
+  bounded queueing and drop-oldest backpressure, so the producer's beat path
+  never blocks on the network;
+* :mod:`repro.net.collector` — :class:`HeartbeatCollector`, a threaded TCP
+  server that accepts many producers, demultiplexes their streams into
+  per-stream in-memory backends and exposes them to
+  :class:`repro.core.aggregator.HeartbeatAggregator` via
+  ``attach_collector()``.
+
+Producers that will be observed remotely should stamp beats with a time base
+the collector host shares — on the same host ``WallClock(rebase=False)``; the
+:func:`repro.core.api.HB_initialize` ``remote=`` mode selects that default.
+"""
+
+from repro.net.collector import CollectorStreamInfo, HeartbeatCollector
+from repro.net.exporter import NetworkBackend
+from repro.net.protocol import (
+    FRAME_BATCH,
+    FRAME_CLOSE,
+    FRAME_HELLO,
+    FRAME_TARGETS,
+    Frame,
+    FrameDecoder,
+    Hello,
+    ProtocolError,
+    parse_address,
+)
+
+__all__ = [
+    "NetworkBackend",
+    "HeartbeatCollector",
+    "CollectorStreamInfo",
+    "Frame",
+    "FrameDecoder",
+    "Hello",
+    "ProtocolError",
+    "FRAME_HELLO",
+    "FRAME_BATCH",
+    "FRAME_TARGETS",
+    "FRAME_CLOSE",
+    "parse_address",
+]

@@ -1,0 +1,421 @@
+"""Producer-side network backend.
+
+:class:`NetworkBackend` implements the :class:`repro.core.backends.Backend`
+interface on top of a TCP connection to a
+:class:`repro.net.collector.HeartbeatCollector`.  Its contract mirrors the
+paper's overhead story: registering a heartbeat must stay cheap and
+predictable no matter what the observer is doing, so the beat path only ever
+touches process-local state —
+
+* every record lands in a local :class:`~repro.core.buffer.CircularBuffer`
+  (the producer can still observe itself, exactly like ``MemoryBackend``);
+* records are *also* queued for a background sender thread that frames them
+  with :mod:`repro.net.protocol` and ships them over TCP;
+* the queue is bounded: when the collector is slow, unreachable or dead, the
+  oldest queued records are dropped (and counted) instead of the producer
+  blocking — heartbeats are telemetry, and recent beats are worth more than
+  old ones;
+* a lost connection is retried with exponential backoff, and every
+  (re)connect replays a HELLO frame carrying the stream's metadata so the
+  collector is re-synchronised without any extra bookkeeping here.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import socket
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from repro.core.backends.base import Backend, BackendSnapshot
+from repro.core.buffer import CircularBuffer
+from repro.core.errors import BackendError
+from repro.core.record import RECORD_DTYPE
+from repro.net import protocol
+
+__all__ = ["NetworkBackend"]
+
+#: Per-process backend instance counter.  Combined with the PID in HELLO it
+#: gives every backend a fleet-unique nonce, so a collector can tell a
+#: reconnect of the same stream from a same-named sibling in one process.
+_nonce_counter = itertools.count(1)
+
+
+class NetworkBackend(Backend):
+    """Ship one heartbeat stream to a remote collector over TCP.
+
+    Parameters
+    ----------
+    address:
+        Collector endpoint as ``"host:port"`` or a ``(host, port)`` tuple.
+    stream:
+        Stream name registered with the collector.  Defaults to
+        ``"hb-<pid>"`` so several unnamed producers on one host stay
+        distinguishable.
+    capacity:
+        Record slots in the local history buffer (what :meth:`snapshot`
+        serves) and the capacity hint sent to the collector.
+    max_pending:
+        Upper bound on records queued for transmission.  Beyond it the
+        oldest queued records are dropped; the producer never blocks.
+    flush_interval:
+        Longest time the sender lets queued records sit before shipping
+        them, in seconds.
+    max_batch_records:
+        Largest number of records coalesced into one BATCH frame.
+    connect_timeout / send_timeout:
+        Socket timeouts for connecting and sending, in seconds.
+    backoff_initial / backoff_max:
+        Reconnect backoff: delay starts at ``backoff_initial`` and doubles
+        per failed attempt up to ``backoff_max``.
+    close_deadline:
+        Longest :meth:`close` waits for the pending queue to flush.
+    """
+
+    def __init__(
+        self,
+        address: str | tuple[str, int],
+        *,
+        stream: str | None = None,
+        capacity: int = 2048,
+        max_pending: int = 65536,
+        flush_interval: float = 0.05,
+        max_batch_records: int = 8192,
+        connect_timeout: float = 1.0,
+        send_timeout: float = 2.0,
+        backoff_initial: float = 0.05,
+        backoff_max: float = 2.0,
+        close_deadline: float = 2.0,
+    ) -> None:
+        if capacity <= 0:
+            raise BackendError(f"capacity must be positive, got {capacity}")
+        if max_pending <= 0:
+            raise BackendError(f"max_pending must be positive, got {max_pending}")
+        if max_batch_records <= 0:
+            raise BackendError(f"max_batch_records must be positive, got {max_batch_records}")
+        self.address = protocol.parse_address(address)
+        self.stream = stream if stream is not None else f"hb-{os.getpid()}"
+        self._nonce = next(_nonce_counter)
+        self.capacity = int(capacity)
+        self._buffer = CircularBuffer(self.capacity)
+        self._target_min = 0.0
+        self._target_max = 0.0
+        self._default_window = 0
+        self._max_pending = int(max_pending)
+        self._flush_interval = float(flush_interval)
+        self._max_batch_records = int(max_batch_records)
+        self._connect_timeout = float(connect_timeout)
+        self._send_timeout = float(send_timeout)
+        self._backoff_initial = float(backoff_initial)
+        self._backoff_max = float(backoff_max)
+        self._close_deadline = float(close_deadline)
+
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._queue: deque[np.ndarray] = deque()
+        self._pending_records = 0
+        self._targets_dirty = False
+        self._closing = False
+        self._closed = False
+
+        # Transmission statistics (reads are advisory; plain ints suffice).
+        self._sent_batches = 0
+        self._sent_records = 0
+        self._dropped_records = 0
+        self._connects = 0
+        self._connect_failures = 0
+
+        self._sock: socket.socket | None = None
+        self._sender = threading.Thread(
+            target=self._sender_loop, name=f"hb-net-{self.stream}", daemon=True
+        )
+        self._sender.start()
+
+    # ------------------------------------------------------------------ #
+    # Backend interface — the producer's beat path
+    # ------------------------------------------------------------------ #
+    def append(self, beat: int, timestamp: float, tag: int, thread_id: int) -> None:
+        if self._closed or self._closing:
+            raise BackendError("network backend is closed")
+        record = np.empty(1, dtype=RECORD_DTYPE)
+        record[0] = (beat, timestamp, tag, thread_id)
+        self._buffer.push_many(record)
+        self._enqueue(record)
+
+    def append_many(self, records: np.ndarray) -> None:
+        if self._closed or self._closing:
+            raise BackendError("network backend is closed")
+        if records.dtype != RECORD_DTYPE:
+            raise ValueError(f"records dtype must be {RECORD_DTYPE}, got {records.dtype}")
+        if records.shape[0] == 0:
+            return
+        self._buffer.push_many(records)
+        # The queue keeps its own copy: the caller may reuse its array.
+        self._enqueue(records.copy())
+
+    def set_targets(self, target_min: float, target_max: float) -> None:
+        if self._closed:
+            raise BackendError("network backend is closed")
+        with self._lock:
+            self._target_min = float(target_min)
+            self._target_max = float(target_max)
+            self._targets_dirty = True
+        self._wake.set()
+
+    def set_default_window(self, window: int) -> None:
+        if self._closed:
+            raise BackendError("network backend is closed")
+        self._default_window = int(window)
+
+    def snapshot(self, n: int | None = None) -> BackendSnapshot:
+        """Local view of the stream (identical semantics to ``MemoryBackend``).
+
+        Like ``MemoryBackend``, keeps serving the final history after
+        :meth:`close`, so local observers of a finished producer read its
+        last state instead of an error.
+        """
+        return BackendSnapshot(
+            records=self._buffer.last_array(n),
+            total_beats=self._buffer.total,
+            target_min=self._target_min,
+            target_max=self._target_max,
+            default_window=self._default_window,
+        )
+
+    def close(self) -> None:
+        """Flush the pending queue (bounded by ``close_deadline``) and stop.
+
+        Idempotent, and deliberately exception-free: teardown must succeed
+        even when the collector died first, the socket is half-open, or
+        close() races a second close() — the network analogue of the
+        shared-memory backend surviving an external unlink.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closing = True
+        # Never join while holding the lock: the sender needs it to drain.
+        self._wake.set()
+        self._sender.join(timeout=self._close_deadline)
+        with self._lock:
+            if not self._closed:  # a concurrent close() settles exactly once
+                self._closed = True
+                undelivered = self._pending_records
+                self._pending_records = 0
+                self._queue.clear()
+                if undelivered:
+                    self._dropped_records += undelivered
+        if self._sender.is_alive():
+            # The sender is wedged on a slow or dead peer; abort its socket.
+            # Setting _closed above makes its loop exit on the next pass, so
+            # an abandoned sender can never reconnect and keep transmitting.
+            self._abort_socket()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, int | bool]:
+        """Transmission counters (sent / dropped / reconnects / queue depth)."""
+        with self._lock:
+            return {
+                "sent_batches": self._sent_batches,
+                "sent_records": self._sent_records,
+                "dropped_records": self._dropped_records,
+                "pending_records": self._pending_records,
+                "connects": self._connects,
+                "connect_failures": self._connect_failures,
+                "connected": self._sock is not None,
+            }
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        host, port = self.address
+        return f"NetworkBackend(stream={self.stream!r}, address={host}:{port})"
+
+    # ------------------------------------------------------------------ #
+    # Queueing (called from the beat path; must never block on the network)
+    # ------------------------------------------------------------------ #
+    def _enqueue(self, records: np.ndarray) -> None:
+        n = int(records.shape[0])
+        with self._lock:
+            if n > self._max_pending:
+                # A batch larger than the whole queue keeps its newest tail.
+                self._dropped_records += n - self._max_pending
+                records = records[n - self._max_pending :]
+                n = self._max_pending
+            self._queue.append(records)
+            self._pending_records += n
+            self._trim_pending_locked()
+        self._wake.set()
+
+    def _trim_pending_locked(self) -> None:
+        """Drop the oldest queued records down to the bound (lock held)."""
+        while self._pending_records > self._max_pending:
+            oldest = self._queue[0]
+            overflow = self._pending_records - self._max_pending
+            if oldest.shape[0] <= overflow:
+                self._queue.popleft()
+                self._pending_records -= oldest.shape[0]
+                self._dropped_records += oldest.shape[0]
+            else:
+                self._queue[0] = oldest[overflow:]
+                self._pending_records -= overflow
+                self._dropped_records += overflow
+
+    # ------------------------------------------------------------------ #
+    # Sender thread
+    # ------------------------------------------------------------------ #
+    def _sender_loop(self) -> None:
+        backoff = self._backoff_initial
+        next_attempt = 0.0
+        while True:
+            self._wake.wait(timeout=self._flush_interval)
+            self._wake.clear()
+            with self._lock:
+                if self._closed:
+                    return  # close() gave up on us; do not touch the wire again
+                closing = self._closing
+                has_work = bool(self._queue) or self._targets_dirty
+            if closing and not has_work:
+                break
+            if not has_work:
+                continue
+            now = time.monotonic()
+            if self._sock is None:
+                if now < next_attempt and not closing:
+                    continue
+                if not self._connect():
+                    backoff = min(backoff * 2.0, self._backoff_max)
+                    next_attempt = time.monotonic() + backoff
+                    if closing:
+                        break  # flush deadline work is pointless with no peer
+                    continue
+                backoff = self._backoff_initial
+            if not self._drain_once():
+                continue  # connection lost mid-send; records were requeued
+        self._shutdown_socket()
+
+    def _connect(self) -> bool:
+        try:
+            sock = socket.create_connection(self.address, timeout=self._connect_timeout)
+            sock.settimeout(self._send_timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                hello = protocol.encode_hello(
+                    self.stream,
+                    pid=os.getpid(),
+                    nonce=self._nonce,
+                    default_window=self._default_window,
+                    capacity=self.capacity,
+                    target_min=self._target_min,
+                    target_max=self._target_max,
+                )
+                # HELLO already carries the current targets.
+                self._targets_dirty = False
+            sock.sendall(hello)
+        except OSError:
+            with self._lock:
+                self._connect_failures += 1
+            return False
+        with self._lock:
+            self._sock = sock
+            self._connects += 1
+        return True
+
+    def _drain_once(self) -> bool:
+        """Ship queued targets/records; False when the connection dropped."""
+        sock = self._sock
+        if sock is None:  # pragma: no cover - only racing an abort
+            return False
+        with self._lock:
+            targets = (self._target_min, self._target_max) if self._targets_dirty else None
+            self._targets_dirty = False
+            batch = self._pop_batch_locked()
+        try:
+            if targets is not None:
+                sock.sendall(protocol.encode_targets(*targets))
+            if batch is not None:
+                header, payload = protocol.frame_buffers(
+                    protocol.FRAME_BATCH, protocol.batch_payload(batch)
+                )
+                sock.sendall(header)
+                sock.sendall(payload)
+        except OSError:
+            self._drop_connection(requeue=batch, targets_dirty=targets is not None)
+            return False
+        if batch is not None:
+            with self._lock:
+                self._sent_batches += 1
+                self._sent_records += int(batch.shape[0])
+            if self._queue:
+                self._wake.set()  # more pending; come straight back
+        return True
+
+    def _pop_batch_locked(self) -> np.ndarray | None:
+        """Coalesce up to ``max_batch_records`` queued records (lock held)."""
+        if not self._queue:
+            return None
+        parts: list[np.ndarray] = []
+        taken = 0
+        while self._queue and taken < self._max_batch_records:
+            chunk = self._queue[0]
+            room = self._max_batch_records - taken
+            if chunk.shape[0] <= room:
+                parts.append(self._queue.popleft())
+                taken += chunk.shape[0]
+            else:
+                parts.append(chunk[:room])
+                self._queue[0] = chunk[room:]
+                taken += room
+        self._pending_records -= taken
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
+
+    def _drop_connection(self, *, requeue: np.ndarray | None, targets_dirty: bool) -> None:
+        self._shutdown_socket()
+        with self._lock:
+            if self._closed:
+                # close() already settled the books (queue cleared, pending
+                # counted as dropped); the in-flight batch joins the dropped
+                # tally instead of resurrecting pending on a closed backend.
+                if requeue is not None:
+                    self._dropped_records += int(requeue.shape[0])
+                return
+            if targets_dirty:
+                self._targets_dirty = True
+            if requeue is not None:
+                # Unsent records return to the head of the queue so ordering
+                # holds; the bound still applies, trimming their oldest part.
+                self._queue.appendleft(requeue)
+                self._pending_records += int(requeue.shape[0])
+                self._trim_pending_locked()
+
+    def _shutdown_socket(self) -> None:
+        with self._lock:
+            sock, self._sock = self._sock, None
+        if sock is not None:
+            if not self._closing:
+                sock.close()
+                return
+            try:
+                sock.sendall(protocol.encode_close(self._buffer.total))
+            except OSError:
+                pass
+            sock.close()
+
+    def _abort_socket(self) -> None:
+        with self._lock:
+            sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close barely ever raises
+                pass

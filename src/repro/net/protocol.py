@@ -1,0 +1,355 @@
+"""Wire protocol for networked heartbeat telemetry.
+
+A heartbeat stream crosses the network as a sequence of *frames*.  Every
+frame is length-prefixed and carries a CRC of its payload, so a collector
+can reject truncated or corrupted input deterministically instead of
+misparsing it; the protocol is versioned so the layout can evolve without
+silently breaking old peers.
+
+Frame layout (network byte order)
+---------------------------------
+========  ======  ====================================================
+offset    type    field
+========  ======  ====================================================
+0         4s      magic (``b"HBTP"``)
+4         u8      protocol version (currently 1)
+5         u8      frame type (hello / batch / targets / close)
+6         u16     flags (reserved, must be zero)
+8         u32     payload length in bytes
+12        u32     CRC-32 of the payload
+16        --      payload
+========  ======  ====================================================
+
+Frame types
+-----------
+``HELLO``
+    Sent once per connection before anything else; registers the stream with
+    the collector.  Carries the stream name, producer PID, default rate
+    window, capacity hint and current target range, so a reconnecting
+    producer re-synchronises the collector's per-stream metadata in one
+    frame.
+``BATCH``
+    One or more heartbeat records packed exactly as the shared
+    :data:`repro.core.record.RECORD_DTYPE` (little-endian on the wire).  On
+    little-endian hosts — the common case — encoding is zero-copy: the
+    frame's payload *is* the records array's buffer.
+``TARGETS``
+    A target heart-rate range update (``HB_set_target_rate`` made visible to
+    remote observers).
+``CLOSE``
+    Graceful end of stream, carrying the producer's final beat count; a
+    connection that drops without a CLOSE is a producer death, not a
+    shutdown.
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ProtocolError
+from repro.core.record import RECORD_DTYPE
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "HEADER",
+    "MAX_PAYLOAD",
+    "FRAME_HELLO",
+    "FRAME_BATCH",
+    "FRAME_TARGETS",
+    "FRAME_CLOSE",
+    "Frame",
+    "FrameDecoder",
+    "Hello",
+    "ProtocolError",
+    "encode_frame",
+    "frame_buffers",
+    "encode_hello",
+    "decode_hello",
+    "batch_payload",
+    "decode_batch",
+    "encode_targets",
+    "decode_targets",
+    "encode_close",
+    "decode_close",
+    "parse_address",
+]
+
+MAGIC = b"HBTP"
+PROTOCOL_VERSION = 1
+
+#: magic, version, frame type, flags, payload length, payload CRC-32.
+HEADER = struct.Struct("!4sBBHII")
+HEADER_SIZE = HEADER.size
+
+#: Upper bound on a frame payload.  Large enough for any realistic record
+#: batch (16 MiB ≈ 500k records) while bounding what a garbage length prefix
+#: can make a collector buffer.
+MAX_PAYLOAD = 16 * 1024 * 1024
+
+FRAME_HELLO = 1
+FRAME_BATCH = 2
+FRAME_TARGETS = 3
+FRAME_CLOSE = 4
+_KNOWN_FRAMES = frozenset((FRAME_HELLO, FRAME_BATCH, FRAME_TARGETS, FRAME_CLOSE))
+
+#: On-the-wire record layout: the shared record dtype, little-endian.  On
+#: little-endian hosts this *is* :data:`RECORD_DTYPE`, so packing a batch is
+#: a buffer view rather than a copy.
+WIRE_RECORD_DTYPE = RECORD_DTYPE.newbyteorder("<")
+_NATIVE_IS_WIRE = sys.byteorder == "little"
+
+#: pid, nonce, window, capacity, itemsize, tmin, tmax, name length.  The
+#: nonce is unique per producer backend instance, so a collector can tell a
+#: reconnect of the *same* stream from a same-named sibling in one process.
+_HELLO = struct.Struct("!qqqqqddH")
+_TARGETS = struct.Struct("!dd")
+_CLOSE = struct.Struct("!q")
+
+
+@dataclass(frozen=True, slots=True)
+class Frame:
+    """One decoded frame: its type and raw payload bytes."""
+
+    type: int
+    payload: bytes
+
+
+@dataclass(frozen=True, slots=True)
+class Hello:
+    """Decoded stream registration (the first frame of every connection)."""
+
+    name: str
+    pid: int
+    default_window: int
+    capacity: int
+    target_min: float
+    target_max: float
+    nonce: int = 0
+
+
+# ---------------------------------------------------------------------- #
+# Encoding
+# ---------------------------------------------------------------------- #
+def frame_buffers(ftype: int, payload: bytes | memoryview) -> tuple[bytes, bytes | memoryview]:
+    """Return ``(header, payload)`` buffers for one frame.
+
+    The payload buffer is returned as given, so a large record batch can be
+    written to a socket without ever being copied into a joined bytestring.
+    """
+    length = len(payload) if isinstance(payload, bytes) else payload.nbytes
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"frame payload of {length} bytes exceeds the {MAX_PAYLOAD} byte limit")
+    header = HEADER.pack(MAGIC, PROTOCOL_VERSION, ftype, 0, length, zlib.crc32(payload))
+    return header, payload
+
+
+def encode_frame(ftype: int, payload: bytes | memoryview = b"") -> bytes:
+    """One frame as a single contiguous bytestring (convenience for tests)."""
+    header, body = frame_buffers(ftype, payload)
+    return header + bytes(body)
+
+
+def encode_hello(
+    name: str,
+    *,
+    pid: int = 0,
+    nonce: int = 0,
+    default_window: int = 0,
+    capacity: int = 0,
+    target_min: float = 0.0,
+    target_max: float = 0.0,
+) -> bytes:
+    """Encode a stream registration frame."""
+    raw = name.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise ProtocolError(f"stream name of {len(raw)} bytes is too long")
+    payload = (
+        _HELLO.pack(
+            pid, nonce, default_window, capacity, RECORD_DTYPE.itemsize, target_min, target_max, len(raw)
+        )
+        + raw
+    )
+    return encode_frame(FRAME_HELLO, payload)
+
+
+def decode_hello(payload: bytes) -> Hello:
+    """Decode a HELLO payload, validating the record layout it announces."""
+    if len(payload) < _HELLO.size:
+        raise ProtocolError(f"hello payload truncated: {len(payload)} bytes")
+    pid, nonce, window, capacity, itemsize, tmin, tmax, name_len = _HELLO.unpack_from(payload)
+    if itemsize != RECORD_DTYPE.itemsize:
+        raise ProtocolError(
+            f"peer records are {itemsize} bytes per record, expected {RECORD_DTYPE.itemsize}"
+        )
+    raw = payload[_HELLO.size : _HELLO.size + name_len]
+    if len(raw) != name_len:
+        raise ProtocolError("hello payload truncated: name shorter than its declared length")
+    try:
+        name = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"stream name is not valid UTF-8: {exc}") from exc
+    if not name:
+        raise ProtocolError("stream name must not be empty")
+    return Hello(
+        name=name,
+        pid=int(pid),
+        default_window=int(window),
+        capacity=int(capacity),
+        target_min=float(tmin),
+        target_max=float(tmax),
+        nonce=int(nonce),
+    )
+
+
+def batch_payload(records: np.ndarray) -> bytes | memoryview:
+    """Pack a record batch for the wire.
+
+    On little-endian hosts the returned buffer is a zero-copy view of the
+    array's memory; big-endian hosts pay one byteswapped copy.
+    """
+    if records.dtype != RECORD_DTYPE:
+        raise ValueError(f"records dtype must be {RECORD_DTYPE}, got {records.dtype}")
+    wire = records if _NATIVE_IS_WIRE else records.astype(WIRE_RECORD_DTYPE)
+    if not wire.flags.c_contiguous:  # pragma: no cover - callers pass fresh arrays
+        wire = np.ascontiguousarray(wire)
+    return memoryview(wire).cast("B")
+
+
+def decode_batch(payload: bytes) -> np.ndarray:
+    """Unpack a BATCH payload into a native-endian record array.
+
+    The returned array is read-only on little-endian hosts (it views the
+    payload bytes); callers that store it copy it into their own buffer.
+    """
+    if len(payload) == 0:
+        raise ProtocolError("batch frame carries no records")
+    if len(payload) % WIRE_RECORD_DTYPE.itemsize:
+        raise ProtocolError(
+            f"batch payload of {len(payload)} bytes is not a whole number of "
+            f"{WIRE_RECORD_DTYPE.itemsize}-byte records"
+        )
+    records = np.frombuffer(payload, dtype=WIRE_RECORD_DTYPE)
+    return records if _NATIVE_IS_WIRE else records.astype(RECORD_DTYPE)
+
+
+def encode_targets(target_min: float, target_max: float) -> bytes:
+    """Encode a target heart-rate range update."""
+    return encode_frame(FRAME_TARGETS, _TARGETS.pack(target_min, target_max))
+
+
+def decode_targets(payload: bytes) -> tuple[float, float]:
+    if len(payload) != _TARGETS.size:
+        raise ProtocolError(f"targets payload must be {_TARGETS.size} bytes, got {len(payload)}")
+    tmin, tmax = _TARGETS.unpack(payload)
+    return float(tmin), float(tmax)
+
+
+def encode_close(total_beats: int = 0) -> bytes:
+    """Encode a graceful end-of-stream frame with the final beat count."""
+    return encode_frame(FRAME_CLOSE, _CLOSE.pack(total_beats))
+
+
+def decode_close(payload: bytes) -> int:
+    if len(payload) != _CLOSE.size:
+        raise ProtocolError(f"close payload must be {_CLOSE.size} bytes, got {len(payload)}")
+    return int(_CLOSE.unpack(payload)[0])
+
+
+# ---------------------------------------------------------------------- #
+# Decoding
+# ---------------------------------------------------------------------- #
+class FrameDecoder:
+    """Incremental frame parser over a TCP byte stream.
+
+    Feed it whatever ``recv`` returned; it yields every complete frame and
+    retains the trailing partial one for the next call.  Any malformed input
+    — bad magic, unknown version or frame type, oversized length prefix, CRC
+    mismatch — raises :class:`ProtocolError`, after which the decoder is
+    poisoned and the caller must drop the connection: a byte stream that has
+    lost framing cannot be trusted to regain it.
+    """
+
+    __slots__ = ("_buffer", "_poisoned")
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered but not yet parsed into a frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes | memoryview) -> list[Frame]:
+        """Consume ``data`` and return every frame it completes."""
+        if self._poisoned:
+            raise ProtocolError("decoder already failed; the connection must be dropped")
+        self._buffer.extend(data)
+        frames: list[Frame] = []
+        try:
+            while True:
+                frame = self._next_frame()
+                if frame is None:
+                    return frames
+                frames.append(frame)
+        except ProtocolError:
+            self._poisoned = True
+            raise
+
+    def _next_frame(self) -> Frame | None:
+        buffer = self._buffer
+        if len(buffer) < HEADER_SIZE:
+            return None
+        magic, version, ftype, flags, length, crc = HEADER.unpack_from(buffer)
+        if magic != MAGIC:
+            raise ProtocolError(f"bad frame magic {bytes(magic)!r}")
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(f"unsupported protocol version {version}")
+        if ftype not in _KNOWN_FRAMES:
+            raise ProtocolError(f"unknown frame type {ftype}")
+        if flags != 0:
+            raise ProtocolError(f"reserved frame flags set ({flags:#x})")
+        if length > MAX_PAYLOAD:
+            raise ProtocolError(f"frame payload of {length} bytes exceeds the {MAX_PAYLOAD} byte limit")
+        if len(buffer) < HEADER_SIZE + length:
+            return None
+        payload = bytes(buffer[HEADER_SIZE : HEADER_SIZE + length])
+        if zlib.crc32(payload) != crc:
+            raise ProtocolError("frame payload failed its CRC check")
+        del buffer[: HEADER_SIZE + length]
+        return Frame(type=ftype, payload=payload)
+
+
+# ---------------------------------------------------------------------- #
+# Addresses
+# ---------------------------------------------------------------------- #
+def parse_address(address: str | tuple[str, int]) -> tuple[str, int]:
+    """Normalise ``"host:port"`` (or a ``(host, port)`` pair) to a tuple.
+
+    IPv6 literals use the standard bracket form, ``"[::1]:7717"``; the
+    brackets are stripped for the socket layer.
+    """
+    if isinstance(address, tuple):
+        host, port = address
+        return str(host), int(port)
+    host, sep, port = str(address).rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"address must look like 'host:port', got {address!r}")
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
+    elif ":" in host:
+        raise ValueError(
+            f"IPv6 addresses must be bracketed, e.g. '[::1]:7717', got {address!r}"
+        )
+    if not host:
+        raise ValueError(f"address must look like 'host:port', got {address!r}")
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise ValueError(f"address must look like 'host:port', got {address!r}") from exc

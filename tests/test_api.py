@@ -130,3 +130,69 @@ class TestLocalHeartbeats:
         assert not hb.HB_is_initialized(local=True)
         with pytest.raises(RegistryError):
             hb.HB_finalize(local=True)
+
+
+class TestRemoteInitialization:
+    """HB_initialize(remote=...) — Table 1 instrumentation shipped over TCP."""
+
+    def test_remote_stream_reaches_collector(self):
+        import time
+
+        from repro.net import HeartbeatCollector
+
+        with HeartbeatCollector() as collector:
+            heartbeat = hb.HB_initialize(window=10, remote=collector.endpoint)
+            assert heartbeat.backend.__class__.__name__ == "NetworkBackend"
+            hb.HB_set_target_rate(1.0, 1e6)
+            hb.HB_heartbeat_n(25)
+            hb.HB_finalize()
+            assert collector.wait_for_streams(1, timeout=5.0)
+            (stream_id,) = collector.stream_ids()
+            assert stream_id.startswith("global-")
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if collector.snapshot(stream_id).total_beats == 25:
+                    break
+                time.sleep(0.01)
+            snap = collector.snapshot(stream_id)
+            assert snap.total_beats == 25
+            assert snap.target_min == 1.0
+            assert snap.default_window == 10
+
+    def test_remote_and_backend_are_mutually_exclusive(self):
+        from repro.core.backends import MemoryBackend
+
+        with pytest.raises(ValueError, match="not both"):
+            hb.HB_initialize(remote="127.0.0.1:1", backend=MemoryBackend(16))
+
+    def test_local_after_remote_global_gets_its_own_backend(self):
+        from repro.net import HeartbeatCollector
+
+        with HeartbeatCollector() as collector:
+            hb.HB_initialize(window=10, remote=collector.endpoint)
+            local = hb.HB_initialize(local=True)
+            # The global's network backend must not be shared with locals.
+            assert local.backend is not hb.get_registry().get(local=False).backend
+            assert local.backend.__class__.__name__ == "MemoryBackend"
+            hb.HB_finalize()
+
+    def test_failed_remote_initialize_does_not_leak_sender_threads(self):
+        import time
+
+        from repro.net import HeartbeatCollector
+
+        def net_threads() -> int:
+            return sum(1 for t in threading.enumerate() if t.name.startswith("hb-net-"))
+
+        with HeartbeatCollector() as collector:
+            hb.HB_initialize(window=10, remote=collector.endpoint)
+            baseline = net_threads()
+            for _ in range(3):
+                with pytest.raises(RegistryError):
+                    hb.HB_initialize(window=10, remote=collector.endpoint)
+            # The rejected backends were closed; give their senders a beat to exit.
+            deadline = time.monotonic() + 5.0
+            while net_threads() > baseline and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert net_threads() == baseline
+            hb.HB_finalize()

@@ -1,15 +1,25 @@
-"""Tests for the experiment CLI entry point and the shipped examples."""
+"""Tests for the CLI entry points and the shipped examples."""
 
 from __future__ import annotations
 
+import os
 import pathlib
 import py_compile
+import subprocess
+import sys
+import threading
+import time
 
 import pytest
 
+from repro import cli
+from repro.core.backends import FileBackend
+from repro.core.heartbeat import Heartbeat
 from repro.experiments.runner import available_experiments, main
+from repro.net import NetworkBackend
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = pathlib.Path(__file__).resolve().parent.parent / "src"
 
 
 class TestRunnerCLI:
@@ -35,6 +45,104 @@ class TestRunnerCLI:
         assert main(["--list"]) == 0
 
 
+class TestTelemetryCLI:
+    """`python -m repro` — the collect and watch subcommands."""
+
+    def test_collect_prints_endpoint_and_summaries(self, capsys):
+        assert cli.main(["collect", "--duration", "0.3", "--interval", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "collector listening on 127.0.0.1:" in out
+        assert "streams=0" in out
+
+    def test_collect_propagates_port_via_port_file(self, tmp_path, capsys):
+        port_file = tmp_path / "port"
+        done = threading.Event()
+
+        def run() -> None:
+            cli.main(
+                ["collect", "--duration", "2.0", "--interval", "0.1", "--quiet",
+                 "--port-file", str(port_file)]
+            )
+            done.set()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 5.0
+        while not port_file.exists() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert port_file.exists(), "collect never wrote its port file"
+        port = int(port_file.read_text().strip())
+        assert port > 0
+        # A producer can dial the propagated port while collect runs.
+        backend = NetworkBackend(("127.0.0.1", port), stream="cli-svc", flush_interval=0.01)
+        hb = Heartbeat(window=5, backend=backend)
+        hb.heartbeat_batch(10)
+        hb.finalize()
+        assert done.wait(timeout=10.0)
+        assert not port_file.exists()  # cleaned up on exit
+
+    def test_watch_once_with_inline_collector(self, capsys):
+        assert cli.main(["watch", "--listen", "127.0.0.1:0", "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "collector listening on 127.0.0.1:" in out
+        assert "stream" in out and "status" in out
+        assert "0 streams" in out
+
+    def test_watch_nothing_to_watch_errors(self, capsys):
+        assert cli.main(["watch"]) == 2
+        assert "nothing to watch" in capsys.readouterr().err
+
+    def test_watch_file_attachment(self, tmp_path, capsys):
+        log = tmp_path / "svc.hblog"
+        hb = Heartbeat(window=5, backend=FileBackend(log))
+        for _ in range(10):
+            hb.heartbeat()
+        hb.finalize()
+        assert cli.main(["watch", "--file", str(log), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "file:svc.hblog" in out
+        assert "1 streams, 1 measurable" in out
+
+    def test_watch_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert cli.main(["watch", "--file", str(tmp_path / "absent.hblog"), "--once"]) == 1
+        assert "cannot attach heartbeat log" in capsys.readouterr().err
+
+    def test_watch_sees_live_producer(self, capsys):
+        rc: list[int] = []
+        ready = threading.Event()
+        real_emit = cli._emit
+
+        def emit_and_signal(line: str, *, stream=None) -> None:
+            real_emit(line, stream=stream)
+            if "collector listening on" in line:
+                ready.set()
+                emit_and_signal.port = int(line.rsplit(":", 1)[1])  # type: ignore[attr-defined]
+
+        thread = threading.Thread(
+            target=lambda: rc.append(
+                cli.main(["watch", "--listen", "127.0.0.1:0", "--duration", "1.2",
+                          "--interval", "0.1"])
+            ),
+            daemon=True,
+        )
+        cli._emit, undo = emit_and_signal, real_emit
+        try:
+            thread.start()
+            assert ready.wait(timeout=5.0)
+            port = emit_and_signal.port  # type: ignore[attr-defined]
+            backend = NetworkBackend(("127.0.0.1", port), stream="live-svc", flush_interval=0.01)
+            hb = Heartbeat(window=5, backend=backend)
+            for _ in range(20):
+                hb.heartbeat()
+                time.sleep(0.005)
+            hb.finalize()
+            thread.join(timeout=10.0)
+        finally:
+            cli._emit = undo
+        assert rc == [0]
+        assert "live-svc" in capsys.readouterr().out
+
+
 class TestExamples:
     """The examples must at least be importable/compilable as shipped."""
 
@@ -56,4 +164,28 @@ class TestExamples:
             "parsec_suite.py",
             "cloud_balancer.py",
             "cross_process_monitor.py",
+            "fleet_aggregator.py",
+            "remote_fleet.py",
         } <= names
+
+    def test_remote_fleet_example_runs_green(self):
+        """The acceptance demo: subprocess producers → collector → aggregator.
+
+        Runs the real example (its own assertions check collected totals
+        against producer ground truth) with shrunk knobs so the whole
+        pipeline — 4 subprocess producers, TCP collector, fleet queries,
+        remote balancer failover — finishes in a few seconds.
+        """
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+        env.update(REMOTE_FLEET_TICKS="6", REMOTE_FLEET_BATCH="16")
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "remote_fleet.py")],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+        assert "remote fleet demo OK" in result.stdout
+        assert "failover" in result.stdout

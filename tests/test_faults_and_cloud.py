@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import itertools
+
 import pytest
 
 from repro.clock import SimulatedClock
@@ -252,3 +254,105 @@ class TestHeartbeatLoadBalancer:
             HeartbeatLoadBalancer(cluster, liveness_timeout=0.0)
         with pytest.raises(ValueError):
             HeartbeatLoadBalancer(cluster, headroom=-0.5)
+
+
+class TestRemoteFleetBalancer:
+    """Section-2.6 management driven by collected telemetry, not in-process reads."""
+
+    def _networked_cluster(self, collector, n_vms=4):
+        from repro.cloud.cluster import CloudVM
+        from repro.net import NetworkBackend
+
+        cluster = CloudCluster()
+        node_a = cluster.add_node(capacity=100.0)
+        node_b = cluster.add_node(capacity=100.0)
+        base = next(_remote_vm_ids)
+        for i in range(n_vms):
+            vm_id = base + i
+            backend = NetworkBackend(
+                collector.endpoint, stream=f"vm-{vm_id}", capacity=4096, flush_interval=0.01
+            )
+            heartbeat = Heartbeat(window=20, clock=cluster.clock, backend=backend, history=4096)
+            vm = CloudVM(
+                work_per_beat=1.0,
+                target_min=5.0,
+                target_max=60.0,
+                heartbeat=heartbeat,
+                vm_id=vm_id,
+            )
+            cluster.vms[vm.vm_id] = vm
+            cluster.place(vm.vm_id, node_a.node_id if i < n_vms // 2 else node_b.node_id)
+        return cluster, node_a, node_b
+
+    def test_balancer_manages_fleet_through_collector(self):
+        import time
+
+        from repro.net import HeartbeatCollector
+
+        with HeartbeatCollector() as collector:
+            cluster, node_a, node_b = self._networked_cluster(collector)
+            balancer = HeartbeatLoadBalancer(
+                cluster, collector=collector, clock=cluster.clock, liveness_timeout=3.0
+            )
+            try:
+                for _ in range(5):
+                    cluster.step(1.0)
+                assert collector.wait_for_streams(4, timeout=10.0)
+                _wait_for_collector_totals(collector, cluster)
+                assert balancer.manage() == []
+                for vm in cluster.vms.values():
+                    assert balancer.vm_alive(vm)
+                    assert balancer.vm_rate(vm) > 0.0
+
+                node_b.fail()  # VMs on it go silent; only telemetry says so
+                for _ in range(4):
+                    cluster.step(1.0)
+                time.sleep(0.3)
+                actions = balancer.manage()
+                failovers = [a for a in actions if a.kind == "failover"]
+                assert len(failovers) == 2
+                assert all(a.to_node == node_a.node_id for a in failovers)
+                assert all(vm.node_id == node_a.node_id for vm in cluster.vms.values())
+            finally:
+                balancer.close()
+                for vm in cluster.vms.values():
+                    vm.heartbeat.finalize()
+
+    def test_unregistered_stream_is_not_attached_yet(self):
+        from repro.net import HeartbeatCollector
+
+        with HeartbeatCollector() as collector:
+            cluster = CloudCluster()
+            cluster.add_node(capacity=10.0)
+            cluster.add_vm(work_per_beat=1.0, target_min=1.0, target_max=5.0)
+            balancer = HeartbeatLoadBalancer(
+                cluster, collector=collector, clock=cluster.clock, liveness_timeout=3.0
+            )
+            try:
+                # The VM's producer never dialled in: no reading, no crash.
+                sample = balancer.observe()
+                assert len(sample) == 0
+            finally:
+                balancer.close()
+
+
+#: Disjoint vm_id blocks so networked VMs never collide with the global
+#: auto-increment other tests rely on.
+_remote_vm_ids = itertools.count(5000, 100)
+
+
+def _wait_for_collector_totals(collector, cluster, timeout: float = 10.0) -> None:
+    """Block until every VM's produced beats reached the collector."""
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        done = all(
+            collector.snapshot(f"vm-{vm.vm_id}").total_beats == vm.heartbeat.count
+            for vm in cluster.vms.values()
+            if f"vm-{vm.vm_id}" in collector.stream_ids()
+        ) and len(collector.stream_ids()) >= len(cluster.vms)
+        if done:
+            return
+        time.sleep(0.02)
+    raise AssertionError("collector never caught up with the cluster's beats")

@@ -1,0 +1,359 @@
+"""Producer/collector integration over localhost TCP.
+
+Every server here binds ``127.0.0.1`` port 0 and propagates the chosen port,
+so parallel CI runs never collide on a fixed port; every wait is bounded so
+a broken socket can fail a test but not hang the suite.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro.clock import WallClock
+from repro.core.aggregator import HeartbeatAggregator
+from repro.core.errors import MonitorAttachError
+from repro.core.heartbeat import Heartbeat
+from repro.core.monitor import HealthStatus
+from repro.core.record import RECORD_DTYPE
+from repro.net import HeartbeatCollector, NetworkBackend, protocol
+
+
+def wait_until(predicate, timeout: float = 5.0, interval: float = 0.01) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def raw_connection(collector: HeartbeatCollector) -> socket.socket:
+    sock = socket.create_connection(collector.address, timeout=5.0)
+    sock.settimeout(5.0)
+    return sock
+
+
+def records_for(beats: list[tuple[int, float]]) -> np.ndarray:
+    out = np.empty(len(beats), dtype=RECORD_DTYPE)
+    for i, (beat, ts) in enumerate(beats):
+        out[i] = (beat, ts, 0, 1)
+    return out
+
+
+class TestBindAndPortPropagation:
+    def test_binds_ephemeral_loopback_port(self):
+        with HeartbeatCollector() as collector:
+            assert collector.host == "127.0.0.1"
+            assert collector.port > 0
+            assert collector.address == ("127.0.0.1", collector.port)
+            assert collector.endpoint == f"127.0.0.1:{collector.port}"
+
+    def test_two_collectors_never_collide(self):
+        with HeartbeatCollector() as a, HeartbeatCollector() as b:
+            assert a.port != b.port
+
+    def test_close_is_idempotent(self):
+        collector = HeartbeatCollector()
+        collector.close()
+        collector.close()
+
+
+class TestEndToEnd:
+    def test_producer_records_arrive_exactly(self):
+        with HeartbeatCollector() as collector:
+            backend = NetworkBackend(collector.endpoint, stream="svc", flush_interval=0.01)
+            hb = Heartbeat(window=20, backend=backend, clock=WallClock(rebase=False))
+            hb.set_target_rate(1.0, 1e6)
+            for i in range(7):
+                hb.heartbeat(tag=i)
+            hb.heartbeat_batch(93)
+            hb.finalize()  # flushes, then CLOSE
+            assert collector.wait_for_streams(1, timeout=5.0)
+            assert wait_until(lambda: collector.snapshot("svc").total_beats == 100)
+            snap = collector.snapshot("svc")
+            assert list(snap.records["beat"]) == list(range(100))
+            assert snap.target_min == 1.0 and snap.target_max == 1e6
+            assert snap.default_window == 20
+            # The CLOSE frame may land a beat after the last batch.
+            assert wait_until(
+                lambda: {s.stream_id: s for s in collector.streams()}["svc"].closed
+            )
+            info = {s.stream_id: s for s in collector.streams()}["svc"]
+            assert not info.connected
+            assert info.pid == os.getpid()
+            # Nothing was dropped, so the CLOSE-frame count matches delivery.
+            assert info.reported_total == 100 == info.total_beats
+
+    def test_many_producers_demultiplexed(self):
+        with HeartbeatCollector() as collector:
+            heartbeats = []
+            for i in range(5):
+                backend = NetworkBackend(
+                    collector.endpoint, stream=f"svc-{i}", flush_interval=0.01
+                )
+                hb = Heartbeat(window=10, backend=backend, clock=WallClock(rebase=False))
+                hb.heartbeat_batch(10 * (i + 1))
+                heartbeats.append(hb)
+            for hb in heartbeats:
+                hb.finalize()
+            assert collector.wait_for_streams(5, timeout=5.0)
+            for i in range(5):
+                assert wait_until(
+                    lambda i=i: collector.snapshot(f"svc-{i}").total_beats == 10 * (i + 1)
+                )
+
+    def test_duplicate_live_names_get_distinct_ids(self):
+        with HeartbeatCollector() as collector:
+            a = NetworkBackend(collector.endpoint, stream="dup", flush_interval=0.01)
+            b = NetworkBackend(collector.endpoint, stream="dup", flush_interval=0.01)
+            a.append_many(records_for([(0, 1.0)]))
+            b.append_many(records_for([(0, 1.0)]))
+            assert collector.wait_for_streams(2, timeout=5.0)
+            assert sorted(collector.stream_ids()) == ["dup", "dup@2"]
+            a.close()
+            b.close()
+
+    def test_reconnect_resumes_only_the_matching_nonce(self):
+        """Resumption is keyed on (pid, nonce): a same-named sibling backend
+        from the same process must get its own stream, never splice into a
+        disconnected twin's history."""
+        with HeartbeatCollector() as collector:
+            first = raw_connection(collector)
+            first.sendall(protocol.encode_hello("twin", pid=7, nonce=1))
+            header, payload = protocol.frame_buffers(
+                protocol.FRAME_BATCH, protocol.batch_payload(records_for([(0, 1.0)]))
+            )
+            first.sendall(bytes(header) + bytes(payload))
+            assert wait_until(lambda: collector.stream_ids() == ["twin"])
+            first.close()  # abrupt drop, stream stays resumable
+            assert wait_until(
+                lambda: not {s.stream_id: s for s in collector.streams()}["twin"].connected
+            )
+
+            sibling = raw_connection(collector)
+            sibling.sendall(protocol.encode_hello("twin", pid=7, nonce=2))
+            assert wait_until(lambda: sorted(collector.stream_ids()) == ["twin", "twin@2"])
+
+            comeback = raw_connection(collector)
+            comeback.sendall(protocol.encode_hello("twin", pid=7, nonce=1))
+            header, payload = protocol.frame_buffers(
+                protocol.FRAME_BATCH, protocol.batch_payload(records_for([(1, 2.0)]))
+            )
+            comeback.sendall(bytes(header) + bytes(payload))
+            # The original stream resumed (no third id) and grew its history.
+            assert wait_until(lambda: collector.snapshot("twin").total_beats == 2)
+            assert sorted(collector.stream_ids()) == ["twin", "twin@2"]
+            sibling.close()
+            comeback.close()
+
+    def test_redial_supersedes_connection_the_collector_still_thinks_live(self):
+        """A matching (pid, nonce) HELLO resumes even before the old
+        connection thread observes the disconnect, and the stale thread's
+        teardown must not mark the resumed stream disconnected."""
+        with HeartbeatCollector() as collector:
+            old = raw_connection(collector)
+            old.sendall(protocol.encode_hello("svc", pid=7, nonce=3))
+            assert wait_until(lambda: collector.stream_ids() == ["svc"])
+
+            new = raw_connection(collector)  # redial while `old` is still open
+            new.sendall(protocol.encode_hello("svc", pid=7, nonce=3))
+            header, payload = protocol.frame_buffers(
+                protocol.FRAME_BATCH, protocol.batch_payload(records_for([(0, 1.0)]))
+            )
+            new.sendall(bytes(header) + bytes(payload))
+            assert wait_until(lambda: collector.snapshot("svc").total_beats == 1)
+            assert collector.stream_ids() == ["svc"]  # no 'svc@2' split
+
+            old.close()  # the superseded connection finally goes away
+            time.sleep(0.3)
+            info = {s.stream_id: s for s in collector.streams()}["svc"]
+            assert info.connected, "stale teardown clobbered the live connection"
+            new.close()
+            assert wait_until(
+                lambda: not {s.stream_id: s for s in collector.streams()}["svc"].connected
+            )
+
+    def test_unknown_stream_rejected(self):
+        with HeartbeatCollector() as collector:
+            with pytest.raises(MonitorAttachError):
+                collector.snapshot("nope")
+            with pytest.raises(MonitorAttachError):
+                collector.snapshot_source("nope")
+
+
+class TestGarbageIsolation:
+    """A malformed connection dies alone; the collector and its peers live."""
+
+    def test_garbage_connection_does_not_kill_collector(self):
+        with HeartbeatCollector() as collector:
+            vandal = raw_connection(collector)
+            vandal.sendall(b"GET / HTTP/1.1\r\nHost: heartbeat\r\n\r\n")
+            assert wait_until(lambda: collector.stats()["protocol_errors"] == 1)
+            vandal.close()
+            # A well-behaved producer still gets through afterwards.
+            backend = NetworkBackend(collector.endpoint, stream="good", flush_interval=0.01)
+            backend.append_many(records_for([(0, 1.0), (1, 2.0)]))
+            assert collector.wait_for_streams(1, timeout=5.0)
+            assert wait_until(lambda: collector.snapshot("good").total_beats == 2)
+            backend.close()
+
+    def test_batch_before_hello_rejected(self):
+        with HeartbeatCollector() as collector:
+            sock = raw_connection(collector)
+            header, payload = protocol.frame_buffers(
+                protocol.FRAME_BATCH, protocol.batch_payload(records_for([(0, 1.0)]))
+            )
+            sock.sendall(bytes(header) + bytes(payload))
+            assert wait_until(lambda: collector.stats()["protocol_errors"] == 1)
+            assert collector.stream_ids() == []
+            sock.close()
+
+    def test_corrupt_frame_mid_stream_drops_connection_keeps_history(self):
+        with HeartbeatCollector() as collector:
+            sock = raw_connection(collector)
+            sock.sendall(protocol.encode_hello("torn", pid=1))
+            header, payload = protocol.frame_buffers(
+                protocol.FRAME_BATCH, protocol.batch_payload(records_for([(0, 1.0), (1, 2.0)]))
+            )
+            sock.sendall(bytes(header) + bytes(payload))
+            assert wait_until(lambda: "torn" in collector.stream_ids())
+            assert wait_until(lambda: collector.snapshot("torn").total_beats == 2)
+            corrupted = bytearray(protocol.encode_targets(1.0, 2.0))
+            corrupted[-1] ^= 0xFF
+            sock.sendall(bytes(corrupted))
+            assert wait_until(lambda: collector.stats()["protocol_errors"] == 1)
+            # The already-ingested history survives the bad frame.
+            assert collector.snapshot("torn").total_beats == 2
+            sock.close()
+
+
+class TestAggregatorIntegration:
+    def test_attach_collector_serves_fleet_queries(self):
+        with HeartbeatCollector() as collector:
+            heartbeats = []
+            for i in range(4):
+                backend = NetworkBackend(
+                    collector.endpoint, stream=f"s{i}", flush_interval=0.01
+                )
+                hb = Heartbeat(window=50, backend=backend, clock=WallClock(rebase=False))
+                hb.set_target_rate(5.0, 1e6)
+                heartbeats.append(hb)
+            for _ in range(20):
+                for hb in heartbeats:
+                    hb.heartbeat_batch(5)
+                time.sleep(0.005)
+            for hb in heartbeats:
+                hb.finalize()
+            assert collector.wait_for_streams(4, timeout=5.0)
+            assert wait_until(
+                lambda: all(collector.snapshot(f"s{i}").total_beats == 100 for i in range(4))
+            )
+            agg = HeartbeatAggregator(clock=WallClock(rebase=False), num_shards=2)
+            try:
+                attached = agg.attach_collector(collector)
+                assert sorted(attached) == [f"s{i}" for i in range(4)]
+                sample = agg.poll()
+                assert sample.total_beats() == 400
+                rates = sample.rates()
+                assert rates.shape == (4,) and (rates > 0).all()
+                percentiles = sample.percentiles()
+                assert set(percentiles) == {50.0, 90.0, 99.0}
+                assert all(p > 0 for p in percentiles.values())
+                assert set(sample.lagging(target=1e9)) == {f"s{i}" for i in range(4)}
+            finally:
+                agg.close()
+
+    def test_streams_registered_after_attach_appear_on_next_poll(self):
+        with HeartbeatCollector() as collector:
+            agg = HeartbeatAggregator(clock=WallClock(rebase=False))
+            try:
+                assert agg.attach_collector(collector) == []
+                assert len(agg.poll()) == 0
+                backend = NetworkBackend(collector.endpoint, stream="late", flush_interval=0.01)
+                backend.append_many(records_for([(0, 1.0)]))
+                assert collector.wait_for_streams(1, timeout=5.0)
+                assert wait_until(lambda: "late" in dict(agg.poll()))
+                backend.close()
+            finally:
+                agg.close()
+
+    def test_mid_stream_producer_death_reads_stalled(self):
+        """A producer that dies without CLOSE must classify as STALLED."""
+        with HeartbeatCollector() as collector:
+            clock = WallClock(rebase=False)
+            sock = raw_connection(collector)
+            sock.sendall(protocol.encode_hello("victim", pid=999, default_window=4))
+            now = clock.now()
+            beats = records_for([(i, now - 0.4 + 0.1 * i) for i in range(5)])
+            header, payload = protocol.frame_buffers(
+                protocol.FRAME_BATCH, protocol.batch_payload(beats)
+            )
+            sock.sendall(bytes(header) + bytes(payload))
+            assert wait_until(lambda: "victim" in collector.stream_ids())
+            assert wait_until(lambda: collector.snapshot("victim").total_beats == 5)
+            # Abrupt death: RST-ish close, no CLOSE frame.
+            sock.close()
+            assert wait_until(
+                lambda: not {s.stream_id: s for s in collector.streams()}["victim"].connected
+            )
+            info = {s.stream_id: s for s in collector.streams()}["victim"]
+            assert not info.closed  # death, not shutdown
+            agg = HeartbeatAggregator(clock=clock, liveness_timeout=0.5)
+            try:
+                agg.attach_collector(collector)
+                assert wait_until(
+                    lambda: agg.poll().reading("victim").status is HealthStatus.STALLED,
+                    timeout=5.0,
+                )
+                reading = agg.poll().reading("victim")
+                assert reading.age is not None and reading.age > 0.5
+                assert reading.total_beats == 5
+            finally:
+                agg.close()
+
+
+class TestSubprocessProducer:
+    def test_subprocess_death_is_observable(self):
+        """A real producer process killed mid-stream reads as STALLED."""
+        with HeartbeatCollector() as collector:
+            ctx = mp.get_context("spawn")
+            proc = ctx.Process(
+                target=_doomed_producer, args=(collector.endpoint,), daemon=True
+            )
+            proc.start()
+            try:
+                assert collector.wait_for_streams(1, timeout=30.0)
+                assert wait_until(
+                    lambda: collector.snapshot("doomed").total_beats >= 10, timeout=30.0
+                )
+                proc.join(timeout=30.0)  # _doomed_producer os._exits mid-stream
+                assert proc.exitcode == 17
+                agg = HeartbeatAggregator(clock=WallClock(rebase=False), liveness_timeout=0.3)
+                try:
+                    agg.attach_collector(collector)
+                    assert wait_until(
+                        lambda: agg.poll().reading("doomed").status is HealthStatus.STALLED,
+                        timeout=5.0,
+                    )
+                finally:
+                    agg.close()
+            finally:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+
+
+def _doomed_producer(endpoint: str) -> None:
+    backend = NetworkBackend(endpoint, stream="doomed", flush_interval=0.005)
+    hb = Heartbeat(window=10, backend=backend, clock=WallClock(rebase=False))
+    for i in range(20):
+        hb.heartbeat(tag=i)
+        time.sleep(0.01)
+    time.sleep(0.2)  # let the sender flush before dying without finalize()
+    os._exit(17)
