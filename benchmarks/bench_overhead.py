@@ -103,6 +103,42 @@ def run_ingest_comparison(tmp_path, kinds=("memory", "file", "shared_memory")) -
     return results
 
 
+def run_file_buffering_comparison(tmp_path) -> dict:
+    """Measure buffered vs write-through file appends (the before/after).
+
+    ``FileBackend`` historically issued one ``write`` syscall per beat;
+    buffered mode batches lines in a userspace buffer drained on
+    ``flush()``, on the staleness interval, or at ~64 KiB.  Measured on the
+    raw ``append`` path where the difference lives (the ``heartbeat``
+    wrapper adds identical lock/clock cost to both arms and would dilute
+    the ratio).  The win scales with the real cost of a ``write`` syscall:
+    on tmpfs it is a few tens of percent, on an actual disk-backed
+    filesystem several-fold.
+    """
+    beats = _ingest_beats()
+
+    def raw_append(buffered: bool, name: str) -> float:
+        backend = FileBackend(tmp_path / name, buffered=buffered)
+        try:
+            append = backend.append
+            start = time.perf_counter()
+            for i in range(beats):
+                append(i, 0.5, 0, 1)
+            elapsed = time.perf_counter() - start
+        finally:
+            backend.close()
+        return beats / elapsed
+
+    unbuffered = raw_append(False, "ingest-file-unbuffered.log")
+    buffered = raw_append(True, "ingest-file-buffered.log")
+    return {
+        "beats": beats,
+        "unbuffered_beats_per_sec": unbuffered,
+        "buffered_beats_per_sec": buffered,
+        "speedup": buffered / unbuffered,
+    }
+
+
 def run_network_comparison() -> dict:
     """Measure the network backend: live collector vs collector down.
 
@@ -227,6 +263,27 @@ def test_batched_ingest_speedup(tmp_path):
         assert speedup > 1.0, f"{kind}: batched path never beat single-beat ({speedup:.2f}x)"
 
 
+def test_file_buffered_appends_beat_write_through(tmp_path):
+    """Buffered file appends must beat syscall-per-beat write-through.
+
+    Best of three runs for the same CI-noise immunity as the ingest-speedup
+    test; a genuine regression (buffering removed or flushed per beat) fails
+    all three.  The 1.05 floor is calibrated to the worst case — tmpfs,
+    where a write syscall costs almost nothing — so it passes on any
+    filesystem while still failing if buffering stops working (write-
+    through plus the staleness check is strictly slower than write-through
+    alone).
+    """
+    best = 0.0
+    for _ in range(3):
+        best = max(best, run_file_buffering_comparison(tmp_path)["speedup"])
+        if best >= 1.10:
+            break
+    assert best >= 1.05, (
+        f"buffered file appends only {best:.2f}x the write-through path (best of 3)"
+    )
+
+
 def test_network_batch_latency(benchmark):
     """Latency of one 64-beat heartbeat_batch call through the network backend.
 
@@ -281,12 +338,19 @@ def main(argv: list[str] | None = None) -> int:
     if args.mode in ("ingest", "all"):
         with tempfile.TemporaryDirectory() as tmp:
             results.update(run_ingest_comparison(pathlib.Path(tmp)))
+            results["file_buffering"] = run_file_buffering_comparison(pathlib.Path(tmp))
         for kind, row in results["backends"].items():
             print(
                 f"{kind:>14}: single {row['single_beats_per_sec']:>12,.0f} beats/s   "
                 f"batched({results['batch_size']}) {row['batched_beats_per_sec']:>14,.0f} beats/s   "
                 f"speedup {row['speedup']:6.1f}x"
             )
+        buffering = results["file_buffering"]
+        print(
+            f"{'file buffering':>14}: write-through {buffering['unbuffered_beats_per_sec']:>9,.0f} beats/s   "
+            f"buffered {buffering['buffered_beats_per_sec']:>14,.0f} beats/s   "
+            f"speedup {buffering['speedup']:6.1f}x"
+        )
     if args.mode in ("network", "all"):
         network = run_network_comparison()
         results["network"] = network

@@ -33,6 +33,7 @@ from repro._version import __version__
 from repro.clock import Clock, ManualClock, SimulatedClock, WallClock
 from repro.core import (
     DEFAULT_WINDOW,
+    DeltaSnapshot,
     FileBackend,
     FleetSample,
     FleetSummary,
@@ -45,6 +46,7 @@ from repro.core import (
     MemoryBackend,
     MonitorReading,
     SharedMemoryBackend,
+    SnapshotCursor,
     moving_rate_series,
     windowed_rate,
 )
@@ -64,6 +66,8 @@ __all__ = [
     "MemoryBackend",
     "FileBackend",
     "SharedMemoryBackend",
+    "DeltaSnapshot",
+    "SnapshotCursor",
     "NetworkBackend",
     "HeartbeatCollector",
     "Clock",

@@ -21,7 +21,12 @@ from dataclasses import dataclass
 
 from repro.clock import Clock
 from repro.cloud.cluster import CloudCluster, CloudNode, CloudVM
-from repro.core.aggregator import CollectorLike, FleetSample, HeartbeatAggregator
+from repro.core.aggregator import (
+    CollectorLike,
+    FleetSample,
+    HeartbeatAggregator,
+    collector_stream_sources,
+)
 
 __all__ = ["BalancerAction", "HeartbeatLoadBalancer"]
 
@@ -167,7 +172,8 @@ class HeartbeatLoadBalancer:
             if name in self._aggregator or name not in expected:
                 continue
             if self._collector is not None:
-                self._aggregator.attach_source(name, self._collector.snapshot_source(name))
+                source, delta, probe = collector_stream_sources(self._collector, name)
+                self._aggregator.attach_source(name, source, delta=delta, probe=probe)
             else:
                 self._aggregator.attach(name, vm.heartbeat)
         self._expected = expected

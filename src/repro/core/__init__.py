@@ -24,9 +24,11 @@ from repro.core.api import (
 from repro.core.backends import (
     Backend,
     BackendSnapshot,
+    DeltaSnapshot,
     FileBackend,
     MemoryBackend,
     SharedMemoryBackend,
+    SnapshotCursor,
 )
 from repro.core.buffer import CircularBuffer
 from repro.core.errors import (
@@ -83,6 +85,8 @@ __all__ = [
     # backends
     "Backend",
     "BackendSnapshot",
+    "DeltaSnapshot",
+    "SnapshotCursor",
     "MemoryBackend",
     "FileBackend",
     "SharedMemoryBackend",

@@ -17,10 +17,21 @@ stream's rate, goal and health on which fleet-level queries (:meth:`rates`,
 :meth:`lagging`, :meth:`FleetSample.percentiles`) are vectorized numpy
 operations rather than per-stream loops.
 
-Each stream is classified by :func:`repro.core.monitor.reading_from_snapshot`
-— the same rule the per-stream :class:`~repro.core.monitor.HeartbeatMonitor`
-applies — so "slow" means the same thing to a fleet observer as to a
-dedicated one.
+Polling is *incremental* by default.  Each stream carries a
+:class:`~repro.core.monitor.StreamDeltaState` — a cursor into the backend's
+beat sequence plus a rolling window of recent timestamps — so a poll reads
+only the beats produced since the previous poll (``snapshot_since``), skips
+streams whose cheap change token (``version``) is unchanged, writes the
+per-stream columns into preallocated reusable numpy arrays, and classifies
+the whole fleet with one vectorized pass instead of one
+:func:`~repro.core.monitor.reading_from_snapshot` call per stream.  The
+classic full-snapshot path is kept (``incremental=False``) as a fallback for
+exotic sources and as the benchmark baseline arm.
+
+Each stream is classified by the same rule the per-stream
+:class:`~repro.core.monitor.HeartbeatMonitor` applies (see
+:func:`repro.core.monitor.classify`), so "slow" means the same thing to a
+fleet observer as to a dedicated one.
 """
 
 from __future__ import annotations
@@ -28,26 +39,34 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping, Protocol, Sequence
 
 import numpy as np
 
 from repro.clock import Clock, WallClock
-from repro.core.backends.base import BackendSnapshot
-from repro.core.backends.file import read_heartbeat_log
+from repro.core.backends.base import BackendSnapshot, delta_from_snapshot
 from repro.core.backends.shared_memory import SharedMemoryReader
 from repro.core.errors import HeartbeatError, MonitorAttachError
 from repro.core.heartbeat import Heartbeat
 from repro.core.monitor import (
+    DeltaSource,
     HealthStatus,
     HeartbeatMonitor,
     MonitorReading,
+    StreamDeltaState,
+    file_observer_sources,
     reading_from_snapshot,
 )
 from repro.core.registry import HeartbeatRegistry
 
-__all__ = ["HeartbeatAggregator", "FleetSample", "FleetSummary", "CollectorLike"]
+__all__ = [
+    "HeartbeatAggregator",
+    "FleetSample",
+    "FleetSummary",
+    "CollectorLike",
+    "collector_stream_sources",
+]
 
 
 class CollectorLike(Protocol):
@@ -55,6 +74,9 @@ class CollectorLike(Protocol):
 
     :class:`repro.net.collector.HeartbeatCollector` satisfies it; so would
     any other fan-in stage that registers named streams dynamically.
+    Collectors additionally exposing ``delta_source(stream_id)`` and
+    ``version_source(stream_id)`` (as :class:`HeartbeatCollector` does) get
+    incremental O(new-records) polling; others fall back to full snapshots.
     """
 
     def stream_ids(self) -> list[str]: ...  # pragma: no cover - protocol stub
@@ -62,6 +84,29 @@ class CollectorLike(Protocol):
     def snapshot_source(
         self, stream_id: str
     ) -> Callable[[], BackendSnapshot]: ...  # pragma: no cover - protocol stub
+
+
+def collector_stream_sources(
+    collector: CollectorLike, stream_id: str
+) -> tuple[
+    Callable[[], BackendSnapshot],
+    DeltaSource | None,
+    Callable[[], object | None] | None,
+]:
+    """The ``(source, delta, probe)`` attachment triple for one collector stream.
+
+    The single capability probe for incremental collector polling (the
+    counterpart of :func:`repro.core.monitor.file_observer_sources` for log
+    files): collectors exposing ``delta_source`` / ``version_source`` get
+    O(new-records) polling, others fall back to full snapshots via ``None``.
+    """
+    delta_of = getattr(collector, "delta_source", None)
+    probe_of = getattr(collector, "version_source", None)
+    return (
+        collector.snapshot_source(stream_id),
+        delta_of(stream_id) if delta_of is not None else None,
+        probe_of(stream_id) if probe_of is not None else None,
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,26 +129,143 @@ class FleetSummary:
     stalled: int
 
 
-@dataclass(frozen=True, slots=True)
+#: Integer health codes used by the vectorized classification; index into
+#: :data:`_STATUS_BY_CODE` to recover the enum.
+_UNKNOWN, _HEALTHY, _SLOW, _FAST, _STALLED = range(5)
+_STATUS_BY_CODE = (
+    HealthStatus.UNKNOWN,
+    HealthStatus.HEALTHY,
+    HealthStatus.SLOW,
+    HealthStatus.FAST,
+    HealthStatus.STALLED,
+)
+_CODE_BY_STATUS = {status: code for code, status in enumerate(_STATUS_BY_CODE)}
+
+
+def classify_codes(
+    rate: np.ndarray,
+    retained: np.ndarray,
+    target_min: np.ndarray,
+    target_max: np.ndarray,
+    age: np.ndarray,
+    liveness_timeout: float | None,
+) -> np.ndarray:
+    """Vectorized transliteration of :func:`repro.core.monitor.classify`.
+
+    ``age`` uses ``nan`` for "no beat observed" (which can never exceed the
+    liveness timeout, matching the scalar rule's ``age is None`` guard).
+    Returns one int8 status code per stream.
+    """
+    unknown = retained == 0
+    if liveness_timeout is not None:
+        stalled = (age > liveness_timeout) & ~unknown
+    else:
+        stalled = np.zeros(rate.shape, dtype=bool)
+    no_goal = (target_min <= 0.0) & (target_max <= 0.0)
+    slow = rate < target_min
+    fast = (target_max > 0.0) & (rate > target_max)
+    return np.select(
+        [unknown, stalled, no_goal, slow, fast],
+        [_UNKNOWN, _STALLED, _HEALTHY, _SLOW, _FAST],
+        default=_HEALTHY,
+    ).astype(np.int8)
+
+
 class FleetSample:
     """One consistent observation of every attached stream.
 
-    ``names`` and ``readings`` are parallel sequences in attachment order.
-    Streams whose source failed to answer (e.g. their writer exited and the
-    segment vanished mid-poll) appear in ``errors`` instead, so one dead
-    producer never poisons the fleet view.
+    ``names`` is in attachment order; the per-stream measurements live in
+    parallel numpy columns (:meth:`rates`, plus the internal total/target/
+    age/status arrays the fleet queries operate on), so fleet-level
+    questions are vectorized instead of per-stream loops.  ``readings``
+    materialises :class:`MonitorReading` objects lazily for callers that
+    want the per-stream view.  Streams whose source failed to answer (e.g.
+    their writer exited and the segment vanished mid-poll) appear in
+    ``errors`` instead, so one dead producer never poisons the fleet view.
     """
 
-    names: tuple[str, ...]
-    readings: tuple[MonitorReading, ...]
-    errors: Mapping[str, str]
-    taken_at: float
-    _by_name: dict[str, MonitorReading] = field(init=False, repr=False, compare=False)
+    __slots__ = (
+        "names", "errors", "taken_at",
+        "_rate", "_total", "_tmin", "_tmax", "_last_ts", "_age", "_codes",
+        "_readings", "_by_name",
+    )
 
-    def __post_init__(self) -> None:
-        object.__setattr__(
-            self, "_by_name", dict(zip(self.names, self.readings, strict=True))
+    def __init__(
+        self,
+        names: tuple[str, ...],
+        errors: Mapping[str, str],
+        taken_at: float,
+        *,
+        rate: np.ndarray,
+        total: np.ndarray,
+        target_min: np.ndarray,
+        target_max: np.ndarray,
+        last_ts: np.ndarray,
+        age: np.ndarray,
+        codes: np.ndarray,
+    ) -> None:
+        self.names = names
+        self.errors = errors
+        self.taken_at = taken_at
+        self._rate = rate
+        self._total = total
+        self._tmin = target_min
+        self._tmax = target_max
+        self._last_ts = last_ts
+        self._age = age
+        self._codes = codes
+        self._readings: tuple[MonitorReading, ...] | None = None
+        self._by_name: dict[str, MonitorReading] | None = None
+
+    @classmethod
+    def from_readings(
+        cls,
+        names: tuple[str, ...],
+        readings: Sequence[MonitorReading],
+        errors: Mapping[str, str],
+        taken_at: float,
+    ) -> "FleetSample":
+        """Build a sample from per-stream readings (the full-snapshot path)."""
+        sample = cls(
+            names,
+            errors,
+            taken_at,
+            rate=np.array([r.rate for r in readings], dtype=np.float64),
+            total=np.array([r.total_beats for r in readings], dtype=np.int64),
+            target_min=np.array([r.target_min for r in readings], dtype=np.float64),
+            target_max=np.array([r.target_max for r in readings], dtype=np.float64),
+            last_ts=np.array(
+                [np.nan if r.last_timestamp is None else r.last_timestamp for r in readings],
+                dtype=np.float64,
+            ),
+            age=np.array(
+                [np.nan if r.age is None else r.age for r in readings], dtype=np.float64
+            ),
+            codes=np.array([_CODE_BY_STATUS[r.status] for r in readings], dtype=np.int8),
         )
+        sample._readings = tuple(readings)
+        return sample
+
+    # ------------------------------------------------------------------ #
+    # Per-stream view
+    # ------------------------------------------------------------------ #
+    @property
+    def readings(self) -> tuple[MonitorReading, ...]:
+        """Per-stream readings in attachment order (materialised lazily)."""
+        if self._readings is None:
+            self._readings = tuple(
+                MonitorReading(
+                    rate=float(self._rate[i]),
+                    total_beats=int(self._total[i]),
+                    target_min=float(self._tmin[i]),
+                    target_max=float(self._tmax[i]),
+                    last_timestamp=None if np.isnan(self._last_ts[i]) else float(self._last_ts[i]),
+                    age=None if np.isnan(self._age[i]) else float(self._age[i]),
+                    status=_STATUS_BY_CODE[self._codes[i]],
+                )
+                for i in range(len(self.names))
+            )
+        return self._readings
 
     def __len__(self) -> int:
         return len(self.names)
@@ -113,10 +275,14 @@ class FleetSample:
 
     def reading(self, name: str) -> MonitorReading:
         """The reading for one stream (``KeyError`` if absent or errored)."""
+        if self._by_name is None:
+            self._by_name = dict(zip(self.names, self.readings, strict=True))
         return self._by_name[name]
 
     def get(self, name: str) -> MonitorReading | None:
         """Like :meth:`reading`, but ``None`` for absent or errored streams."""
+        if self._by_name is None:
+            self._by_name = dict(zip(self.names, self.readings, strict=True))
         return self._by_name.get(name)
 
     # ------------------------------------------------------------------ #
@@ -124,11 +290,11 @@ class FleetSample:
     # ------------------------------------------------------------------ #
     def rates(self) -> np.ndarray:
         """Per-stream windowed heart rates, in attachment order."""
-        return np.array([r.rate for r in self.readings], dtype=np.float64)
+        return self._rate.copy()
 
     def total_beats(self) -> int:
         """Total beats ever produced across the fleet."""
-        return int(sum(r.total_beats for r in self.readings))
+        return int(self._total.sum())
 
     def lagging(self, target: float | None = None) -> list[str]:
         """Streams making less progress than required, worst first.
@@ -139,33 +305,30 @@ class FleetSample:
         stream) lags.  Results are sorted by rate ascending so the most
         starved stream leads — the order a balancer wants to service.
         """
-        out: list[tuple[float, str]] = []
-        for name, reading in self:
-            if reading.status is HealthStatus.STALLED:
-                out.append((reading.rate, name))
-            elif target is None:
-                if reading.status is HealthStatus.SLOW:
-                    out.append((reading.rate, name))
-            elif reading.total_beats >= 2 and reading.rate < target:
-                out.append((reading.rate, name))
-        return [name for _, name in sorted(out)]
+        stalled = self._codes == _STALLED
+        if target is None:
+            mask = stalled | (self._codes == _SLOW)
+        else:
+            mask = stalled | ((self._total >= 2) & (self._rate < float(target)))
+        picked = sorted(
+            (float(self._rate[i]), self.names[i]) for i in np.nonzero(mask)[0]
+        )
+        return [name for _, name in picked]
 
     def stalled(self) -> list[str]:
         """Streams whose last beat is older than the liveness timeout."""
-        return [n for n, r in self if r.status is HealthStatus.STALLED]
+        return [self.names[i] for i in np.nonzero(self._codes == _STALLED)[0]]
 
     def by_status(self) -> dict[HealthStatus, list[str]]:
         """Stream names grouped by health classification."""
         out: dict[HealthStatus, list[str]] = {status: [] for status in HealthStatus}
-        for name, reading in self:
-            out[reading.status].append(name)
+        for name, code in zip(self.names, self._codes):
+            out[_STATUS_BY_CODE[code]].append(name)
         return out
 
     def _measurable_rates(self) -> np.ndarray:
         """Rates of streams with a defined rate (at least two beats)."""
-        return np.array(
-            [r.rate for r in self.readings if r.total_beats >= 2], dtype=np.float64
-        )
+        return self._rate[self._total >= 2]
 
     def percentiles(self, q: Sequence[float] = (50.0, 90.0, 99.0)) -> dict[float, float]:
         """Rate percentiles over the measurable streams (empty fleet: zeros)."""
@@ -174,8 +337,6 @@ class FleetSample:
     def summary(self, q: Sequence[float] = (50.0, 90.0, 99.0)) -> FleetSummary:
         """Compact fleet-health roll-up (the observer's dashboard line)."""
         measurable = self._measurable_rates()
-        lagging = sum(1 for r in self.readings if r.status is HealthStatus.SLOW)
-        stalled = sum(1 for r in self.readings if r.status is HealthStatus.STALLED)
         empty = measurable.size == 0
         return FleetSummary(
             streams=len(self.names),
@@ -185,8 +346,8 @@ class FleetSample:
             maximum=0.0 if empty else float(np.max(measurable)),
             std=0.0 if empty else float(np.std(measurable)),
             percentiles=_rate_percentiles(measurable, q),
-            lagging=lagging,
-            stalled=stalled,
+            lagging=int((self._codes == _SLOW).sum()),
+            stalled=int((self._codes == _STALLED).sum()),
         )
 
 
@@ -199,19 +360,61 @@ def _rate_percentiles(rates: np.ndarray, q: Sequence[float]) -> dict[float, floa
 
 
 class _Stream:
-    """One attached stream: a snapshot provider plus its teardown hook."""
+    """One attached stream: snapshot/delta providers plus cached poll state."""
 
-    __slots__ = ("name", "source", "close")
+    __slots__ = ("name", "source", "close", "delta", "probe", "state")
 
     def __init__(
         self,
         name: str,
         source: Callable[[], BackendSnapshot],
         close: Callable[[], None] | None,
+        delta: DeltaSource | None = None,
+        probe: Callable[[], object | None] | None = None,
     ) -> None:
         self.name = name
         self.source = source
         self.close = close
+        self.delta = delta
+        self.probe = probe
+        self.state: StreamDeltaState | None = None
+
+
+class _Columns:
+    """Preallocated, reusable per-stream column arrays for :meth:`poll`.
+
+    Grown (never shrunk) to the fleet size; each poll rewrites only the
+    slots of streams that had news, so the steady-state cost of a mostly
+    idle fleet is the probe pass plus a few vectorized operations.
+    """
+
+    __slots__ = ("rate", "total", "tmin", "tmax", "last_ts", "retained", "size")
+
+    def __init__(self) -> None:
+        self.size = 0
+        self.ensure(64)
+
+    def ensure(self, n: int) -> None:
+        if n <= self.size:
+            return
+        size = max(64, 2 * self.size, n)
+        # No copy-over: every slot is (re)written before it is read whenever
+        # the stream layout changes, which includes every growth.
+        self.rate = np.zeros(size, dtype=np.float64)
+        self.total = np.zeros(size, dtype=np.int64)
+        self.tmin = np.zeros(size, dtype=np.float64)
+        self.tmax = np.zeros(size, dtype=np.float64)
+        self.last_ts = np.full(size, np.nan, dtype=np.float64)
+        self.retained = np.zeros(size, dtype=np.int64)
+        self.size = size
+
+    def write(self, i: int, state: StreamDeltaState) -> None:
+        self.rate[i] = state.rate
+        self.total[i] = state.total
+        self.tmin[i] = state.tmin
+        self.tmax[i] = state.tmax
+        self.last_ts[i] = state.last_ts
+        self.retained[i] = state.retained
 
 
 class HeartbeatAggregator:
@@ -233,6 +436,10 @@ class HeartbeatAggregator:
         Number of reader threads the attached streams are sharded across
         during :meth:`poll`.  ``0`` selects a shard per CPU (capped at 8);
         ``1`` polls inline with no thread hand-off.
+    incremental:
+        When True (default) :meth:`poll` consumes cursored deltas and skips
+        idle streams; ``False`` restores the full-snapshot-per-stream poll
+        (the benchmark baseline arm, and a refuge for exotic sources).
     """
 
     def __init__(
@@ -242,6 +449,7 @@ class HeartbeatAggregator:
         window: int = 0,
         liveness_timeout: float | None = None,
         num_shards: int = 1,
+        incremental: bool = True,
     ) -> None:
         if num_shards < 0:
             raise ValueError(f"num_shards must be >= 0, got {num_shards}")
@@ -251,42 +459,50 @@ class HeartbeatAggregator:
         self._window = int(window)
         self._liveness_timeout = liveness_timeout
         self._num_shards = int(num_shards)
+        self._incremental = bool(incremental)
         self._lock = threading.Lock()
+        #: Serialises whole polls: the per-stream cursors and the reusable
+        #: column arrays are aggregator state, so concurrent poll() calls
+        #: (e.g. a balancer loop racing a metrics thread) take turns — same
+        #: external contract as the stateless full-snapshot poll had.
+        self._poll_lock = threading.Lock()
         self._streams: dict[str, _Stream] = {}
         self._collectors: list[tuple[str, CollectorLike]] = []
         self._pool: ThreadPoolExecutor | None = None
         self._closed = False
+        self._columns = _Columns()
+        #: Bumped on every attach/detach; while unchanged, idle streams'
+        #: column slots are still valid from the previous poll.
+        self._membership = 0
+        self._columns_membership = -1
+        self._names_cache: tuple[str, ...] = ()
 
     # ------------------------------------------------------------------ #
     # Attachment
     # ------------------------------------------------------------------ #
     def attach(self, name: str, heartbeat: Heartbeat) -> None:
         """Attach an in-process heartbeat object as stream ``name``."""
-        self.attach_source(name, heartbeat.backend.snapshot)
+        backend = heartbeat.backend
+        self.attach_source(
+            name, backend.snapshot, delta=backend.snapshot_since, probe=backend.version
+        )
 
     def attach_file(self, name: str, path: str | os.PathLike[str]) -> None:
         """Attach a heartbeat log file written by a ``FileBackend``."""
-        path = os.fspath(path)
-        if not os.path.exists(path):
-            raise MonitorAttachError(f"heartbeat log {path!r} does not exist")
-
-        def _snapshot() -> BackendSnapshot:
-            default_window, tmin, tmax, records = read_heartbeat_log(path)
-            return BackendSnapshot(
-                records=records,
-                total_beats=int(records.shape[0]),
-                target_min=tmin,
-                target_max=tmax,
-                default_window=default_window,
-            )
-
-        self.attach_source(name, _snapshot)
+        source, delta, probe = file_observer_sources(path)
+        self.attach_source(name, source, delta=delta, probe=probe)
 
     def attach_shared_memory(self, name: str, segment: str | None = None) -> None:
         """Attach a shared-memory segment (``segment`` defaults to ``name``)."""
         reader = SharedMemoryReader(segment if segment is not None else name)
         try:
-            self.attach_source(name, reader.snapshot, close=reader.close)
+            self.attach_source(
+                name,
+                reader.snapshot,
+                close=reader.close,
+                delta=reader.snapshot_since,
+                probe=reader.version,
+            )
         except Exception:
             reader.close()  # don't leak the mapping on a rejected attachment
             raise
@@ -298,7 +514,12 @@ class HeartbeatAggregator:
         shared-memory attachments) also invalidates the aggregator's stream,
         so hand over teardown to :meth:`detach`/:meth:`close` instead.
         """
-        self.attach_source(name, monitor.snapshot_source)
+        self.attach_source(
+            name,
+            monitor.snapshot_source,
+            delta=monitor.delta_source,
+            probe=monitor.probe_source,
+        )
 
     def attach_registry(
         self, registry: HeartbeatRegistry | None = None, *, prefix: str = ""
@@ -368,9 +589,9 @@ class HeartbeatAggregator:
                 for name, stream_id in missing:
                     if name in self._streams:
                         continue
-                    self._streams[name] = _Stream(
-                        name, collector.snapshot_source(stream_id), None
-                    )
+                    source, delta, probe = collector_stream_sources(collector, stream_id)
+                    self._streams[name] = _Stream(name, source, None, delta, probe)
+                    self._membership += 1
                     existing.add(name)
                     added.append(name)
         return added
@@ -381,19 +602,29 @@ class HeartbeatAggregator:
         source: Callable[[], BackendSnapshot],
         *,
         close: Callable[[], None] | None = None,
+        delta: DeltaSource | None = None,
+        probe: Callable[[], object | None] | None = None,
     ) -> None:
-        """Attach a raw snapshot provider (the lowest-level attachment)."""
+        """Attach a raw snapshot provider (the lowest-level attachment).
+
+        ``delta`` and ``probe`` opt the stream into incremental polling (see
+        :meth:`Backend.snapshot_since` / :meth:`Backend.version`); without
+        them the stream is re-snapshotted in full on every poll.
+        """
         with self._lock:
             if self._closed:
                 raise MonitorAttachError("aggregator is closed")
             if name in self._streams:
                 raise MonitorAttachError(f"stream {name!r} is already attached")
-            self._streams[name] = _Stream(str(name), source, close)
+            self._streams[name] = _Stream(str(name), source, close, delta, probe)
+            self._membership += 1
 
     def detach(self, name: str) -> None:
         """Detach one stream, releasing its reader resources."""
         with self._lock:
             stream = self._streams.pop(name, None)
+            if stream is not None:
+                self._membership += 1
         if stream is None:
             raise MonitorAttachError(f"no stream named {name!r} is attached")
         if stream.close is not None:
@@ -409,6 +640,10 @@ class HeartbeatAggregator:
     def num_shards(self) -> int:
         return self._num_shards
 
+    @property
+    def incremental(self) -> bool:
+        return self._incremental
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._streams)
@@ -421,17 +656,133 @@ class HeartbeatAggregator:
     # Observation
     # ------------------------------------------------------------------ #
     def poll(self) -> FleetSample:
-        """Snapshot every attached stream and classify the whole fleet.
+        """Observe every attached stream and classify the whole fleet.
 
-        Streams are split round-robin over ``num_shards`` reader threads;
-        each shard drains its slice independently, so the wall time of a poll
-        is the slowest shard, not the sum of every stream's read latency.
+        The incremental path costs O(new beats) plus one cheap change-token
+        probe per stream: each reader shard probes its streams and reads a
+        delta only from those whose backend reports news, the deltas are
+        folded into cached rolling-window state, and the health
+        classification runs as one vectorized pass over the reusable column
+        arrays.  Streams are split round-robin over ``num_shards`` reader
+        threads, so the wall time of a poll is the slowest shard, not the
+        sum of every stream's probe/read latency.
+
+        Concurrent ``poll`` calls from different threads are serialised
+        internally (the per-stream cursors and reusable column arrays are
+        aggregator state); the shard threads *inside* one poll still run in
+        parallel.
         """
+        with self._poll_lock:
+            return self._poll_locked()
+
+    def _poll_locked(self) -> FleetSample:
         if self._collectors:
             self._sync_collectors()
         with self._lock:
             streams = list(self._streams.values())
+            membership = self._membership
         now = self._clock.now()
+        if not self._incremental:
+            return self._poll_full(streams, now)
+
+        n = len(streams)
+        columns = self._columns
+        columns.ensure(n)
+        rewrite_all = membership != self._columns_membership
+
+        errors: dict[str, str] = {}
+        dead: list[int] = []
+        error_lock = threading.Lock()
+
+        def _drain(shard: list[tuple[int, _Stream]]) -> None:
+            # Probe-then-read per stream, inside the shard: the change-token
+            # probes (an ``os.stat``-class syscall for file streams) are
+            # spread across the reader threads with the delta reads they
+            # gate, so an idle fleet's poll parallelizes too.
+            for i, stream in shard:
+                version: object | None = None
+                if stream.probe is not None:
+                    try:
+                        version = stream.probe()
+                    except HeartbeatError:
+                        version = None  # let the delta read report the failure
+                if (
+                    stream.state is not None
+                    and version is not None
+                    and version == stream.state.version
+                ):
+                    continue  # no new beats, no goal change: skip the read
+                try:
+                    state = stream.state
+                    if state is None:
+                        state = StreamDeltaState(self._window)
+                    if stream.delta is not None:
+                        state.consume(stream.delta)
+                    else:
+                        # Plain snapshot provider: read once, serve the
+                        # consume protocol (including its resync retry)
+                        # from that one snapshot.
+                        snap = stream.source()
+                        state.consume(lambda cursor: delta_from_snapshot(snap, cursor))
+                    state.version = version
+                    stream.state = state
+                except HeartbeatError as exc:
+                    stream.state = None  # full resync whenever it recovers
+                    with error_lock:
+                        errors[stream.name] = str(exc)
+                        dead.append(i)
+                    continue
+                columns.write(i, state)
+
+        self._run_sharded(list(enumerate(streams)), _drain)
+
+        if rewrite_all:
+            # Stream layout changed since the last poll: refresh every live
+            # slot from its cached state (idle slots may have moved).
+            for i, stream in enumerate(streams):
+                if stream.state is not None:
+                    columns.write(i, stream.state)
+            self._columns_membership = membership
+            self._names_cache = tuple(stream.name for stream in streams)
+
+        if dead:
+            keep = np.ones(n, dtype=bool)
+            keep[dead] = False
+            names = tuple(
+                stream.name for stream, alive in zip(streams, keep) if alive
+            )
+            rate = columns.rate[:n][keep]
+            total = columns.total[:n][keep]
+            tmin = columns.tmin[:n][keep]
+            tmax = columns.tmax[:n][keep]
+            last_ts = columns.last_ts[:n][keep]
+            retained = columns.retained[:n][keep]
+        else:
+            names = self._names_cache
+            rate = columns.rate[:n].copy()
+            total = columns.total[:n].copy()
+            tmin = columns.tmin[:n].copy()
+            tmax = columns.tmax[:n].copy()
+            last_ts = columns.last_ts[:n].copy()
+            retained = columns.retained[:n].copy()
+
+        age = now - last_ts  # nan where no beat has been observed
+        codes = classify_codes(rate, retained, tmin, tmax, age, self._liveness_timeout)
+        return FleetSample(
+            names,
+            errors,
+            now,
+            rate=rate,
+            total=total,
+            target_min=tmin,
+            target_max=tmax,
+            last_ts=last_ts,
+            age=age,
+            codes=codes,
+        )
+
+    def _poll_full(self, streams: list[_Stream], now: float) -> FleetSample:
+        """The classic full-snapshot poll: every stream, whole history."""
         results: list[tuple[str, MonitorReading] | None] = [None] * len(streams)
         errors: dict[str, str] = {}
         error_lock = threading.Lock()
@@ -454,25 +805,34 @@ class HeartbeatAggregator:
                     ),
                 )
 
-        shards: list[list[tuple[int, _Stream]]] = [
-            [] for _ in range(min(self._num_shards, max(len(streams), 1)))
-        ]
-        for index, stream in enumerate(streams):
-            shards[index % len(shards)].append((index, stream))
-        if len(shards) == 1:
-            _drain(shards[0])
-        else:
-            pool = self._ensure_pool()
-            for future in [pool.submit(_drain, shard) for shard in shards]:
-                future.result()
-
+        self._run_sharded(list(enumerate(streams)), _drain)
         kept = [entry for entry in results if entry is not None]
-        return FleetSample(
+        return FleetSample.from_readings(
             names=tuple(name for name, _ in kept),
-            readings=tuple(reading for _, reading in kept),
+            readings=[reading for _, reading in kept],
             errors=errors,
             taken_at=now,
         )
+
+    def _run_sharded(
+        self,
+        work: list[tuple[int, _Stream]],
+        drain: Callable[[list[tuple[int, _Stream]]], None],
+    ) -> None:
+        """Split ``work`` round-robin over the reader shards and drain it."""
+        if not work:
+            return
+        shards: list[list[tuple[int, _Stream]]] = [
+            [] for _ in range(min(self._num_shards, len(work)))
+        ]
+        for j, item in enumerate(work):
+            shards[j % len(shards)].append(item)
+        if len(shards) == 1:
+            drain(shards[0])
+            return
+        pool = self._ensure_pool()
+        for future in [pool.submit(drain, shard) for shard in shards]:
+            future.result()
 
     def rates(self) -> dict[str, float]:
         """Convenience: poll once and return ``{stream name: rate}``."""
@@ -499,6 +859,7 @@ class HeartbeatAggregator:
             streams = list(self._streams.values())
             self._streams.clear()
             self._collectors.clear()
+            self._membership += 1
             pool, self._pool = self._pool, None
         for stream in streams:
             if stream.close is not None:

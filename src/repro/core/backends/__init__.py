@@ -14,10 +14,18 @@ and defines how (and whether) external observers can read them:
   analogue of the memory layout the paper proposes for hardware observers.
 
 All backends expose the same :class:`Backend` interface so
-:class:`repro.core.heartbeat.Heartbeat` is backend-agnostic.
+:class:`repro.core.heartbeat.Heartbeat` is backend-agnostic.  Every backend
+also answers :meth:`Backend.snapshot_since` — a cursored delta read keyed on
+the monotonically increasing beat sequence — so observers can poll at a cost
+proportional to *new* beats instead of the whole retained history.
 """
 
-from repro.core.backends.base import Backend, BackendSnapshot
+from repro.core.backends.base import (
+    Backend,
+    BackendSnapshot,
+    DeltaSnapshot,
+    SnapshotCursor,
+)
 from repro.core.backends.file import FileBackend
 from repro.core.backends.memory import MemoryBackend
 from repro.core.backends.shared_memory import SharedMemoryBackend
@@ -25,6 +33,8 @@ from repro.core.backends.shared_memory import SharedMemoryBackend
 __all__ = [
     "Backend",
     "BackendSnapshot",
+    "DeltaSnapshot",
+    "SnapshotCursor",
     "MemoryBackend",
     "FileBackend",
     "SharedMemoryBackend",

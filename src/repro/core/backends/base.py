@@ -9,7 +9,127 @@ import numpy as np
 
 from repro.core.record import RECORD_DTYPE, HeartbeatRecord, array_to_records
 
-__all__ = ["Backend", "BackendSnapshot"]
+__all__ = [
+    "Backend",
+    "BackendSnapshot",
+    "DeltaSnapshot",
+    "SnapshotCursor",
+    "delta_bounds",
+    "delta_from_snapshot",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotCursor:
+    """Opaque resume point for :meth:`Backend.snapshot_since`.
+
+    ``total`` is the number of beats the holder has observed — cursors are
+    keyed on the monotonically increasing beat sequence, so every backend can
+    compute "what is new" with integer arithmetic.  ``position``, ``stamp``
+    and ``check`` are backend-specific resume hints (the file backend stores
+    the byte offset of the next unread record line, the log file's inode and
+    the beat number of the last consumed record; ring-buffer backends leave
+    them at their defaults).  Treat cursors as opaque values: obtain them
+    from ``snapshot_since`` and hand them back unchanged.
+    """
+
+    total: int
+    position: int = 0
+    stamp: int = 0
+    check: int = -1
+
+
+@dataclass(frozen=True, slots=True)
+class DeltaSnapshot:
+    """What changed in a backend since a :class:`SnapshotCursor` was taken.
+
+    Attributes
+    ----------
+    records:
+        Structured array (dtype :data:`repro.core.record.RECORD_DTYPE`) of
+        the records that became visible since the cursor, in production
+        order.  When :attr:`resync` is true this is the *full* retained
+        history instead of an increment.
+    total_beats, target_min, target_max, default_window:
+        Same meaning as on :class:`BackendSnapshot`; always current, so a
+        consumer refreshes goals even from an empty delta.
+    retained:
+        Number of records the backend currently retains.  A consumer
+        replaying deltas trims its reconstruction to the last ``retained``
+        records to mirror the backend's eviction.
+    gap:
+        Beats produced since the cursor that are *not* in ``records``
+        because the writer overwrote them before this read (a slow reader
+        lapped by the producer, or a truncated log).  ``gap > 0`` always
+        comes with ``resync=True``.
+    resync:
+        True when ``records`` is the full retained history rather than an
+        increment — the consumer must replace, not append.  Set on the first
+        read (no cursor), on overwrite gaps, and on file truncation or
+        rotation.
+
+    Replay rule: ``state = records if resync else concat(state, records)``,
+    then trim ``state`` to its last ``retained`` records.  The invariant the
+    contract tests enforce is that this reconstruction equals
+    ``backend.snapshot().records`` at every step.
+    """
+
+    records: np.ndarray
+    total_beats: int
+    retained: int
+    target_min: float
+    target_max: float
+    default_window: int
+    gap: int = 0
+    resync: bool = False
+
+    @property
+    def new(self) -> int:
+        """Number of records carried by this delta."""
+        return int(self.records.shape[0])
+
+
+def delta_bounds(
+    cursor: SnapshotCursor | None, total: int, retained: int
+) -> tuple[int, int, bool]:
+    """``(included, gap, resync)`` for a delta read against ``cursor``.
+
+    The one statement of the cursor arithmetic every ring-retention backend
+    shares: a missing cursor or one ahead of the stream (restart) resyncs in
+    full; otherwise the delta carries the newest ``included`` of the ``new``
+    beats, and any overwritten remainder is a ``gap`` (which forces resync).
+    """
+    if cursor is None or cursor.total > total:
+        return retained, 0, True
+    new = total - cursor.total
+    included = min(new, retained)
+    gap = new - included
+    return included, gap, gap > 0
+
+
+def delta_from_snapshot(
+    snap: BackendSnapshot, cursor: SnapshotCursor | None
+) -> tuple[DeltaSnapshot, SnapshotCursor]:
+    """Derive a delta from a full snapshot (the generic fallback path).
+
+    Backends that can read incrementally override
+    :meth:`Backend.snapshot_since` instead; this helper only guarantees the
+    delta *contract* on top of any full :meth:`Backend.snapshot` read, so
+    third-party backends are delta-correct without changes (at full-read
+    cost).
+    """
+    included, gap, resync = delta_bounds(cursor, snap.total_beats, snap.retained)
+    delta = DeltaSnapshot(
+        records=snap.records[snap.retained - included :],
+        total_beats=snap.total_beats,
+        retained=snap.retained,
+        target_min=snap.target_min,
+        target_max=snap.target_max,
+        default_window=snap.default_window,
+        gap=gap,
+        resync=resync,
+    )
+    return delta, SnapshotCursor(total=snap.total_beats)
 
 
 @dataclass(frozen=True, slots=True)
@@ -88,6 +208,30 @@ class Backend(abc.ABC):
     @abc.abstractmethod
     def snapshot(self, n: int | None = None) -> BackendSnapshot:
         """Return a consistent snapshot of the last ``n`` records (all when None)."""
+
+    def snapshot_since(
+        self, cursor: SnapshotCursor | None = None
+    ) -> tuple[DeltaSnapshot, SnapshotCursor]:
+        """Return what changed since ``cursor`` plus a new cursor.
+
+        The base implementation derives the delta from a full
+        :meth:`snapshot` read, which is correct for any backend but pays
+        O(history) per call.  The built-in backends override it with true
+        incremental reads: ring-index arithmetic (memory), a persisted byte
+        offset (file) or a seqlock read of just the unseen ring region
+        (shared memory), so the cost is O(new beats) instead.
+        """
+        return delta_from_snapshot(self.snapshot(), cursor)
+
+    def version(self) -> object | None:
+        """Cheap change token for idle-skip polling, or ``None`` if unknown.
+
+        Two equal non-``None`` versions guarantee :meth:`snapshot_since`
+        would return an empty delta with unchanged targets, letting a fleet
+        observer skip the read entirely.  The base implementation returns
+        ``None`` ("cannot tell — always poll me"), which is always safe.
+        """
+        return None
 
     @abc.abstractmethod
     def close(self) -> None:

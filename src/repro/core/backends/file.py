@@ -19,26 +19,62 @@ The whole history is kept in the file — like the reference implementation,
 history is kept in the file" — while in-memory reads still honour the
 retained-window semantics of the other backends via the ``capacity`` used for
 snapshots.
+
+Write buffering
+---------------
+Appends go through a userspace write buffer instead of issuing one syscall
+per beat; the buffer drains on :meth:`FileBackend.flush`, on every snapshot
+taken through the backend object, on header rewrites, on close, and — so
+beats cannot sit invisible to external observers for longer than
+``flush_interval`` seconds — whenever an append lands after that long
+without a drain, with a one-shot timer picking up the tail of a burst the
+producer goes quiet after.  A fast producer amortizes the syscall over
+~64 KiB of lines; a 1-beat/s producer effectively stays write-through,
+keeping cross-process liveness detection honest.  Pass ``buffered=False``
+to restore unconditional write-through appends.
+
+Incremental reads
+-----------------
+:func:`tail_heartbeat_log` reads a log *incrementally*: a
+:class:`~repro.core.backends.base.SnapshotCursor` persists the byte offset of
+the first unread record line (plus the file's inode), so a poll parses only
+appended lines instead of the whole history.  Truncation (the file shrank
+below the cursor) and rotation (the inode changed) are detected and answered
+with a full resync.
 """
 
 from __future__ import annotations
 
 import os
+import threading
+import time
 from pathlib import Path
 
 import numpy as np
 
-from repro.core.backends.base import Backend, BackendSnapshot
+from repro.core.backends.base import (
+    Backend,
+    BackendSnapshot,
+    DeltaSnapshot,
+    SnapshotCursor,
+)
 from repro.core.errors import BackendError, BackendFormatError
 from repro.core.record import RECORD_DTYPE
 
-__all__ = ["FileBackend", "read_heartbeat_log"]
+__all__ = ["FileBackend", "HEADER_WIDTH", "read_heartbeat_log", "tail_heartbeat_log"]
 
 _MAGIC = "HBLOG"
 _VERSION = 1
 #: Fixed width of the header line (including newline) so targets can be
 #: updated in place without shifting the record lines that follow it.
-_HEADER_WIDTH = 128
+#: Public so observers can fingerprint the header region directly.
+HEADER_WIDTH = 128
+_HEADER_WIDTH = HEADER_WIDTH
+#: Userspace write-buffer size for buffered appends.
+_WRITE_BUFFER = 1 << 16
+#: Bytes re-read before a resuming cursor to verify the last consumed line
+#: is still in place (record lines are well under this long).
+_VERIFY_WINDOW = 256
 
 
 def _format_header(default_window: int, target_min: float, target_max: float) -> bytes:
@@ -63,19 +99,72 @@ def _parse_header(line: str) -> tuple[int, float, float]:
     return window, tmin, tmax
 
 
-class FileBackend(Backend):
-    """Heartbeat storage in a plain-text log file readable by any process."""
+def _ends_with_beat(chunk: bytes, beat: int) -> bool:
+    """True when ``chunk`` ends in a newline-terminated line whose first
+    field is the integer ``beat`` — the continuation check for file cursors."""
+    if not chunk.endswith(b"\n"):
+        return False
+    fields = chunk[:-1].rsplit(b"\n", 1)[-1].split()
+    if not fields:
+        return False
+    try:
+        return int(fields[0]) == beat
+    except ValueError:
+        return False
 
-    def __init__(self, path: str | os.PathLike[str], capacity: int = 65536) -> None:
+
+def _parse_record_lines(lines: list[str]) -> np.ndarray:
+    """Parse record lines into a structured array (blank lines skipped)."""
+    body = [ln for ln in lines if ln.strip()]
+    records = np.empty(len(body), dtype=RECORD_DTYPE)
+    for i, line in enumerate(body):
+        fields = line.split()
+        if len(fields) != 4:
+            raise BackendFormatError(f"malformed heartbeat record line: {line!r}")
+        try:
+            records[i] = (int(fields[0]), float(fields[1]), int(fields[2]), int(fields[3]))
+        except ValueError as exc:
+            raise BackendFormatError(f"malformed heartbeat record line: {line!r}") from exc
+    return records
+
+
+class FileBackend(Backend):
+    """Heartbeat storage in a plain-text log file readable by any process.
+
+    ``buffered`` (default True) batches appended lines in a userspace buffer
+    — one ``write`` syscall per ~64 KiB instead of one per beat.  Call
+    :meth:`flush` to make buffered beats visible to other processes at a
+    moment of your choosing; snapshot reads through this object flush
+    automatically, and an append arriving more than ``flush_interval``
+    seconds after the last drain flushes too, bounding how stale an external
+    observer's view of a slow producer can get.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        capacity: int = 65536,
+        *,
+        buffered: bool = True,
+        flush_interval: float = 0.25,
+    ) -> None:
         self.path = Path(path)
         self.capacity = int(capacity)
+        self.buffered = bool(buffered)
+        self.flush_interval = float(flush_interval)
+        self._last_flush = time.monotonic()
+        self._flush_timer: threading.Timer | None = None
         self._target_min = 0.0
         self._target_max = 0.0
         self._default_window = 0
         self._total = 0
+        self._meta_version = 0
         try:
-            self._fh = open(self.path, "w+b", buffering=0)
+            self._fh = open(
+                self.path, "w+b", buffering=_WRITE_BUFFER if self.buffered else 0
+            )
             self._fh.write(_format_header(0, 0.0, 0.0))
+            self._fh.flush()  # a valid (empty) log must exist before any flush
         except OSError as exc:
             raise BackendError(f"cannot create heartbeat log {self.path}: {exc}") from exc
         self._closed = False
@@ -89,6 +178,7 @@ class FileBackend(Backend):
         line = f"{beat} {timestamp!r} {tag} {thread_id}\n".encode("ascii")
         self._fh.write(line)
         self._total += 1
+        self._maybe_flush()
 
     def append_many(self, records: np.ndarray) -> None:
         if self._closed:
@@ -105,17 +195,65 @@ class FileBackend(Backend):
         )
         self._fh.write(lines.encode("ascii"))
         self._total += int(records.shape[0])
+        self._maybe_flush()
+
+    def flush(self) -> None:
+        """Drain the write buffer so other processes see every beat so far."""
+        if not self._closed:
+            self._fh.flush()
+            self._last_flush = time.monotonic()
+
+    def _maybe_flush(self) -> None:
+        """Bound observer staleness after every append.
+
+        An append landing ``flush_interval`` after the last drain flushes
+        inline (so a slow producer is effectively write-through); otherwise
+        a one-shot timer is armed to drain the tail of a burst, so beats
+        cannot sit invisible past the interval even if the producer goes
+        quiet right after them.
+        """
+        if not self.buffered or self.flush_interval <= 0:
+            return
+        now = time.monotonic()
+        if now - self._last_flush >= self.flush_interval:
+            self._fh.flush()
+            self._last_flush = now
+            return
+        if self._flush_timer is None:
+            # Benign race: two appends may both arm a timer; the extra
+            # flush of an already-drained buffer is a no-op.
+            timer = threading.Timer(
+                self.flush_interval - (now - self._last_flush), self._timer_flush
+            )
+            timer.daemon = True
+            self._flush_timer = timer
+            timer.start()
+
+    def _timer_flush(self) -> None:
+        self._flush_timer = None
+        try:
+            if not self._closed:
+                # Python's buffered file objects serialise flush() against
+                # concurrent write() internally, so draining from the timer
+                # thread is safe alongside producer appends.
+                self._fh.flush()
+                self._last_flush = time.monotonic()
+        except (OSError, ValueError):  # pragma: no cover - closed mid-flush
+            pass
 
     def set_targets(self, target_min: float, target_max: float) -> None:
         self._target_min = float(target_min)
         self._target_max = float(target_max)
+        self._meta_version += 1
         self._rewrite_header()
 
     def set_default_window(self, window: int) -> None:
         self._default_window = int(window)
+        self._meta_version += 1
         self._rewrite_header()
 
     def snapshot(self, n: int | None = None) -> BackendSnapshot:
+        self.flush()
         window, tmin, tmax, records = read_heartbeat_log(self.path)
         if n is not None and n < len(records):
             records = records[len(records) - n :]
@@ -129,8 +267,21 @@ class FileBackend(Backend):
             default_window=window,
         )
 
+    def snapshot_since(
+        self, cursor: SnapshotCursor | None = None
+    ) -> tuple[DeltaSnapshot, SnapshotCursor]:
+        """Tail-read only the lines appended since ``cursor``."""
+        self.flush()
+        return tail_heartbeat_log(self.path, cursor, capacity=self.capacity)
+
+    def version(self) -> tuple[int, int]:
+        return (self._total, self._meta_version)
+
     def close(self) -> None:
         if not self._closed:
+            timer = self._flush_timer
+            if timer is not None:
+                timer.cancel()
             self._fh.close()
             self._closed = True
 
@@ -140,12 +291,14 @@ class FileBackend(Backend):
     def _rewrite_header(self) -> None:
         if self._closed:
             raise BackendError("heartbeat log is closed")
+        self._fh.flush()
         pos = self._fh.tell()
         try:
             self._fh.seek(0)
             self._fh.write(
                 _format_header(self._default_window, self._target_min, self._target_max)
             )
+            self._fh.flush()
         finally:
             self._fh.seek(pos)
 
@@ -172,14 +325,89 @@ def read_heartbeat_log(path: str | os.PathLike[str]) -> tuple[int, float, float,
     if not lines:
         raise BackendFormatError(f"empty heartbeat log: {path}")
     window, tmin, tmax = _parse_header(lines[0])
-    body = [ln for ln in lines[1:] if ln.strip()]
-    records = np.empty(len(body), dtype=RECORD_DTYPE)
-    for i, line in enumerate(body):
-        fields = line.split()
-        if len(fields) != 4:
-            raise BackendFormatError(f"malformed heartbeat record line: {line!r}")
-        try:
-            records[i] = (int(fields[0]), float(fields[1]), int(fields[2]), int(fields[3]))
-        except ValueError as exc:
-            raise BackendFormatError(f"malformed heartbeat record line: {line!r}") from exc
+    records = _parse_record_lines(lines[1:])
     return window, tmin, tmax, records
+
+
+def tail_heartbeat_log(
+    path: str | os.PathLike[str],
+    cursor: SnapshotCursor | None = None,
+    *,
+    capacity: int | None = None,
+) -> tuple[DeltaSnapshot, SnapshotCursor]:
+    """Incrementally read a heartbeat log from a byte-offset cursor.
+
+    Parses only the record lines appended after ``cursor.position``; a poll
+    of a quiet log costs one ``stat`` plus one header read regardless of how
+    deep the history is.  A missing or stale cursor, a truncated file
+    (``size < position``) or a rotated file (inode changed) triggers a full
+    re-read with ``resync=True`` — as does a producer restarting on the same
+    path (same inode, truncate-and-regrow), which is caught by re-checking
+    that the last consumed line still ends at ``cursor.position`` with the
+    beat number the cursor recorded.  A trailing partial line (a producer's
+    buffered write can land mid-line) is left for the next poll: the returned
+    cursor only ever advances past complete lines.
+
+    ``capacity`` clips the records carried by a resync delta (and the
+    ``retained`` accounting) the way :meth:`FileBackend.snapshot` clips its
+    history; observers that want the whole file pass ``None``.
+    """
+    path = Path(path)
+    try:
+        fh = open(path, "rb")
+    except OSError as exc:
+        raise BackendError(f"cannot read heartbeat log {path}: {exc}") from exc
+    with fh:
+        stat = os.fstat(fh.fileno())
+        resync = (
+            cursor is None
+            or cursor.stamp != stat.st_ino
+            or cursor.position < _HEADER_WIDTH
+            or stat.st_size < cursor.position
+        )
+        if not resync and cursor.position > _HEADER_WIDTH:
+            # Same inode and the file is at least as long as we left it —
+            # but a producer restarting on this path truncates in place and
+            # may have regrown past the stale offset.  Genuine continuations
+            # still have our last consumed line ending exactly at the
+            # cursor, carrying the beat number the cursor recorded.
+            back = min(cursor.position - _HEADER_WIDTH, _VERIFY_WINDOW)
+            fh.seek(cursor.position - back)
+            chunk = fh.read(back)
+            resync = not _ends_with_beat(chunk, cursor.check)
+        start = _HEADER_WIDTH if resync else cursor.position
+        base_total = 0 if resync else cursor.total
+        fh.seek(0)
+        header = fh.read(_HEADER_WIDTH)
+        if len(header) < _HEADER_WIDTH:
+            raise BackendFormatError(f"empty heartbeat log: {path}")
+        window, tmin, tmax = _parse_header(header.decode("ascii", errors="replace"))
+        fh.seek(start)
+        data = fh.read()
+    consumed = data.rfind(b"\n") + 1  # 0 when no complete line arrived yet
+    try:
+        records = _parse_record_lines(data[:consumed].decode("ascii").splitlines())
+    except UnicodeDecodeError as exc:
+        raise BackendFormatError(f"non-ascii bytes in heartbeat log {path}") from exc
+    total = base_total + int(records.shape[0])
+    if records.shape[0]:
+        last_beat = int(records[-1]["beat"])
+    else:
+        last_beat = -1 if resync else cursor.check
+    new_cursor = SnapshotCursor(
+        total=total, position=start + consumed, stamp=stat.st_ino, check=last_beat
+    )
+    retained = total if capacity is None else min(total, capacity)
+    if resync and capacity is not None and records.shape[0] > capacity:
+        records = records[records.shape[0] - capacity :]
+    delta = DeltaSnapshot(
+        records=records,
+        total_beats=total,
+        retained=retained,
+        target_min=tmin,
+        target_max=tmax,
+        default_window=window,
+        gap=0,
+        resync=resync,
+    )
+    return delta, new_cursor

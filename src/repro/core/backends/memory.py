@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
-from repro.core.backends.base import Backend, BackendSnapshot
+from repro.core.backends.base import (
+    Backend,
+    BackendSnapshot,
+    DeltaSnapshot,
+    SnapshotCursor,
+    delta_bounds,
+)
 from repro.core.buffer import CircularBuffer
 
 __all__ = ["MemoryBackend"]
@@ -17,14 +23,26 @@ class MemoryBackend(Backend):
     all simulated-machine experiments).
     """
 
-    __slots__ = ("capacity", "_buffer", "_target_min", "_target_max", "_default_window")
+    __slots__ = (
+        "capacity", "_buffer", "_target_min", "_target_max", "_default_window", "_meta_version",
+    )
 
-    def __init__(self, capacity: int) -> None:
-        self._buffer = CircularBuffer(capacity)
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        storage: "np.ndarray | None" = None,
+        total: int = 0,
+    ) -> None:
+        """``storage``/``total`` adopt pre-populated record storage (see
+        :class:`~repro.core.buffer.CircularBuffer`); the fleet benchmark uses
+        this to share one deep synthetic history across thousands of streams."""
+        self._buffer = CircularBuffer(capacity, storage=storage, total=total)
         self.capacity = self._buffer.capacity
         self._target_min = 0.0
         self._target_max = 0.0
         self._default_window = 0
+        self._meta_version = 0
 
     def append(self, beat: int, timestamp: float, tag: int, thread_id: int) -> None:
         self._buffer.append_raw(beat, timestamp, tag, thread_id)
@@ -35,9 +53,11 @@ class MemoryBackend(Backend):
     def set_targets(self, target_min: float, target_max: float) -> None:
         self._target_min = float(target_min)
         self._target_max = float(target_max)
+        self._meta_version += 1
 
     def set_default_window(self, window: int) -> None:
         self._default_window = int(window)
+        self._meta_version += 1
 
     def snapshot(self, n: int | None = None) -> BackendSnapshot:
         return BackendSnapshot(
@@ -47,6 +67,63 @@ class MemoryBackend(Backend):
             target_max=self._target_max,
             default_window=self._default_window,
         )
+
+    def snapshot_since(
+        self, cursor: SnapshotCursor | None = None
+    ) -> tuple[DeltaSnapshot, SnapshotCursor]:
+        """O(new beats) delta via ring-index arithmetic; copies only new slots.
+
+        Observers read lock-free while the producer keeps appending, so the
+        whole delta — bounds *and* record slice — is derived from a single
+        capture of the append counter; a write landing in between cannot
+        shift the slice under the computed bounds (which would silently drop
+        unseen beats).  If the producer wraps into the copied region during
+        the copy itself the read retries, and under pathological contention
+        the delta falls back to ``resync`` so the consumer replaces rather
+        than appends — degraded to a full refresh, never silent loss.
+        """
+        buffer = self._buffer
+        capacity = self.capacity
+        for _ in range(64):
+            total = buffer.total
+            retained = min(total, capacity)
+            included, gap, resync = delta_bounds(cursor, total, retained)
+            if included == capacity:
+                # The delta carries the whole ring anyway; publishing it as a
+                # resync lets the consumer replace instead of concat-and-trim
+                # — and means one copy suffices (no consistency window exists
+                # for a full-ring copy racing a live writer).
+                resync = True
+            records = buffer.last_array_at(total, included)
+            if resync:
+                break  # consumer replaces state anyway; one copy is enough
+            if buffer.total - total < capacity - included or included == 0:
+                break  # no append reached the copied region: consistent
+        else:
+            # Pathological contention: every retry raced the writer.  Publish
+            # the newest capture as a full-history resync — replay length
+            # stays equal to the retained window, and the consumer replaces
+            # rather than appends, so the worst case is a degraded refresh.
+            total = buffer.total
+            retained = min(total, capacity)
+            included = retained
+            gap = max(total - cursor.total - included, 0)
+            records = buffer.last_array_at(total, included)
+            resync = True
+        delta = DeltaSnapshot(
+            records=records,
+            total_beats=total,
+            retained=retained,
+            target_min=self._target_min,
+            target_max=self._target_max,
+            default_window=self._default_window,
+            gap=gap,
+            resync=resync,
+        )
+        return delta, SnapshotCursor(total=total)
+
+    def version(self) -> tuple[int, int]:
+        return (self._buffer.total, self._meta_version)
 
     def close(self) -> None:
         # Nothing to release; kept for interface symmetry.

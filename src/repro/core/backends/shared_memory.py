@@ -48,7 +48,13 @@ except ImportError:  # pragma: no cover - non-POSIX platform
 
 import numpy as np
 
-from repro.core.backends.base import Backend, BackendSnapshot
+from repro.core.backends.base import (
+    Backend,
+    BackendSnapshot,
+    DeltaSnapshot,
+    SnapshotCursor,
+    delta_bounds,
+)
 from repro.core.buffer import circular_batch_slices
 from repro.core.errors import BackendError, BackendFormatError
 from repro.core.record import RECORD_DTYPE
@@ -244,12 +250,28 @@ class SharedMemoryBackend(Backend):
     def set_default_window(self, window: int) -> None:
         if self._closed:
             raise BackendError("shared-memory backend is closed")
-        self._layout.header["default_window"] = int(window)
+        header = self._layout.header
+        header["sequence"] = int(header["sequence"]) + 1
+        header["default_window"] = int(window)
+        header["sequence"] = int(header["sequence"]) + 1
 
     def snapshot(self, n: int | None = None) -> BackendSnapshot:
         if self._closed:
             raise BackendError("shared-memory backend is closed")
         return _read_snapshot(self._layout, self.capacity, n)
+
+    def snapshot_since(
+        self, cursor: SnapshotCursor | None = None
+    ) -> tuple[DeltaSnapshot, SnapshotCursor]:
+        if self._closed:
+            raise BackendError("shared-memory backend is closed")
+        return _read_delta(self._layout, self.capacity, cursor)
+
+    def version(self) -> tuple[int, int]:
+        if self._closed:
+            raise BackendError("shared-memory backend is closed")
+        header = self._layout.header
+        return (int(header["total"]), int(header["sequence"]))
 
     def close(self) -> None:
         """Release the segment.  The writer also unlinks it."""
@@ -308,6 +330,26 @@ class SharedMemoryReader:
             raise BackendError("shared-memory reader is closed")
         return _read_snapshot(self._layout, self.capacity, n)
 
+    def snapshot_since(
+        self, cursor: SnapshotCursor | None = None
+    ) -> tuple[DeltaSnapshot, SnapshotCursor]:
+        """Seqlock-consistent read of only the ring region unseen by ``cursor``."""
+        if self._closed:
+            raise BackendError("shared-memory reader is closed")
+        return _read_delta(self._layout, self.capacity, cursor)
+
+    def version(self) -> tuple[int, int]:
+        """Cheap change token: ``(total, sequence)`` read without the seqlock.
+
+        An in-progress write leaves the sequence odd, which can never equal a
+        previously returned (even) value — so "unchanged" is always safe to
+        trust and "changed" merely costs one delta read.
+        """
+        if self._closed:
+            raise BackendError("shared-memory reader is closed")
+        header = self._layout.header
+        return (int(header["total"]), int(header["sequence"]))
+
     def writer_pid(self) -> int:
         """PID of the producing process (useful for liveness checks)."""
         return int(self._layout.header["writer_pid"])
@@ -325,8 +367,15 @@ class SharedMemoryReader:
         self.close()
 
 
-def _read_snapshot(layout: _SharedLayout, capacity: int, n: int | None) -> BackendSnapshot:
-    """Seqlock-consistent snapshot of the segment."""
+def _seqlock_read(layout: _SharedLayout, capacity: int, copy):
+    """Run one seqlock-consistent read of the segment.
+
+    ``copy(total, default_window, tmin, tmax, retained)`` performs the
+    read-side record copy against a consistent header capture and returns
+    the result; the scaffold retries whenever the writer's sequence counter
+    moved (or was odd) around the copy.  Shared by the full-snapshot and
+    delta reads so the retry/backoff policy lives in exactly one place.
+    """
     header = layout.header
     for attempt in range(256):
         if attempt:
@@ -341,19 +390,57 @@ def _read_snapshot(layout: _SharedLayout, capacity: int, n: int | None) -> Backe
         tmin = float(header["target_min"])
         tmax = float(header["target_max"])
         retained = min(total, capacity)
+        result = copy(total, default_window, tmin, tmax, retained)
+        if int(header["sequence"]) == seq_before:
+            return result
+    raise BackendError("could not obtain a consistent shared-memory read")
+
+
+def _read_snapshot(layout: _SharedLayout, capacity: int, n: int | None) -> BackendSnapshot:
+    """Seqlock-consistent snapshot of the segment."""
+
+    def copy(total, default_window, tmin, tmax, retained):
         records = _copy_last(layout.records, total, capacity, retained)
-        seq_after = int(header["sequence"])
-        if seq_before == seq_after:
-            if n is not None and n < records.shape[0]:
-                records = records[records.shape[0] - n :]
-            return BackendSnapshot(
-                records=records,
-                total_beats=total,
-                target_min=tmin,
-                target_max=tmax,
-                default_window=default_window,
-            )
-    raise BackendError("could not obtain a consistent shared-memory snapshot")
+        if n is not None and n < records.shape[0]:
+            records = records[records.shape[0] - n :]
+        return BackendSnapshot(
+            records=records,
+            total_beats=total,
+            target_min=tmin,
+            target_max=tmax,
+            default_window=default_window,
+        )
+
+    return _seqlock_read(layout, capacity, copy)
+
+
+def _read_delta(
+    layout: _SharedLayout, capacity: int, cursor: SnapshotCursor | None
+) -> tuple[DeltaSnapshot, SnapshotCursor]:
+    """Seqlock-consistent delta: copies only the records unseen by ``cursor``.
+
+    Falls back to a full read (``resync=True``) when the writer lapped the
+    cursor — more beats arrived than the ring retains — or when the cursor is
+    from a segment generation we cannot reconcile (``cursor.total`` ahead of
+    the segment's own counter).
+    """
+
+    def copy(total, default_window, tmin, tmax, retained):
+        included, gap, resync = delta_bounds(cursor, total, retained)
+        records = _copy_last(layout.records, total, capacity, included)
+        delta = DeltaSnapshot(
+            records=records,
+            total_beats=total,
+            retained=retained,
+            target_min=tmin,
+            target_max=tmax,
+            default_window=default_window,
+            gap=gap,
+            resync=resync,
+        )
+        return delta, SnapshotCursor(total=total)
+
+    return _seqlock_read(layout, capacity, copy)
 
 
 def _copy_last(records: np.ndarray, total: int, capacity: int, count: int) -> np.ndarray:

@@ -54,6 +54,11 @@ class CircularBuffer:
         :data:`repro.core.record.RECORD_DTYPE` and length ``capacity``; used by
         the shared-memory backend to place the buffer inside a shared segment.
         When omitted a private array is allocated.
+    total:
+        Number of records ``storage`` already holds (in append order).  Lets
+        a buffer adopt pre-populated storage — e.g. the fleet benchmark
+        sharing one deep synthetic history across thousands of streams —
+        without replaying every append.  Requires ``storage``.
 
     Notes
     -----
@@ -65,13 +70,17 @@ class CircularBuffer:
 
     __slots__ = ("_capacity", "_data", "_total")
 
-    def __init__(self, capacity: int, *, storage: np.ndarray | None = None) -> None:
+    def __init__(
+        self, capacity: int, *, storage: np.ndarray | None = None, total: int = 0
+    ) -> None:
         if not isinstance(capacity, (int, np.integer)) or isinstance(capacity, bool):
             raise InvalidWindowError(f"capacity must be an int, got {capacity!r}")
         if capacity <= 0:
             raise InvalidWindowError(f"capacity must be positive, got {capacity}")
         self._capacity = int(capacity)
         if storage is None:
+            if total != 0:
+                raise ValueError("total requires pre-populated storage")
             storage = np.zeros(self._capacity, dtype=RECORD_DTYPE)
         else:
             if storage.dtype != RECORD_DTYPE:
@@ -82,8 +91,10 @@ class CircularBuffer:
                 raise ValueError(
                     f"storage length {len(storage)} does not match capacity {self._capacity}"
                 )
+            if total < 0:
+                raise ValueError(f"total must be >= 0, got {total}")
         self._data = storage
-        self._total = 0
+        self._total = int(total)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -172,14 +183,23 @@ class CircularBuffer:
             n = held
         if n < 0:
             raise InvalidWindowError(f"n must be >= 0, got {n}")
-        n = min(n, held)
+        return self.last_array_at(self._total, min(n, held))
+
+    def last_array_at(self, total: int, n: int) -> np.ndarray:
+        """Copy the last ``n`` records *as of* ``total`` appends.
+
+        Anchoring the slice at a caller-captured ``total`` (instead of the
+        live counter) lets a lock-free reader racing a producer compute
+        ``n`` and the slice from one consistent point; the caller checks
+        afterwards whether the producer wrapped into the copied region.
+        """
         if n == 0:
             return np.empty(0, dtype=RECORD_DTYPE)
-        end = self._total % self._capacity
-        if not self.is_full:
+        end = total % self._capacity
+        if total <= self._capacity:
             # Linear layout: valid records live in [0, total).
-            return self._data[self._total - n : self._total].copy()
-        # Wrapped layout: the logical sequence starts at `end`.
+            return self._data[total - n : total].copy()
+        # Wrapped layout: the logical sequence ends at `end`.
         start = (end - n) % self._capacity
         if start < end:
             return self._data[start:end].copy()

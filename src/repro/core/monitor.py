@@ -23,6 +23,7 @@ in the paper's Sections 2.3, 2.6 and 5.4 need.
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass
 from enum import Enum
@@ -31,16 +32,27 @@ from typing import Callable
 import numpy as np
 
 from repro.clock import Clock, WallClock
-from repro.core.backends.base import BackendSnapshot
-from repro.core.backends.file import read_heartbeat_log
+from repro.core.backends.base import BackendSnapshot, DeltaSnapshot, SnapshotCursor
+from repro.core.backends.file import HEADER_WIDTH, read_heartbeat_log, tail_heartbeat_log
 from repro.core.backends.shared_memory import SharedMemoryReader
+from repro.core.buffer import circular_batch_slices
 from repro.core.errors import MonitorAttachError
 from repro.core.heartbeat import Heartbeat
 from repro.core.rate import windowed_rate
 from repro.core.record import RECORD_DTYPE, HeartbeatRecord, array_to_records
 from repro.core.window import resolve_window
 
-__all__ = ["HeartbeatMonitor", "HealthStatus", "MonitorReading", "reading_from_snapshot"]
+__all__ = [
+    "HeartbeatMonitor",
+    "HealthStatus",
+    "MonitorReading",
+    "StreamDeltaState",
+    "classify",
+    "reading_from_snapshot",
+]
+
+#: Type of a cursored delta provider (see :meth:`Backend.snapshot_since`).
+DeltaSource = Callable[[SnapshotCursor | None], tuple[DeltaSnapshot, SnapshotCursor]]
 
 
 class HealthStatus(Enum):
@@ -119,24 +131,177 @@ def reading_from_snapshot(
     )
 
 
+def classify(
+    rate: float,
+    retained: int,
+    target_min: float,
+    target_max: float,
+    age: float | None,
+    liveness_timeout: float | None,
+) -> HealthStatus:
+    """The single scalar health-classification rule.
+
+    :func:`reading_from_snapshot` and the incremental delta consumers both
+    reduce to this function; the aggregator's vectorized classification is
+    its numpy transliteration (and is tested for equivalence against it).
+    """
+    if retained == 0:
+        return HealthStatus.UNKNOWN
+    if liveness_timeout is not None and age is not None and age > liveness_timeout:
+        return HealthStatus.STALLED
+    if target_min <= 0.0 and target_max <= 0.0:
+        # No published goal: any progress is healthy.
+        return HealthStatus.HEALTHY
+    if rate < target_min:
+        return HealthStatus.SLOW
+    if target_max > 0.0 and rate > target_max:
+        return HealthStatus.FAST
+    return HealthStatus.HEALTHY
+
+
 def _classify_snapshot(
     rate: float,
     snap: BackendSnapshot,
     age: float | None,
     liveness_timeout: float | None,
 ) -> HealthStatus:
-    if snap.retained == 0:
-        return HealthStatus.UNKNOWN
-    if liveness_timeout is not None and age is not None and age > liveness_timeout:
-        return HealthStatus.STALLED
-    if snap.target_min <= 0.0 and snap.target_max <= 0.0:
-        # No published goal: any progress is healthy.
-        return HealthStatus.HEALTHY
-    if rate < snap.target_min:
-        return HealthStatus.SLOW
-    if snap.target_max > 0.0 and rate > snap.target_max:
-        return HealthStatus.FAST
-    return HealthStatus.HEALTHY
+    return classify(
+        rate, snap.retained, snap.target_min, snap.target_max, age, liveness_timeout
+    )
+
+
+class StreamDeltaState:
+    """Rolling per-stream observation state fed by :class:`DeltaSnapshot`\\ s.
+
+    Replaces the "copy the retained history, recompute the windowed rate
+    from scratch" read with O(new beats) bookkeeping: a small ring of the
+    last ``default_window`` beat timestamps is updated from each delta's
+    records, and the windowed rate falls out of the ring's first/last
+    entries — the same arithmetic :func:`repro.core.rate.windowed_rate`
+    applies to a full timestamp copy.
+
+    Shared by the incremental :meth:`HeartbeatMonitor.read` and every stream
+    of a :class:`repro.core.aggregator.HeartbeatAggregator`.
+    """
+
+    __slots__ = (
+        "requested", "cursor", "version", "ring", "seen", "dw",
+        "rate", "total", "retained", "tmin", "tmax", "last_ts",
+    )
+
+    def __init__(self, requested: int) -> None:
+        #: Window requested by the observer (0: the producer's default).
+        self.requested = int(requested)
+        self.cursor: SnapshotCursor | None = None
+        self.version: object | None = None
+        self.ring = np.zeros(max(self.requested, 2), dtype=np.float64)
+        self.seen = 0  # timestamps ever written into the ring
+        self.dw = max(self.requested, 1)  # effective default window
+        self.rate = 0.0
+        self.total = 0
+        self.retained = 0
+        self.tmin = 0.0
+        self.tmax = 0.0
+        self.last_ts = math.nan
+
+    def apply(self, delta: DeltaSnapshot, cursor: SnapshotCursor) -> bool:
+        """Fold one delta into the cached rolling state.
+
+        Returns True when the ring covers every timestamp the effective
+        window can ask for.  False means the rate would be computed over too
+        few beats — the producer grew its default window past what the ring
+        retained — and the caller must re-read with a fresh cursor (a full
+        resync refills the ring from the backend's retained history).
+        """
+        self.cursor = cursor
+        self.total = delta.total_beats
+        self.retained = delta.retained
+        self.tmin = delta.target_min
+        self.tmax = delta.target_max
+        dw = delta.default_window if delta.default_window > 0 else max(self.requested, 1)
+        if delta.resync:
+            self.seen = 0
+        if dw != self.dw or dw > self.ring.shape[0]:
+            self._resize(max(dw, 2))
+        self.dw = dw
+        timestamps = delta.records["timestamp"]
+        k = int(timestamps.shape[0])
+        cap = self.ring.shape[0]
+        if k:
+            for destination, source in circular_batch_slices(self.seen, cap, k):
+                self.ring[destination] = timestamps[source]
+            self.seen += k
+            self.last_ts = float(self.ring[(self.seen - 1) % cap])
+        elif self.seen == 0:
+            self.last_ts = math.nan
+        self.rate = self._rate_for(self.requested)
+        return min(self.seen, cap) >= min(self.retained, self.dw)
+
+    def consume(self, delta_source: DeltaSource) -> None:
+        """Read and fold the next delta, resyncing in full when needed.
+
+        The one consume protocol shared by the monitor and the aggregator:
+        when :meth:`apply` reports the ring cannot cover the effective
+        window (the producer grew its default window past what the ring
+        retained), re-read with a fresh cursor so a full resync refills the
+        ring from the backend's retained history.
+        """
+        delta, cursor = delta_source(self.cursor)
+        if not self.apply(delta, cursor):
+            delta, cursor = delta_source(None)
+            self.apply(delta, cursor)
+
+    def reading(self, now: float, liveness_timeout: float | None) -> MonitorReading:
+        """Classify the cached state exactly like :func:`reading_from_snapshot`."""
+        no_beats = math.isnan(self.last_ts)
+        age = None if no_beats else now - self.last_ts
+        return MonitorReading(
+            rate=self.rate,
+            total_beats=self.total,
+            target_min=self.tmin,
+            target_max=self.tmax,
+            last_timestamp=None if no_beats else self.last_ts,
+            age=age,
+            status=classify(
+                self.rate, self.retained, self.tmin, self.tmax, age, liveness_timeout
+            ),
+        )
+
+    def _rate_for(self, requested: int) -> float:
+        effective = resolve_window(requested, self.dw, self.retained)
+        entries = min(self.seen, self.ring.shape[0])
+        if effective > entries:  # pragma: no cover - defensive; ring covers dw
+            effective = entries
+        if effective < 2:
+            return 0.0
+        cap = self.ring.shape[0]
+        last = float(self.ring[(self.seen - 1) % cap])
+        first = float(self.ring[(self.seen - effective) % cap])
+        span = last - first
+        if span < 0:
+            raise ValueError("timestamps are not sorted in non-decreasing order")
+        if span == 0.0:
+            return 0.0
+        return (effective - 1) / span
+
+    def _resize(self, cap: int) -> None:
+        """Grow (or shrink) the ring, preserving the newest timestamps."""
+        entries = min(self.seen, self.ring.shape[0])
+        if entries:
+            end = self.seen % self.ring.shape[0]
+            if self.seen <= self.ring.shape[0]:
+                ordered = self.ring[:entries].copy()
+            elif end == 0:
+                ordered = self.ring.copy()
+            else:
+                ordered = np.concatenate((self.ring[end:], self.ring[:end]))
+        else:
+            ordered = self.ring[:0]
+        keep = min(int(ordered.shape[0]), cap)
+        ring = np.zeros(cap, dtype=np.float64)
+        ring[:keep] = ordered[ordered.shape[0] - keep :]
+        self.ring = ring
+        self.seen = keep
 
 
 class HeartbeatMonitor:
@@ -160,6 +325,15 @@ class HeartbeatMonitor:
     liveness_timeout:
         Seconds without a beat after which the application is classified
         :attr:`HealthStatus.STALLED`.  ``None`` disables the check.
+    delta:
+        Optional cursored delta provider (``Backend.snapshot_since`` or an
+        equivalent).  When present, :meth:`read` polls incrementally — cost
+        proportional to the beats produced since the previous read instead
+        of the whole retained history.  The ``attach_*`` constructors wire
+        this automatically.
+    probe:
+        Optional cheap change token (``Backend.version``); two equal values
+        let :meth:`read` skip the delta read entirely on an idle stream.
     """
 
     def __init__(
@@ -170,12 +344,17 @@ class HeartbeatMonitor:
         window: int = 0,
         liveness_timeout: float | None = None,
         close: Callable[[], None] | None = None,
+        delta: DeltaSource | None = None,
+        probe: Callable[[], object | None] | None = None,
     ) -> None:
         self._source = source
         self._clock = clock if clock is not None else WallClock()
         self._window = int(window)
         self._liveness_timeout = liveness_timeout
         self._close = close
+        self._delta = delta
+        self._probe = probe
+        self._state: StreamDeltaState | None = None
 
     # ------------------------------------------------------------------ #
     # Attachment constructors
@@ -194,6 +373,8 @@ class HeartbeatMonitor:
             clock=heartbeat.clock,
             window=window,
             liveness_timeout=liveness_timeout,
+            delta=heartbeat.backend.snapshot_since,
+            probe=heartbeat.backend.version,
         )
 
     @classmethod
@@ -206,21 +387,15 @@ class HeartbeatMonitor:
         liveness_timeout: float | None = None,
     ) -> "HeartbeatMonitor":
         """Observe a heartbeat log file written by a :class:`FileBackend`."""
-        path = os.fspath(path)
-        if not os.path.exists(path):
-            raise MonitorAttachError(f"heartbeat log {path!r} does not exist")
-
-        def _snapshot() -> BackendSnapshot:
-            default_window, tmin, tmax, records = read_heartbeat_log(path)
-            return BackendSnapshot(
-                records=records,
-                total_beats=int(records.shape[0]),
-                target_min=tmin,
-                target_max=tmax,
-                default_window=default_window,
-            )
-
-        return cls(_snapshot, clock=clock, window=window, liveness_timeout=liveness_timeout)
+        source, delta, probe = file_observer_sources(path)
+        return cls(
+            source,
+            clock=clock,
+            window=window,
+            liveness_timeout=liveness_timeout,
+            delta=delta,
+            probe=probe,
+        )
 
     @classmethod
     def attach_shared_memory(
@@ -239,19 +414,44 @@ class HeartbeatMonitor:
             window=window,
             liveness_timeout=liveness_timeout,
             close=reader.close,
+            delta=reader.snapshot_since,
+            probe=reader.version,
         )
 
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
     def read(self, window: int | None = None) -> MonitorReading:
-        """Poll the source and classify the application's current health."""
+        """Poll the source and classify the application's current health.
+
+        Sources attached with delta support are read incrementally: only the
+        beats produced since the previous ``read`` are fetched and folded
+        into cached rolling-window state, so a steady poll costs O(new
+        beats) instead of O(history).  A ``window`` override different from
+        the monitor's configured window falls back to the full-snapshot
+        path, as does any source without delta support.
+        """
+        requested = self._window if window is None else int(window)
+        if self._delta is not None and requested == self._window:
+            return self._read_incremental()
         return reading_from_snapshot(
             self._source(),
             now=self._clock.now(),
-            window=self._window if window is None else int(window),
+            window=requested,
             liveness_timeout=self._liveness_timeout,
         )
+
+    def _read_incremental(self) -> MonitorReading:
+        state = self._state
+        if state is None:
+            state = self._state = StreamDeltaState(self._window)
+        version = self._probe() if self._probe is not None else None
+        # Probe *before* the read: a beat landing in between is consumed now
+        # and read again next time — never the other way around.
+        if state.cursor is None or version is None or version != state.version:
+            state.consume(self._delta)
+            state.version = version
+        return state.reading(self._clock.now(), self._liveness_timeout)
 
     @property
     def snapshot_source(self) -> Callable[[], BackendSnapshot]:
@@ -261,6 +461,16 @@ class HeartbeatMonitor:
         adopt an existing monitor attachment as one stream of a fleet.
         """
         return self._source
+
+    @property
+    def delta_source(self) -> DeltaSource | None:
+        """The cursored delta provider, when the attachment supports one."""
+        return self._delta
+
+    @property
+    def probe_source(self) -> Callable[[], object | None] | None:
+        """The cheap change-token provider, when the attachment supports one."""
+        return self._probe
 
     def current_rate(self, window: int | None = None) -> float:
         """Convenience: the windowed rate only."""
@@ -306,4 +516,49 @@ class HeartbeatMonitor:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+def file_observer_sources(
+    path: str | os.PathLike[str],
+) -> tuple[Callable[[], BackendSnapshot], DeltaSource, Callable[[], object | None]]:
+    """Build the (snapshot, delta, probe) triple for observing a log file.
+
+    Shared by :meth:`HeartbeatMonitor.attach_file` and
+    :meth:`repro.core.aggregator.HeartbeatAggregator.attach_file`.  The
+    probe fingerprint is ``(size, inode, mtime, header bytes)`` — appends
+    grow the size, rotation changes the inode, and reading the fixed-width
+    header directly (rather than trusting mtime alone, whose granularity is
+    filesystem-dependent) catches in-place target/window rewrites that
+    change nothing else; mtime stays in the tuple as a second line of
+    defense against a same-path producer restart that lands on the exact
+    same size and header.  It answers ``None`` ("cannot tell, poll me")
+    when the read fails so the delta read reports the real error.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        raise MonitorAttachError(f"heartbeat log {path!r} does not exist")
+
+    def _snapshot() -> BackendSnapshot:
+        default_window, tmin, tmax, records = read_heartbeat_log(path)
+        return BackendSnapshot(
+            records=records,
+            total_beats=int(records.shape[0]),
+            target_min=tmin,
+            target_max=tmax,
+            default_window=default_window,
+        )
+
+    def _delta(cursor: SnapshotCursor | None) -> tuple[DeltaSnapshot, SnapshotCursor]:
+        return tail_heartbeat_log(path, cursor)
+
+    def _probe() -> tuple[int, int, int, bytes] | None:
+        try:
+            with open(path, "rb") as fh:
+                header = fh.read(HEADER_WIDTH)
+                stat = os.fstat(fh.fileno())
+        except OSError:
+            return None
+        return (stat.st_size, stat.st_ino, stat.st_mtime_ns, header)
+
+    return _snapshot, _delta, _probe
 

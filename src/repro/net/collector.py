@@ -37,7 +37,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.core.backends.base import BackendSnapshot
+from repro.core.backends.base import BackendSnapshot, DeltaSnapshot, SnapshotCursor
 from repro.core.backends.memory import MemoryBackend
 from repro.core.errors import MonitorAttachError, ProtocolError
 from repro.net import protocol
@@ -98,6 +98,16 @@ class _CollectorStream:
     def snapshot(self) -> BackendSnapshot:
         with self.lock:
             return self.backend.snapshot()
+
+    def snapshot_since(
+        self, cursor: SnapshotCursor | None = None
+    ) -> tuple[DeltaSnapshot, SnapshotCursor]:
+        with self.lock:
+            return self.backend.snapshot_since(cursor)
+
+    def version(self) -> tuple[int, int]:
+        with self.lock:
+            return self.backend.version()
 
     def info(self) -> CollectorStreamInfo:
         with self.lock:
@@ -196,6 +206,16 @@ class HeartbeatCollector:
     def snapshot_source(self, stream_id: str) -> Callable[[], BackendSnapshot]:
         """A zero-argument snapshot provider for aggregator attachment."""
         return self._get_stream(stream_id).snapshot
+
+    def delta_source(
+        self, stream_id: str
+    ) -> Callable[[SnapshotCursor | None], tuple[DeltaSnapshot, SnapshotCursor]]:
+        """A cursored delta provider: poll cost proportional to new records."""
+        return self._get_stream(stream_id).snapshot_since
+
+    def version_source(self, stream_id: str) -> Callable[[], tuple[int, int]]:
+        """A cheap change-token provider for the aggregator's idle-skip path."""
+        return self._get_stream(stream_id).version
 
     def streams(self) -> list[CollectorStreamInfo]:
         """Metadata for every registered stream."""

@@ -72,6 +72,7 @@ class TestAttachment:
         for _ in range(6):
             sim_clock.advance(0.5)
             hb.heartbeat()
+        backend.flush()  # file appends are buffered; publish to observers
         agg = HeartbeatAggregator(clock=sim_clock)
         agg.attach_file("logged", tmp_path / "stream.log")
         assert agg.rates()["logged"] == pytest.approx(2.0)

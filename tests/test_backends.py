@@ -86,6 +86,7 @@ class TestFileBackend:
         write_beats_after = [(10, 99.0, 0, 1)]
         for rec in write_beats_after:
             backend.append(*rec)
+        backend.flush()  # appends are buffered; drain before the direct read
         _, tmin, _, records = read_heartbeat_log(path)
         assert tmin == 1.0
         assert len(records) == 4
@@ -102,6 +103,7 @@ class TestFileBackend:
         ts = [0.1, 0.30000000000000004, 1e-9, 123456.789012345]
         for i, t in enumerate(ts):
             backend.append(i, t, 0, 0)
+        backend.flush()
         _, _, _, records = read_heartbeat_log(path)
         assert list(records["timestamp"]) == ts
 

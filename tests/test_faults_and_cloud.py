@@ -158,6 +158,8 @@ class TestHeartbeatLoadBalancer:
             raise BackendError("segment vanished")
 
         broken.heartbeat.backend.snapshot = exploding_snapshot
+        # The incremental poll reads through the delta path; kill it too.
+        broken.heartbeat.backend.snapshot_since = lambda cursor=None: exploding_snapshot()
         actions = balancer.manage()  # must not raise KeyError
         failovers = [a for a in actions if a.kind == "failover" and a.vm_id == broken.vm_id]
         assert len(failovers) == 1

@@ -89,14 +89,16 @@ class TestFileAttachment:
         for i in range(20):
             manual_clock.time = i * 0.1
             hb.heartbeat(tag=i)
+        hb.backend.flush()  # file appends are buffered; publish to observers
         monitor = HeartbeatMonitor.attach_file(path, clock=manual_clock)
         reading = monitor.read()
         assert reading.total_beats == 20
         assert reading.rate == pytest.approx(10.0)
         assert reading.target_min == 5.0
-        # New beats become visible on the next poll.
+        # New beats become visible on the next poll (after a flush).
         manual_clock.time = 2.0
         hb.heartbeat(tag=99)
+        hb.backend.flush()
         assert monitor.read().total_beats == 21
         hb.finalize()
 
