@@ -10,6 +10,9 @@ The package reproduces Hoffmann et al.'s Application Heartbeats framework
 * :mod:`repro.workloads` — PARSEC-like instrumented workloads (Table 2);
 * :mod:`repro.encoder` — an adaptive H.264-like video encoder (Figures 3, 4, 8);
 * :mod:`repro.control` — controllers shared by internal and external adaptation;
+* :mod:`repro.adapt` — the unified adaptation runtime: the Actuator
+  protocol, ControlLoop, the fleet-scale AdaptationEngine and declarative
+  AdaptSpec builders (the ``repro adapt`` CLI);
 * :mod:`repro.scheduler` — the heartbeat-driven external core scheduler (Figures 5–7);
 * :mod:`repro.faults` — core-failure injection (Figure 8);
 * :mod:`repro.cloud` — heartbeat-driven cluster management (Section 2.6);
@@ -30,6 +33,13 @@ Quickstart
 """
 
 from repro._version import __version__
+from repro.adapt import (
+    AdaptationEngine,
+    AdaptSpec,
+    Actuator,
+    ControlLoop,
+    DecisionTrace,
+)
 from repro.clock import Clock, ManualClock, SimulatedClock, WallClock
 from repro.core import (
     DEFAULT_WINDOW,
@@ -77,4 +87,9 @@ __all__ = [
     "windowed_rate",
     "moving_rate_series",
     "DEFAULT_WINDOW",
+    "Actuator",
+    "ControlLoop",
+    "DecisionTrace",
+    "AdaptationEngine",
+    "AdaptSpec",
 ]

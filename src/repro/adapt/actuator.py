@@ -1,0 +1,329 @@
+"""The act side of the adaptation runtime: the :class:`Actuator` protocol.
+
+The paper treats heartbeats as the *observe* interface between applications
+and external adaptive services; this module is the matching *act* interface.
+An actuator owns one knob — a core count, a frequency ladder level, an
+encoder preset, a VM placement — and applies
+:class:`~repro.control.base.ControlDecision` objects to it, so any
+:class:`~repro.control.base.Controller` can drive any knob through a
+:class:`~repro.adapt.loop.ControlLoop` without knowing what the knob is.
+
+The contract is deliberately small:
+
+``apply(decision, beat=...) -> applied``
+    Apply one decision (clamping to :attr:`bounds`) and return the value the
+    knob actually landed on — which may differ from what the decision asked
+    for when the request saturates the bounds or the knob refuses the move.
+``current() -> value``
+    The knob's current value, in the same units ``apply`` returns.
+``bounds``
+    The inclusive ``(minimum, maximum)`` range of the knob.
+
+Implementations may additionally expose ``cost() -> float`` — the resource
+price of the current setting (cores held, relative frequency, work units per
+unit of output) — which engines and reports read through
+:func:`actuator_cost` so the member stays optional.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+from repro.control.base import ControlDecision
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, keeps the import graph flat
+    from repro.scheduler.allocator import CoreAllocator
+    from repro.sim.machine import SimulatedMachine
+
+__all__ = [
+    "Actuator",
+    "actuator_cost",
+    "CoreActuator",
+    "FrequencyActuator",
+    "LadderActuator",
+    "FunctionActuator",
+    "LogActuator",
+]
+
+
+@runtime_checkable
+class Actuator(Protocol):
+    """What a :class:`~repro.adapt.loop.ControlLoop` needs from a knob."""
+
+    @property
+    def bounds(self) -> tuple[float, float]:  # pragma: no cover - protocol stub
+        """Inclusive ``(minimum, maximum)`` range of the knob."""
+        ...
+
+    def current(self) -> float:  # pragma: no cover - protocol stub
+        """The knob's current value."""
+        ...
+
+    def apply(self, decision: ControlDecision, *, beat: int = -1) -> float:  # pragma: no cover - protocol stub
+        """Apply one decision and return the value actually reached."""
+        ...
+
+
+def actuator_cost(actuator: Actuator) -> float:
+    """The actuator's resource cost, via its optional ``cost()`` member.
+
+    Actuators without a ``cost()`` report their current value — the natural
+    reading for counted resources such as cores.
+    """
+    cost = getattr(actuator, "cost", None)
+    if callable(cost):
+        return float(cost())
+    return float(actuator.current())
+
+
+def _clamp(value: float, bounds: tuple[float, float]) -> float:
+    low, high = bounds
+    return min(max(value, low), high)
+
+
+class CoreActuator:
+    """Core-allocation knob over a :class:`~repro.scheduler.allocator.CoreAllocator`.
+
+    Absolute decisions (``value``) are ceiled onto whole cores and clamped by
+    the allocator; relative decisions (``delta``) adjust the current count.
+    The allocator keeps its usual :class:`AllocationChange` history, so the
+    twin core/heart-rate traces of Figures 5-7 come out unchanged.
+    """
+
+    def __init__(self, allocator: "CoreAllocator") -> None:
+        self.allocator = allocator
+
+    @property
+    def bounds(self) -> tuple[float, float]:
+        return (float(self.allocator.min_cores), float(self.allocator.max_cores))
+
+    def current(self) -> float:
+        return float(self.allocator.current_cores)
+
+    def apply(self, decision: ControlDecision, *, beat: int = -1) -> float:
+        if decision.value is not None:
+            return float(self.allocator.set_cores(math.ceil(decision.value), beat=beat))
+        if decision.delta:
+            return float(self.allocator.adjust(decision.delta, beat=beat))
+        return self.current()
+
+    def cost(self) -> float:
+        """Cores currently held (the resource the scheduler minimises)."""
+        return self.current()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CoreActuator(current={self.allocator.current_cores}, bounds={self.bounds})"
+
+
+class FrequencyActuator:
+    """Machine-frequency knob over a discrete P-state-like ladder.
+
+    ``delta`` moves one or more rungs along the sorted ladder (positive =
+    faster, the controllers' "more resource" direction); ``value`` selects
+    the closest rung.  The machine's frequency is only touched when the rung
+    actually changes.
+    """
+
+    def __init__(
+        self,
+        machine: "SimulatedMachine",
+        frequencies: tuple[float, ...],
+        *,
+        initial_level: int | None = None,
+        apply_initial: bool = True,
+    ) -> None:
+        if not frequencies or any(f <= 0 for f in frequencies):
+            raise ValueError("frequencies must be a non-empty tuple of positive values")
+        self.machine = machine
+        self.frequencies = tuple(sorted(float(f) for f in frequencies))
+        top = len(self.frequencies) - 1
+        level = top if initial_level is None else int(initial_level)
+        if not 0 <= level <= top:
+            raise ValueError(f"initial_level must be in [0, {top}], got {level}")
+        self.level = level
+        if apply_initial:
+            self.machine.set_frequency(self.frequency)
+
+    @property
+    def frequency(self) -> float:
+        return self.frequencies[self.level]
+
+    @property
+    def bounds(self) -> tuple[float, float]:
+        return (self.frequencies[0], self.frequencies[-1])
+
+    def current(self) -> float:
+        return self.frequency
+
+    def apply(self, decision: ControlDecision, *, beat: int = -1) -> float:
+        level = self.level
+        if decision.value is not None:
+            target = _clamp(decision.value, self.bounds)
+            level = min(
+                range(len(self.frequencies)),
+                key=lambda i: (abs(self.frequencies[i] - target), i),
+            )
+        elif decision.delta:
+            level = min(max(level + decision.delta, 0), len(self.frequencies) - 1)
+        if level != self.level:
+            self.level = level
+            self.machine.set_frequency(self.frequency)
+        return self.frequency
+
+    def cost(self) -> float:
+        """Relative frequency — the energy proxy the DVFS experiments report."""
+        return self.frequency
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FrequencyActuator(frequency={self.frequency}, ladder={self.frequencies})"
+
+
+class LadderActuator:
+    """Position on an ordered discrete ladder (quality presets, batch sizes).
+
+    Level 0 is the most demanding setting, matching the encoder's preset
+    ladder and :class:`~repro.control.ladder.LadderController`'s sign
+    convention (+1 = move to a cheaper level).  ``on_change`` is called with
+    the new level whenever the position actually moves — the encoder facade
+    uses it to swap presets.
+    """
+
+    def __init__(
+        self,
+        levels: int,
+        *,
+        initial_level: int = 0,
+        on_change: Callable[[int], None] | None = None,
+        cost_of: Callable[[int], float] | None = None,
+    ) -> None:
+        if levels < 1:
+            raise ValueError(f"levels must be >= 1, got {levels}")
+        if not 0 <= initial_level < levels:
+            raise ValueError(f"initial_level must be in [0, {levels - 1}], got {initial_level}")
+        self.levels = int(levels)
+        self.level = int(initial_level)
+        self._on_change = on_change
+        self._cost_of = cost_of
+
+    @property
+    def bounds(self) -> tuple[float, float]:
+        return (0.0, float(self.levels - 1))
+
+    def current(self) -> float:
+        return float(self.level)
+
+    def apply(self, decision: ControlDecision, *, beat: int = -1) -> float:
+        level = self.level
+        if decision.value is not None:
+            level = int(_clamp(round(decision.value), self.bounds))
+        elif decision.delta:
+            level = int(_clamp(level + decision.delta, self.bounds))
+        if level != self.level:
+            self.level = level
+            if self._on_change is not None:
+                self._on_change(level)
+        return float(self.level)
+
+    def cost(self) -> float:
+        """Cost of the current level (``cost_of`` hook; defaults to the level)."""
+        if self._cost_of is not None:
+            return float(self._cost_of(self.level))
+        return float(self.level)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LadderActuator(level={self.level}/{self.levels - 1})"
+
+
+class FunctionActuator:
+    """Adapter turning a get/set pair into an actuator.
+
+    The declarative spec layer and simulations use this to bind loops to
+    plain attributes — a producer's request rate, a worker pool size —
+    without writing a class per knob.  ``step`` scales relative deltas
+    (controllers speak in unit steps; the knob may move in other units).
+    """
+
+    def __init__(
+        self,
+        get: Callable[[], float],
+        set_value: Callable[[float], float | None],
+        *,
+        bounds: tuple[float, float] = (-math.inf, math.inf),
+        step: float = 1.0,
+    ) -> None:
+        low, high = float(bounds[0]), float(bounds[1])
+        if high < low:
+            raise ValueError(f"bounds maximum ({high}) must be >= minimum ({low})")
+        self._get = get
+        self._set = set_value
+        self._bounds = (low, high)
+        self.step = float(step)
+
+    @property
+    def bounds(self) -> tuple[float, float]:
+        return self._bounds
+
+    def current(self) -> float:
+        return float(self._get())
+
+    def apply(self, decision: ControlDecision, *, beat: int = -1) -> float:
+        if decision.value is not None:
+            requested: float | None = float(decision.value)
+        elif decision.delta:
+            requested = self.current() + decision.delta * self.step
+        else:
+            requested = None
+        if requested is None:
+            return self.current()
+        granted = self._set(_clamp(requested, self._bounds))
+        return self.current() if granted is None else float(granted)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FunctionActuator(current={self.current()}, bounds={self._bounds})"
+
+
+class LogActuator:
+    """Advisory (dry-run) actuator: decisions move an internal value only.
+
+    The ``repro adapt`` CLI binds spec loops to this by default, so an
+    operator can point a spec at a live fleet and see exactly which
+    adjustments the controllers *would* make before wiring real knobs in.
+    Every applied decision is kept in :attr:`applied` as
+    ``(beat, before, after)``.
+    """
+
+    def __init__(
+        self,
+        initial: float = 0.0,
+        *,
+        bounds: tuple[float, float] = (-math.inf, math.inf),
+        step: float = 1.0,
+    ) -> None:
+        low, high = float(bounds[0]), float(bounds[1])
+        if high < low:
+            raise ValueError(f"bounds maximum ({high}) must be >= minimum ({low})")
+        self._bounds = (low, high)
+        self.value = _clamp(float(initial), self._bounds)
+        self.step = float(step)
+        self.applied: list[tuple[int, float, float]] = []
+
+    @property
+    def bounds(self) -> tuple[float, float]:
+        return self._bounds
+
+    def current(self) -> float:
+        return self.value
+
+    def apply(self, decision: ControlDecision, *, beat: int = -1) -> float:
+        before = self.value
+        if decision.value is not None:
+            self.value = _clamp(float(decision.value), self._bounds)
+        elif decision.delta:
+            self.value = _clamp(self.value + decision.delta * self.step, self._bounds)
+        if self.value != before:
+            self.applied.append((beat, before, self.value))
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LogActuator(value={self.value}, applied={len(self.applied)})"

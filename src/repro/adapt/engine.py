@@ -1,0 +1,335 @@
+"""Fleet-scale adaptation: many control loops over one incremental poll.
+
+:class:`AdaptationEngine` closes the loop the fleet observation pipeline
+left open: a :class:`~repro.core.aggregator.HeartbeatAggregator` already
+turns thousands of heartbeat streams into one O(new-beats) incremental
+:meth:`poll`, and the engine feeds each polled rate into that stream's
+:class:`~repro.adapt.loop.ControlLoop` — so a 10k-stream fleet is *adapted*,
+not just observed, at the cost of one sharded poll per tick.
+
+Membership is dynamic.  Streams that appear (a producer dials into an
+attached collector, a registry grows) are offered to the ``loop_factory``,
+which returns a loop to manage them or ``None`` to leave them observed-only;
+streams that vanish from the aggregator have their loops dropped.  Streams
+classified STALLED are observed but not stepped — acting on a dead
+producer's stale rate is how a balancer migrates a VM into the ground.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Union
+
+from repro.adapt.loop import ControlLoop, DecisionTrace
+from repro.core.aggregator import FleetSample, HeartbeatAggregator
+from repro.core.monitor import HealthStatus, MonitorReading
+
+__all__ = ["AdaptationEngine", "EngineTick", "LoopFactory"]
+
+#: Offered one (stream name, first reading) pair per new stream; returns the
+#: loop that should manage the stream, or ``None`` to leave it unmanaged.
+LoopFactory = Callable[[str, MonitorReading], Union[ControlLoop, None]]
+
+
+@dataclass(frozen=True, slots=True)
+class EngineTick:
+    """What one :meth:`AdaptationEngine.tick` observed and decided."""
+
+    #: Monotonic tick index (the beat number loops were stepped with).
+    index: int
+    #: The fleet sample the decisions were based on.
+    sample: FleetSample
+    #: Streams that gained a loop this tick.
+    attached: tuple[str, ...]
+    #: Streams whose loop was dropped this tick (stream vanished).
+    detached: tuple[str, ...]
+    #: Decisions taken this tick, in loop order.
+    traces: tuple[DecisionTrace, ...]
+    #: Per-stream factory/step failures this tick (one bad stream never
+    #: poisons the rest of the fleet; its error is reported here instead).
+    errors: Mapping[str, str]
+
+    @property
+    def decisions(self) -> int:
+        return len(self.traces)
+
+    @property
+    def changes(self) -> int:
+        """How many decisions actually moved an actuator."""
+        return sum(1 for trace in self.traces if trace.changed)
+
+
+class AdaptationEngine:
+    """Runs many control loops over a fleet through one aggregator.
+
+    Parameters
+    ----------
+    aggregator:
+        The observation fan-in.  Attach local heartbeats, files, segments,
+        registries or collectors to it (or through the engine's
+        :meth:`attach_collector` convenience) — the engine adapts whatever
+        the aggregator observes.
+    loop_factory:
+        Called once per newly observed stream with its first reading.
+        Streams with no published goal are re-offered on later ticks (their
+        producer may publish a target after dialling in); a ``None`` for a
+        stream that *has* a goal is remembered and the stream stays
+        unmanaged.
+    min_beats:
+        Beats a stream must have produced before its loop is stepped (a
+        rate needs two beats to exist at all).
+    step_stalled:
+        Step loops even when their stream is classified STALLED.  Off by
+        default: a stalled stream's rate is stale, and acting on it usually
+        does harm.
+    """
+
+    def __init__(
+        self,
+        aggregator: HeartbeatAggregator,
+        loop_factory: LoopFactory,
+        *,
+        min_beats: int = 2,
+        step_stalled: bool = False,
+    ) -> None:
+        if min_beats < 0:
+            raise ValueError(f"min_beats must be >= 0, got {min_beats}")
+        self._aggregator = aggregator
+        self._factory = loop_factory
+        self._min_beats = int(min_beats)
+        self._step_stalled = bool(step_stalled)
+        self.loops: dict[str, ControlLoop] = {}
+        self._declined: set[str] = set()
+        self._ticks = 0
+        self.last_tick: EngineTick | None = None
+        #: The exception that killed the threaded drive, if one did; the
+        #: drive also flips :attr:`running` off, so a silent dead thread
+        #: can never masquerade as a live engine.
+        self.last_error: BaseException | None = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._tick_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Observation plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def aggregator(self) -> HeartbeatAggregator:
+        """The underlying fleet observer."""
+        return self._aggregator
+
+    def attach_collector(self, collector: object, *, prefix: str = "") -> list[str]:
+        """Observe every stream of a network collector (dynamic attachment)."""
+        return self._aggregator.attach_collector(collector, prefix=prefix)  # type: ignore[arg-type]
+
+    @property
+    def ticks(self) -> int:
+        """Ticks run so far."""
+        return self._ticks
+
+    def __len__(self) -> int:
+        return len(self.loops)
+
+    def __iter__(self) -> Iterator[ControlLoop]:
+        return iter(list(self.loops.values()))
+
+    # ------------------------------------------------------------------ #
+    # The engine step
+    # ------------------------------------------------------------------ #
+    def tick(self) -> EngineTick:
+        """One engine round: poll the fleet, sync loops, step every loop.
+
+        Concurrent calls (a threaded drive racing a manual tick) are
+        serialised; the poll itself is the aggregator's sharded incremental
+        pass, so the cost of a mostly idle fleet is the probe pass plus the
+        loops that actually had news.
+        """
+        with self._tick_lock:
+            return self._tick_locked()
+
+    def _tick_locked(self) -> EngineTick:
+        sample = self._aggregator.poll()
+        index = self._ticks
+        self._ticks += 1
+
+        observed = set(sample.names)
+        detached = tuple(
+            name for name in self.loops if name not in observed and name not in sample.errors
+        )
+        for name in detached:
+            del self.loops[name]
+        self._declined &= observed
+
+        attached: list[str] = []
+        errors: dict[str, str] = {}
+        for name in sample.names:
+            if name in self.loops or name in self._declined:
+                continue
+            reading = sample.get(name)
+            if reading is None:  # pragma: no cover - names never error in-sample
+                continue
+            try:
+                loop = self._factory(name, reading)
+            except Exception as exc:
+                # One stream with a poisoned goal or a broken factory must
+                # not take the fleet down; refuse it and report.
+                errors[name] = f"loop factory failed: {exc}"
+                self._declined.add(name)
+                continue
+            if loop is None:
+                if reading.target_min > 0.0 or reading.target_max > 0.0:
+                    # Goal published and still refused: a definitive "not
+                    # managed".  Goalless streams are re-offered later.
+                    self._declined.add(name)
+                continue
+            self.loops[name] = loop
+            attached.append(name)
+
+        traces: list[DecisionTrace] = []
+        for name, loop in self.loops.items():
+            reading = sample.get(name)
+            if reading is None or reading.total_beats < self._min_beats:
+                continue
+            if reading.status is HealthStatus.STALLED and not self._step_stalled:
+                continue
+            try:
+                trace = loop.step(index, rate=reading.rate)
+            except Exception as exc:
+                errors[name] = f"step failed: {exc}"
+                continue
+            if trace is not None:
+                traces.append(trace)
+
+        tick = EngineTick(
+            index=index,
+            sample=sample,
+            attached=tuple(attached),
+            detached=detached,
+            traces=tuple(traces),
+            errors=errors,
+        )
+        self.last_tick = tick
+        return tick
+
+    def run(
+        self,
+        ticks: int,
+        *,
+        interval: float = 0.0,
+        between: Callable[[EngineTick], None] | None = None,
+    ) -> list[EngineTick]:
+        """Run ``ticks`` engine rounds, sleeping ``interval`` between them.
+
+        ``between`` is called after every tick (simulations advance their
+        clock and produce the next round of beats there).
+        """
+        if ticks < 0:
+            raise ValueError(f"ticks must be >= 0, got {ticks}")
+        results: list[EngineTick] = []
+        for i in range(ticks):
+            results.append(self.tick())
+            if between is not None:
+                between(results[-1])
+            if interval > 0 and i + 1 < ticks:
+                time.sleep(interval)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Fleet-level questions
+    # ------------------------------------------------------------------ #
+    def converged(self, sample: FleetSample | None = None) -> bool:
+        """True when every managed stream's rate sits inside its loop's window.
+
+        Streams still warming up (< ``min_beats``) count as not converged.
+        ``sample`` defaults to the last tick's sample.
+        """
+        if sample is None:
+            if self.last_tick is None:
+                return False
+            sample = self.last_tick.sample
+        if not self.loops:
+            return False
+        for name, loop in self.loops.items():
+            reading = sample.get(name)
+            if reading is None or reading.total_beats < max(self._min_beats, 2):
+                return False
+            if not loop.in_target(reading.rate):
+                return False
+        return True
+
+    def lagging(self, sample: FleetSample | None = None) -> list[str]:
+        """Managed streams currently outside their loop's target window."""
+        if sample is None:
+            sample = self.last_tick.sample if self.last_tick is not None else None
+        if sample is None:
+            return sorted(self.loops)
+        out = []
+        for name, loop in self.loops.items():
+            reading = sample.get(name)
+            if reading is None or not loop.in_target(reading.rate):
+                out.append(name)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Threaded drive and lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self, interval: float) -> None:
+        """Tick the engine every ``interval`` seconds on a background thread.
+
+        A tick that raises stops the drive, records the exception in
+        :attr:`last_error` and marks the engine not :attr:`running` — per-
+        stream failures are already absorbed into ``EngineTick.errors``, so
+        anything reaching here is a systemic fault the owner must see.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if self._thread is not None:
+            raise RuntimeError("engine is already running")
+        self._stop.clear()
+        self.last_error = None
+
+        def drive() -> None:
+            try:
+                while not self._stop.wait(interval):
+                    self.tick()
+            except BaseException as exc:  # noqa: BLE001 - recorded, not hidden
+                self.last_error = exc
+            finally:
+                self._thread = None
+
+        self._thread = threading.Thread(target=drive, name="adaptation-engine", daemon=True)
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the threaded drive (no-op when not running)."""
+        thread, self._thread = self._thread, None
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=timeout)
+
+    @property
+    def running(self) -> bool:
+        """True while the threaded drive is alive (False once it errors)."""
+        return self._thread is not None
+
+    def close(self, *, close_aggregator: bool = False) -> None:
+        """Stop driving and drop every loop; optionally close the aggregator."""
+        self.stop()
+        for loop in self.loops.values():
+            loop.stop()
+        self.loops.clear()
+        self._declined.clear()
+        if close_aggregator:
+            self._aggregator.close()
+
+    def __enter__(self) -> "AdaptationEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AdaptationEngine(loops={len(self.loops)}, ticks={self._ticks})"

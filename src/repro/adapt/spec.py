@@ -1,0 +1,384 @@
+"""Declarative adaptation specs: dict/TOML/JSON → :class:`AdaptationEngine`.
+
+A spec names *what* to adapt — which streams (glob patterns over stream
+names), towards which target window, with which controller, through which
+actuator — and :meth:`AdaptSpec.build_engine` assembles the runtime.  New
+scenarios (a fleet-wide DVFS sweep, encoder ladder + core allocation
+co-adaptation) become a few lines of data instead of a bespoke
+observe-and-act class:
+
+.. code-block:: toml
+
+    [engine]
+    liveness_timeout = 5.0
+
+    [[loops]]
+    match = "svc-*"
+    target = "published"                # the window each app publishes
+    controller = { kind = "step" }
+    actuator = "cores"
+
+    [[loops]]
+    match = "enc-*"
+    target = [28.0, 1e9]
+    controller = { kind = "ladder", levels = 5 }
+    actuator = "preset"
+
+Actuator *names* bind to factories supplied at build time (specs are data;
+knobs are code).  The built-in ``log`` actuator needs no factory: it applies
+decisions to an internal value only, which is how the ``repro adapt`` CLI
+dry-runs a spec against a live fleet.
+
+TOML parsing uses :mod:`tomllib` and therefore Python 3.11+; on 3.10 use
+JSON files or build from a dict.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence, Union
+
+from repro.adapt.actuator import Actuator, LogActuator
+from repro.adapt.engine import AdaptationEngine, LoopFactory
+from repro.adapt.loop import ControlLoop
+from repro.clock import Clock
+from repro.control import (
+    Controller,
+    LadderController,
+    PIDController,
+    ProportionalStepController,
+    StepController,
+    TargetWindow,
+)
+from repro.core.aggregator import HeartbeatAggregator
+from repro.core.monitor import MonitorReading
+
+__all__ = ["AdaptSpec", "LoopSpec", "SpecError", "ActuatorFactory"]
+
+
+class SpecError(ValueError):
+    """A declarative adaptation spec is malformed."""
+
+
+#: Builds the actuator for one matched stream: ``(stream name, first
+#: reading, the loop spec's actuator options)``.
+ActuatorFactory = Callable[[str, MonitorReading, Mapping[str, Any]], Actuator]
+
+_CONTROLLER_KINDS = ("step", "proportional", "pid", "ladder")
+
+
+def _build_controller(kind: str, target: TargetWindow, options: Mapping[str, Any]) -> Controller:
+    try:
+        if kind == "step":
+            return StepController(target, step=int(options.get("step", 1)))
+        if kind == "proportional":
+            return ProportionalStepController(
+                target,
+                gain=float(options.get("gain", 1.0)),
+                max_step=int(options.get("max_step", 4)),
+            )
+        if kind == "pid":
+            return PIDController(
+                target,
+                kp=float(options.get("kp", 1.0)),
+                ki=float(options.get("ki", 0.2)),
+                kd=float(options.get("kd", 0.0)),
+                base_output=float(options.get("base_output", 1.0)),
+                minimum_output=float(options.get("minimum_output", 1.0)),
+                maximum_output=float(options.get("maximum_output", 64.0)),
+            )
+        if kind == "ladder":
+            if "levels" not in options:
+                raise SpecError("ladder controller needs 'levels'")
+            return LadderController(
+                target,
+                levels=int(options["levels"]),
+                initial_level=int(options.get("initial_level", 0)),
+                climb_margin=float(options.get("climb_margin", 0.25)),
+            )
+    except (TypeError, ValueError) as exc:
+        if isinstance(exc, SpecError):
+            raise
+        raise SpecError(f"invalid {kind} controller options {dict(options)!r}: {exc}") from exc
+    raise SpecError(f"unknown controller kind {kind!r}; choose from {_CONTROLLER_KINDS}")
+
+
+def _log_actuator_factory(name: str, reading: MonitorReading, options: Mapping[str, Any]) -> Actuator:
+    bounds = options.get("bounds", (-math.inf, math.inf))
+    return LogActuator(
+        initial=float(options.get("initial", 0.0)),
+        bounds=(float(bounds[0]), float(bounds[1])),
+        step=float(options.get("step", 1.0)),
+    )
+
+
+#: Actuator factories every spec can name without registering anything.
+BUILTIN_ACTUATORS: dict[str, ActuatorFactory] = {"log": _log_actuator_factory}
+
+
+@dataclass(frozen=True, slots=True)
+class LoopSpec:
+    """One loop rule: which streams, which goal, which controller and knob."""
+
+    #: ``fnmatch`` pattern over stream names (``vm-*``, ``enc-??``, ...).
+    match: str
+    #: Actuator factory name resolved at build time (``log`` is built in).
+    actuator: str = "log"
+    #: Controller kind (one of ``step``/``proportional``/``pid``/``ladder``).
+    controller: str = "step"
+    #: Extra controller constructor options (gain, levels, kp, ...).
+    controller_options: Mapping[str, Any] = field(default_factory=dict)
+    #: ``(minimum, maximum)`` target window, or ``None`` to adopt the window
+    #: each matched stream published itself (``"published"`` in files).
+    target: tuple[float, float] | None = None
+    #: Beats (engine ticks) between decisions.
+    decision_interval: int = 1
+    #: Beats before the first decision.  The spec layer defaults to 0 —
+    #: decide as soon as the stream has a measurable rate — since engines
+    #: already gate stepping on ``min_beats``; ``None`` defers to
+    #: ``decision_interval`` (the bare :class:`ControlLoop` default).
+    warmup: int | None = 0
+    #: Options handed to the actuator factory.
+    actuator_options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.match:
+            raise SpecError("loop spec needs a non-empty 'match' pattern")
+        if self.controller not in _CONTROLLER_KINDS:
+            raise SpecError(
+                f"unknown controller kind {self.controller!r}; choose from {_CONTROLLER_KINDS}"
+            )
+        if self.decision_interval < 1:
+            raise SpecError(f"decision_interval must be >= 1, got {self.decision_interval}")
+        if self.controller == "ladder" and "levels" not in self.controller_options:
+            # Fail at parse time, not when the first stream matches.
+            raise SpecError(f"loop {self.match!r}: ladder controller needs 'levels'")
+
+    def matches(self, name: str) -> bool:
+        return fnmatch.fnmatchcase(name, self.match)
+
+    def resolve_target(self, reading: MonitorReading) -> TargetWindow | None:
+        """The loop's goal for one stream; ``None`` when nothing usable is published.
+
+        A malformed published window (inverted, or a negative minimum — the
+        producer-side API forbids both, but the wire path does not validate)
+        is treated exactly like "no goal yet": the stream stays unmanaged
+        rather than poisoning the whole engine tick.
+        """
+        if self.target is not None:
+            return TargetWindow(float(self.target[0]), float(self.target[1]))
+        tmin, tmax = reading.target_min, reading.target_max
+        if tmin <= 0.0 and tmax <= 0.0:
+            return None
+        maximum = tmax if tmax > 0.0 else math.inf
+        minimum = max(tmin, 0.0)
+        if maximum < minimum:
+            return None
+        return TargetWindow(minimum, maximum)
+
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, Any]) -> "LoopSpec":
+        known = {
+            "match", "actuator", "controller", "target",
+            "decision_interval", "warmup", "actuator_options",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(f"unknown loop spec keys {sorted(unknown)}; known: {sorted(known)}")
+        if "match" not in data:
+            raise SpecError("loop spec needs a 'match' pattern")
+        controller = data.get("controller", {"kind": "step"})
+        if isinstance(controller, str):
+            controller = {"kind": controller}
+        if not isinstance(controller, Mapping) or "kind" not in controller:
+            raise SpecError(f"loop controller must be a kind name or a table with 'kind', got {controller!r}")
+        options = {k: v for k, v in controller.items() if k != "kind"}
+        target = data.get("target", "published")
+        if isinstance(target, str):
+            if target != "published":
+                raise SpecError(f"target must be [min, max] or 'published', got {target!r}")
+            resolved: tuple[float, float] | None = None
+        else:
+            try:
+                low, high = target
+                resolved = (float(low), float(high))
+            except (TypeError, ValueError) as exc:
+                raise SpecError(f"target must be [min, max] or 'published', got {target!r}") from exc
+        warmup = data.get("warmup", 0)
+        return cls(
+            match=str(data["match"]),
+            actuator=str(data.get("actuator", "log")),
+            controller=str(controller["kind"]),
+            controller_options=options,
+            target=resolved,
+            decision_interval=int(data.get("decision_interval", 1)),
+            warmup=None if warmup is None else int(warmup),
+            actuator_options=dict(data.get("actuator_options", {})),
+        )
+
+
+class AdaptSpec:
+    """A whole adaptation-engine description: engine knobs plus loop rules.
+
+    Streams are matched against the loop rules in order; the first matching
+    rule wins, so specific patterns go before catch-alls.
+    """
+
+    def __init__(
+        self,
+        loops: Sequence[LoopSpec],
+        *,
+        window: int = 0,
+        liveness_timeout: float | None = None,
+        num_shards: int = 1,
+        interval: float = 1.0,
+        min_beats: int = 2,
+    ) -> None:
+        if not loops:
+            raise SpecError("an adaptation spec needs at least one [[loops]] entry")
+        if interval <= 0:
+            raise SpecError(f"engine interval must be positive, got {interval}")
+        self.loops = tuple(loops)
+        self.window = int(window)
+        self.liveness_timeout = liveness_timeout
+        self.num_shards = int(num_shards)
+        self.interval = float(interval)
+        self.min_beats = int(min_beats)
+
+    # ------------------------------------------------------------------ #
+    # Parsing
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AdaptSpec":
+        unknown = set(data) - {"engine", "loops"}
+        if unknown:
+            raise SpecError(f"unknown spec sections {sorted(unknown)}; known: ['engine', 'loops']")
+        engine = data.get("engine", {})
+        if not isinstance(engine, Mapping):
+            raise SpecError(f"'engine' must be a table, got {type(engine).__name__}")
+        known_engine = {"window", "liveness_timeout", "num_shards", "interval", "min_beats"}
+        unknown = set(engine) - known_engine
+        if unknown:
+            raise SpecError(f"unknown engine keys {sorted(unknown)}; known: {sorted(known_engine)}")
+        raw_loops = data.get("loops", [])
+        if not isinstance(raw_loops, Sequence) or isinstance(raw_loops, (str, bytes)):
+            raise SpecError("'loops' must be an array of loop tables")
+        loops = [LoopSpec.from_mapping(entry) for entry in raw_loops]
+        timeout = engine.get("liveness_timeout")
+        return cls(
+            loops,
+            window=int(engine.get("window", 0)),
+            liveness_timeout=None if timeout is None else float(timeout),
+            num_shards=int(engine.get("num_shards", 1)),
+            interval=float(engine.get("interval", 1.0)),
+            min_beats=int(engine.get("min_beats", 2)),
+        )
+
+    @classmethod
+    def from_toml(cls, text: str) -> "AdaptSpec":
+        """Parse a TOML spec (requires Python 3.11+ for :mod:`tomllib`)."""
+        try:
+            import tomllib
+        except ModuleNotFoundError as exc:  # pragma: no cover - py3.10 only
+            raise SpecError(
+                "TOML specs need Python 3.11+ (tomllib); use a JSON spec or AdaptSpec.from_dict"
+            ) from exc
+        try:
+            return cls.from_dict(tomllib.loads(text))
+        except tomllib.TOMLDecodeError as exc:
+            raise SpecError(f"invalid TOML: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "AdaptSpec":
+        try:
+            return cls.from_dict(json.loads(text))
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"invalid JSON: {exc}") from exc
+
+    @classmethod
+    def from_file(cls, path: Union[str, os.PathLike[str]]) -> "AdaptSpec":
+        """Load a spec file: ``.toml`` via tomllib, anything else as JSON."""
+        path = os.fspath(path)
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        if path.endswith(".toml"):
+            return cls.from_toml(text)
+        return cls.from_json(text)
+
+    # ------------------------------------------------------------------ #
+    # Building
+    # ------------------------------------------------------------------ #
+    def rule_for(self, name: str) -> LoopSpec | None:
+        """The first loop rule matching ``name``, if any."""
+        for rule in self.loops:
+            if rule.matches(name):
+                return rule
+        return None
+
+    def loop_factory(
+        self, actuators: Mapping[str, ActuatorFactory] | None = None
+    ) -> LoopFactory:
+        """The engine loop factory implied by this spec.
+
+        ``actuators`` maps spec actuator names to factories; built-ins
+        (``log``) are always available but can be overridden.
+        """
+        registry = dict(BUILTIN_ACTUATORS)
+        if actuators:
+            registry.update(actuators)
+        for rule in self.loops:
+            if rule.actuator not in registry:
+                raise SpecError(
+                    f"loop {rule.match!r} names unknown actuator {rule.actuator!r}; "
+                    f"available: {sorted(registry)}"
+                )
+
+        def factory(name: str, reading: MonitorReading) -> ControlLoop | None:
+            rule = self.rule_for(name)
+            if rule is None:
+                return None
+            target = rule.resolve_target(reading)
+            if target is None:
+                return None  # no goal yet; the engine re-offers the stream later
+            controller = _build_controller(rule.controller, target, rule.controller_options)
+            actuator = registry[rule.actuator](name, reading, rule.actuator_options)
+            return ControlLoop(
+                None,
+                controller,
+                actuator,
+                name=name,
+                decision_interval=rule.decision_interval,
+                warmup=rule.warmup,
+            )
+
+        return factory
+
+    def build_engine(
+        self,
+        *,
+        aggregator: HeartbeatAggregator | None = None,
+        clock: Clock | None = None,
+        actuators: Mapping[str, ActuatorFactory] | None = None,
+        step_stalled: bool = False,
+    ) -> AdaptationEngine:
+        """Assemble the engine (creating an aggregator unless one is passed)."""
+        if aggregator is None:
+            aggregator = HeartbeatAggregator(
+                clock=clock,
+                window=self.window,
+                liveness_timeout=self.liveness_timeout,
+                num_shards=self.num_shards,
+            )
+        return AdaptationEngine(
+            aggregator,
+            self.loop_factory(actuators),
+            min_beats=self.min_beats,
+            step_stalled=step_stalled,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AdaptSpec(loops={[rule.match for rule in self.loops]}, interval={self.interval})"

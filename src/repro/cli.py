@@ -1,7 +1,7 @@
 """Command-line interface: ``python -m repro``.
 
-Two subcommands wrap the networked-telemetry subsystem so a fleet can be
-collected and watched without writing any code:
+Three subcommands wrap the telemetry and adaptation subsystems so a fleet
+can be collected, watched and (dry-run) adapted without writing any code:
 
 ``collect``
     Run a :class:`repro.net.collector.HeartbeatCollector` and periodically
@@ -15,7 +15,14 @@ collected and watched without writing any code:
     additionally attach local shared-memory segments and heartbeat log
     files, so one table can mix remote and same-host streams.
 
-Both commands are bounded by ``--duration`` (handy for tests and demos) and
+``adapt``
+    Drive a declarative :class:`repro.adapt.AdaptSpec` over the observed
+    streams (same attachment flags as ``watch``).  Spec loops bind to the
+    built-in advisory ``log`` actuator, so the command shows the decisions
+    the controllers *would* take against the live fleet — the dry run an
+    operator does before wiring real knobs to the engine in code.
+
+All commands are bounded by ``--duration`` (handy for tests and demos) and
 exit cleanly on Ctrl-C.
 """
 
@@ -27,6 +34,8 @@ import sys
 import time
 from typing import Sequence
 
+from repro.adapt.engine import AdaptationEngine, EngineTick
+from repro.adapt.spec import AdaptSpec, SpecError
 from repro.clock import WallClock
 from repro.core.aggregator import FleetSample, HeartbeatAggregator
 from repro.core.errors import HeartbeatError
@@ -99,6 +108,47 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     watch.add_argument("--window", type=int, default=0, help="rate window (0: producer default)")
     watch.add_argument("--once", action="store_true", help="print one table and exit")
+
+    adapt = sub.add_parser(
+        "adapt",
+        help="drive a declarative adaptation spec over observed streams (advisory actuators)",
+    )
+    adapt.add_argument(
+        "--spec",
+        required=True,
+        metavar="PATH",
+        help="adaptation spec file (.toml on Python 3.11+, or JSON)",
+    )
+    adapt.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="run a collector at this address and adapt its producers (port 0 for ephemeral)",
+    )
+    adapt.add_argument(
+        "--shm",
+        action="append",
+        default=[],
+        metavar="SEGMENT",
+        help="attach a shared-memory heartbeat segment (repeatable)",
+    )
+    adapt.add_argument(
+        "--file",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="attach a heartbeat log file (repeatable)",
+    )
+    adapt.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        help="seconds between engine ticks (default: the spec's engine.interval)",
+    )
+    adapt.add_argument(
+        "--duration", type=float, default=None, help="stop after this many seconds"
+    )
+    adapt.add_argument("--once", action="store_true", help="run one tick and exit")
     return parser
 
 
@@ -225,6 +275,92 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _tick_line(tick: EngineTick, engine: AdaptationEngine) -> str:
+    """One engine tick as a summary line (the adapt command's heartbeat)."""
+    parts = [
+        f"tick={tick.index}",
+        f"streams={len(tick.sample)}",
+        f"loops={len(engine.loops)}",
+        f"decisions={tick.decisions}",
+        f"changed={tick.changes}",
+        f"lagging={len(engine.lagging(tick.sample))}",
+    ]
+    if tick.attached:
+        parts.append(f"attached={','.join(tick.attached)}")
+    if tick.detached:
+        parts.append(f"detached={','.join(tick.detached)}")
+    if tick.sample.errors:
+        parts.append(f"errors={len(tick.sample.errors)}")
+    if tick.errors:
+        parts.append(f"loop_errors={len(tick.errors)}")
+    return " ".join(parts)
+
+
+def _loop_table(engine: AdaptationEngine) -> str:
+    """Final per-loop report: knob values and last observations."""
+    lines = [f"{'loop':<24} {'value':>9} {'target':>17} {'rate':>10} {'decisions':>9}"]
+    for name, loop in sorted(engine.loops.items()):
+        trace = loop.last_trace
+        rate = f"{trace.observed_rate:10.2f}" if trace is not None else f"{'-':>10}"
+        target = f"[{loop.target.minimum:.1f}, {loop.target.maximum:.1f}]"
+        lines.append(
+            f"{name:<24} {loop.actuator.current():>9.2f} {target:>17} {rate} {len(loop.traces):>9d}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    if args.listen is None and not args.shm and not args.file:
+        _emit("adapt: nothing to adapt — pass --listen, --shm and/or --file", stream=sys.stderr)
+        return 2
+    try:
+        spec = AdaptSpec.from_file(args.spec)
+    except (OSError, SpecError) as exc:
+        _emit(f"cannot load adaptation spec {args.spec!r}: {exc}", stream=sys.stderr)
+        return 2
+    collector: HeartbeatCollector | None = None
+    engine = spec.build_engine(clock=WallClock(rebase=False))
+    aggregator = engine.aggregator
+    try:
+        if args.listen is not None:
+            host, port = parse_address(args.listen)
+            collector = HeartbeatCollector(host, port)
+            _emit(f"collector listening on {collector.endpoint}")
+            engine.attach_collector(collector)
+        for segment in args.shm:
+            try:
+                aggregator.attach_shared_memory(f"shm:{segment}", segment)
+            except HeartbeatError as exc:
+                _emit(f"cannot attach shared-memory segment {segment!r}: {exc}", stream=sys.stderr)
+                return 1
+        for path in args.file:
+            try:
+                aggregator.attach_file(f"file:{os.path.basename(path)}", path)
+            except HeartbeatError as exc:
+                _emit(f"cannot attach heartbeat log {path!r}: {exc}", stream=sys.stderr)
+                return 1
+        _emit(
+            f"adaptation engine: {len(spec.loops)} loop rule(s), advisory actuators "
+            f"(decisions are logged, not applied)"
+        )
+
+        def tick() -> None:
+            _emit(_tick_line(engine.tick(), engine))
+
+        if args.once:
+            tick()
+        else:
+            interval = args.interval if args.interval is not None else spec.interval
+            _run_loop(args.duration, interval, tick)
+        if engine.loops:
+            _emit(_loop_table(engine))
+    finally:
+        engine.close(close_aggregator=True)
+        if collector is not None:
+            collector.close()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -232,6 +368,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_collect(args)
         if args.command == "watch":
             return _cmd_watch(args)
+        if args.command == "adapt":
+            return _cmd_adapt(args)
     except BrokenPipeError:
         # Downstream pipe closed (e.g. `repro collect | head`): exit quietly
         # the way any well-behaved CLI does, with stdout pointed at devnull

@@ -14,7 +14,7 @@ exercised end to end:
   abstraction every other observer uses) and migrates, scales and consolidates.
 """
 
-from repro.cloud.balancer import BalancerAction, HeartbeatLoadBalancer
+from repro.cloud.balancer import BalancerAction, HeartbeatLoadBalancer, VMPlacementActuator
 from repro.cloud.cluster import CloudCluster, CloudNode, CloudVM
 
 __all__ = [
@@ -23,4 +23,5 @@ __all__ = [
     "CloudCluster",
     "HeartbeatLoadBalancer",
     "BalancerAction",
+    "VMPlacementActuator",
 ]

@@ -17,10 +17,13 @@ Implements the three Section-2.6 behaviours on a :class:`CloudCluster`:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
+from repro.adapt.loop import ControlLoop
 from repro.clock import Clock
 from repro.cloud.cluster import CloudCluster, CloudNode, CloudVM
+from repro.control import ControlDecision, StepController, TargetWindow
 from repro.core.aggregator import (
     CollectorLike,
     FleetSample,
@@ -28,7 +31,7 @@ from repro.core.aggregator import (
     collector_stream_sources,
 )
 
-__all__ = ["BalancerAction", "HeartbeatLoadBalancer"]
+__all__ = ["BalancerAction", "VMPlacementActuator", "HeartbeatLoadBalancer"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -45,6 +48,46 @@ class BalancerAction:
 def _stream_name(vm: CloudVM) -> str:
     """Aggregator stream name for one VM's heartbeat."""
     return f"vm-{vm.vm_id}"
+
+
+class VMPlacementActuator:
+    """Placement knob for one VM: a positive delta asks for a better node.
+
+    The "value" of the knob is the VM's current node id; ``apply`` migrates
+    the VM to the node with the most spare capacity when that node offers
+    strictly more headroom than the current host (the Section-2.6 rule: "as
+    the heart rate decreases, the load balancer would shift traffic to a
+    different server").  Negative deltas are ignored — fast VMs are handled
+    by the balancer's consolidation pass, which needs the whole fleet's
+    state, not one VM's.
+    """
+
+    def __init__(self, balancer: "HeartbeatLoadBalancer", vm: CloudVM) -> None:
+        self._balancer = balancer
+        self._vm = vm
+
+    @property
+    def bounds(self) -> tuple[float, float]:
+        """Node ids are nominal, not ordered; the knob is unbounded."""
+        return (-math.inf, math.inf)
+
+    def current(self) -> float:
+        return float(self._vm.node_id) if self._vm.node_id is not None else -1.0
+
+    def apply(self, decision: ControlDecision, *, beat: int = -1) -> float:
+        if not decision.delta or decision.delta <= 0:
+            return self.current()
+        vm = self._vm
+        if vm.node_id is None:
+            return self.current()
+        balancer = self._balancer
+        candidate = balancer._best_node(exclude={vm.node_id})
+        if candidate is None:
+            return self.current()
+        current_node = balancer.cluster.nodes[vm.node_id]
+        if balancer._spare_capacity(candidate) > balancer._spare_capacity(current_node):
+            balancer.cluster.place(vm.vm_id, candidate.node_id)
+        return self.current()
 
 
 class HeartbeatLoadBalancer:
@@ -105,6 +148,9 @@ class HeartbeatLoadBalancer:
         )
         self._expected: set[str] = set()
         self._last_sample: FleetSample | None = None
+        #: Per-VM slow-handling loops (StepController → VMPlacementActuator),
+        #: created lazily and pruned as VMs leave the cluster.
+        self._slow_loops: dict[int, ControlLoop] = {}
 
     # ------------------------------------------------------------------ #
     # Observation
@@ -229,8 +275,34 @@ class HeartbeatLoadBalancer:
                 )
         return actions
 
+    def _slow_loop_for(self, vm: CloudVM) -> ControlLoop:
+        """The VM's slow-handling control loop (lazily created).
+
+        One :class:`~repro.adapt.loop.ControlLoop` per VM: a
+        :class:`StepController` against ``[target_min, inf)`` — only "too
+        slow" triggers a placement request — driving a
+        :class:`VMPlacementActuator`.  The balancer feeds the fleet sample's
+        observed rate in, so the whole fleet still costs one sharded poll.
+        """
+        loop = self._slow_loops.get(vm.vm_id)
+        if loop is None:
+            loop = ControlLoop(
+                None,
+                StepController(TargetWindow(vm.target_min, math.inf)),
+                VMPlacementActuator(self, vm),
+                name=_stream_name(vm),
+                decision_interval=1,
+                warmup=0,
+            )
+            self._slow_loops[vm.vm_id] = loop
+        return loop
+
     def _handle_slow_vms(self, fleet: FleetSample) -> list[BalancerAction]:
         actions: list[BalancerAction] = []
+        if len(self._slow_loops) > len(self.cluster.vms):
+            self._slow_loops = {
+                vm_id: loop for vm_id, loop in self._slow_loops.items() if vm_id in self.cluster.vms
+            }
         for vm in self.cluster.vms.values():
             if not vm.placed:
                 target = self._best_node()
@@ -249,25 +321,18 @@ class HeartbeatLoadBalancer:
             reading = fleet.get(_stream_name(vm))
             if reading is None or reading.total_beats < 2:
                 continue
-            rate = reading.rate
-            if rate >= vm.target_min:
-                continue
-            # Below target: find a node with more headroom than the current one.
-            current = vm.node_id
-            candidate = self._best_node(exclude={current})
-            if candidate is None:
-                continue
-            if self._spare_capacity(candidate) > self._spare_capacity(
-                self.cluster.nodes[current]
-            ):
-                self.cluster.place(vm.vm_id, candidate.node_id)
+            trace = self._slow_loop_for(vm).step(rate=reading.rate)
+            if trace is not None and trace.changed:
                 actions.append(
                     BalancerAction(
                         kind="migrate",
                         vm_id=vm.vm_id,
-                        from_node=current,
-                        to_node=candidate.node_id,
-                        reason=f"heart rate {rate:.2f} below target minimum {vm.target_min:.2f}",
+                        from_node=int(trace.before),
+                        to_node=int(trace.after),
+                        reason=(
+                            f"heart rate {trace.observed_rate:.2f} below target "
+                            f"minimum {vm.target_min:.2f}"
+                        ),
                     )
                 )
         return actions
@@ -339,6 +404,7 @@ class HeartbeatLoadBalancer:
         """Release the fleet aggregator (idempotent)."""
         self._aggregator.close()
         self._last_sample = None
+        self._slow_loops.clear()
 
     # ------------------------------------------------------------------ #
     # Helpers

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass
 
 __all__ = ["TargetWindow", "ControlDecision", "Controller"]
@@ -72,14 +73,32 @@ class ControlDecision:
 
 
 class Controller(abc.ABC):
-    """Maps an observed heart rate to an actuator adjustment."""
+    """Maps an observed heart rate to an actuator adjustment.
+
+    Subclasses implement :meth:`_decide`; the public :meth:`decide` wraps it
+    with the shared non-finite guard, so a NaN from a stalled or torn rate
+    query (or an infinity from a degenerate timestamp span) can never reach a
+    controller's arithmetic — it yields a no-op decision instead of
+    propagating through integrators into actuator deltas.
+    """
 
     def __init__(self, target: TargetWindow) -> None:
         self.target = target
 
-    @abc.abstractmethod
     def decide(self, rate: float) -> ControlDecision:
-        """Return the adjustment for the current observation."""
+        """Return the adjustment for the current observation.
+
+        Non-finite readings (``nan`` from a stalled stream, ``±inf``) are
+        treated as "no usable observation this round" and produce a no-op
+        decision without touching any controller state.
+        """
+        if not math.isfinite(rate):
+            return ControlDecision()
+        return self._decide(rate)
+
+    @abc.abstractmethod
+    def _decide(self, rate: float) -> ControlDecision:
+        """Map a finite observed rate to an adjustment (subclass hook)."""
 
     def reset(self) -> None:
         """Clear any internal state (integrators, velocity terms, ...)."""

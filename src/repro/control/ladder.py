@@ -71,7 +71,7 @@ class LadderController(Controller):
         self.climb_margin = float(climb_margin)
         self._rejected: set[int] = set()
 
-    def decide(self, rate: float) -> ControlDecision:
+    def _decide(self, rate: float) -> ControlDecision:
         """Return the ladder *delta* (+1 = drop quality, -1 = raise quality)."""
         if self.target.below(rate):
             self._rejected.add(self.level)

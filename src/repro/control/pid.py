@@ -45,11 +45,17 @@ class PIDController(Controller):
         self._integral = 0.0
         self._previous_error: float | None = None
 
-    def decide(self, rate: float) -> ControlDecision:
+    def _decide(self, rate: float) -> ControlDecision:
         # Error is positive when the application is too slow (needs more of
         # the actuator), matching the sign convention of the step controllers.
         setpoint = self.target.midpoint
         error = (setpoint - rate) / setpoint if setpoint > 0 else 0.0
+        if error == 0.0 and self._integral == 0.0 and not self._previous_error:
+            # No error and no accumulated correction: the controller has no
+            # opinion, so the actuator is left wherever it is rather than
+            # being yanked to the base output.
+            self._previous_error = 0.0
+            return ControlDecision()
         self._integral += error
         derivative = 0.0 if self._previous_error is None else error - self._previous_error
         self._previous_error = error

@@ -30,7 +30,7 @@ class StepController(Controller):
             raise ValueError(f"step must be >= 1, got {step}")
         self.step = int(step)
 
-    def decide(self, rate: float) -> ControlDecision:
+    def _decide(self, rate: float) -> ControlDecision:
         if self.target.below(rate):
             return ControlDecision(delta=self.step)
         if self.target.above(rate):
@@ -63,7 +63,7 @@ class ProportionalStepController(Controller):
         self.gain = float(gain)
         self.max_step = int(max_step)
 
-    def decide(self, rate: float) -> ControlDecision:
+    def _decide(self, rate: float) -> ControlDecision:
         error = self.target.error(rate)
         if error == 0.0:
             return ControlDecision(delta=0)

@@ -24,6 +24,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.adapt.actuator import LadderActuator
+from repro.adapt.loop import ControlLoop
 from repro.clock import SimulatedClock
 from repro.control import DecisionSpacer, LadderController, TargetWindow
 from repro.core.heartbeat import Heartbeat
@@ -106,8 +108,22 @@ class AdaptiveEncoder:
             levels=len(PRESET_LADDER),
             initial_level=initial_level,
         )
-        self.spacer = DecisionSpacer(check_interval)
         self.check_interval = int(check_interval)
+        #: The unified adaptation loop: heartbeat source → ladder controller
+        #: → preset actuator.  The encoder is the paper's *internal* adapter,
+        #: so the loop's source is its own heartbeat, windowed to the check
+        #: interval exactly like the legacy self-check.
+        self.loop = ControlLoop(
+            lambda window=None: self.heartbeat.current_rate(self.check_interval),
+            self.controller,
+            LadderActuator(
+                levels=len(PRESET_LADDER),
+                initial_level=initial_level,
+                on_change=self._apply_level,
+            ),
+            name="adaptive-encoder",
+            decision_interval=self.check_interval,
+        )
         self.work_rate = float(work_rate) if work_rate is not None else None
         self.adaptive = bool(adaptive)
         self.records: list[AdaptiveFrameRecord] = []
@@ -123,8 +139,17 @@ class AdaptiveEncoder:
         return self.controller.level
 
     @property
+    def spacer(self) -> DecisionSpacer:
+        """The loop's decision spacer (legacy accessor)."""
+        return self.loop.spacer
+
+    @property
     def frames_encoded(self) -> int:
         return self.encoder.frames_encoded
+
+    def _apply_level(self, level: int) -> None:
+        """Actuator hook: swap the encoder onto the new preset level."""
+        self.encoder.settings = preset(level)
 
     # ------------------------------------------------------------------ #
     # Encoding
@@ -137,12 +162,9 @@ class AdaptiveEncoder:
         self._account_time(result.work)
         self.heartbeat.heartbeat(tag=index)
         adapted = False
-        if self.adaptive and self.spacer.should_decide(index):
-            rate = self.heartbeat.current_rate(self.check_interval)
-            decision = self.controller.decide(rate)
-            if not decision.is_noop:
-                self.encoder.settings = preset(self.controller.level)
-                adapted = True
+        if self.adaptive:
+            trace = self.loop.step(index)
+            adapted = trace is not None and not trace.decision.is_noop
         record = AdaptiveFrameRecord(
             frame_index=index,
             level=self.controller.level,

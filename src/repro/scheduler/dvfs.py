@@ -7,13 +7,23 @@ fast enough to meet the application's published goal and no faster, saving
 energy whenever there is headroom.  :class:`DVFSGovernor` implements that
 observer against the simulated machine — it is the frequency-domain analogue
 of the core-allocation scheduler and composes with the same execution engine.
+
+.. deprecated::
+    This class is now a facade over the unified adaptation runtime: a
+    :class:`repro.adapt.ControlLoop` (exposed as :attr:`loop`) binds the
+    monitor to a :class:`~repro.control.step.StepController` and a
+    :class:`repro.adapt.FrequencyActuator` over the discrete ladder.  New
+    code should compose those directly — see the README's migration table.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
-from repro.control import DecisionSpacer, TargetWindow
+from repro.adapt.actuator import FrequencyActuator
+from repro.adapt.loop import ControlLoop
+from repro.control import DecisionSpacer, StepController, TargetWindow
 from repro.core.monitor import HeartbeatMonitor
 from repro.sim.engine import ExecutionEngine
 from repro.sim.machine import SimulatedMachine
@@ -21,10 +31,19 @@ from repro.sim.process import SimulatedProcess
 
 __all__ = ["DVFSDecisionRecord", "DVFSGovernor"]
 
+_DEPRECATION = (
+    "DVFSGovernor is a deprecated facade: compose repro.adapt.ControlLoop "
+    "with a FrequencyActuator instead (see the README 'Adaptation runtime' section)"
+)
+
 
 @dataclass(frozen=True, slots=True)
 class DVFSDecisionRecord:
-    """One governor observation/decision."""
+    """One governor observation/decision (legacy record shape).
+
+    Superseded by :class:`repro.adapt.DecisionTrace`; kept so existing
+    energy-proxy analyses read unchanged.
+    """
 
     beat: int
     observed_rate: float
@@ -67,6 +86,7 @@ class DVFSGovernor:
         decision_interval: int = 5,
         rate_window: int = 0,
     ) -> None:
+        warnings.warn(_DEPRECATION, DeprecationWarning, stacklevel=2)
         if not frequencies or any(f <= 0 for f in frequencies):
             raise ValueError("frequencies must be a non-empty tuple of positive values")
         if decision_interval < 1:
@@ -82,19 +102,33 @@ class DVFSGovernor:
                 )
             target = TargetWindow(tmin, tmax)
         self.target = target
-        self.frequencies = tuple(sorted(frequencies))
-        self._level = len(self.frequencies) - 1  # start at nominal frequency
-        self.spacer = DecisionSpacer(decision_interval)
+        #: Starts at nominal frequency and applies it to the machine, exactly
+        #: like the pre-facade governor did.
+        self.actuator = FrequencyActuator(machine, frequencies, apply_initial=True)
+        self.frequencies = self.actuator.frequencies
         self.rate_window = int(rate_window)
+        #: The unified adaptation loop doing the actual work.
+        self.loop = ControlLoop(
+            monitor,
+            StepController(target),
+            self.actuator,
+            name="dvfs-governor",
+            decision_interval=decision_interval,
+            rate_window=rate_window,
+        )
         self.decisions: list[DVFSDecisionRecord] = []
-        self.machine.set_frequency(self.current_frequency)
+
+    @property
+    def spacer(self) -> DecisionSpacer:
+        """The loop's decision spacer (legacy accessor)."""
+        return self.loop.spacer
 
     # ------------------------------------------------------------------ #
     # State
     # ------------------------------------------------------------------ #
     @property
     def current_frequency(self) -> float:
-        return self.frequencies[self._level]
+        return self.actuator.frequency
 
     def mean_frequency(self) -> float:
         """Average frequency over all decisions taken (energy proxy)."""
@@ -107,22 +141,14 @@ class DVFSGovernor:
     # ------------------------------------------------------------------ #
     def observe_and_act(self, beat_index: int) -> DVFSDecisionRecord | None:
         """Poll the monitor and, if due, step the frequency up or down."""
-        if not self.spacer.should_decide(beat_index):
+        trace = self.loop.step(beat_index)
+        if trace is None:
             return None
-        rate = self.monitor.current_rate(self.rate_window or None)
-        before = self.current_frequency
-        if self.target.below(rate) and self._level < len(self.frequencies) - 1:
-            self._level += 1
-        elif self.target.above(rate) and self._level > 0:
-            self._level -= 1
-        after = self.current_frequency
-        if after != before:
-            self.machine.set_frequency(after)
         record = DVFSDecisionRecord(
-            beat=beat_index,
-            observed_rate=rate,
-            frequency_before=before,
-            frequency_after=after,
+            beat=trace.beat,
+            observed_rate=trace.observed_rate,
+            frequency_before=trace.before,
+            frequency_after=trace.after,
         )
         self.decisions.append(record)
         return record

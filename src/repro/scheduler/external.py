@@ -11,13 +11,25 @@ entire view of the world is the heartbeat stream, which is the paper's whole
 point: "the decisions the scheduler makes are based directly on the
 application's performance instead of being based on priority or some other
 indirect measure."
+
+.. deprecated::
+    This class is now a facade over the unified adaptation runtime: it wires
+    its monitor, policy and allocator into a
+    :class:`repro.adapt.ControlLoop` (exposed as :attr:`loop`) with a
+    :class:`repro.adapt.CoreActuator`, and only converts the loop's uniform
+    :class:`~repro.adapt.DecisionTrace` records into the legacy
+    :class:`SchedulerDecisionRecord` shape.  New code should compose a
+    ``ControlLoop`` directly — see the README's migration table.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
-from repro.control import DecisionSpacer, TargetWindow
+from repro.adapt.actuator import CoreActuator
+from repro.adapt.loop import ControlLoop
+from repro.control import ControlDecision, Controller, DecisionSpacer, TargetWindow
 from repro.core.monitor import HeartbeatMonitor
 from repro.scheduler.allocator import CoreAllocator
 from repro.scheduler.policies import AllocationPolicy, MinimizeCoresPolicy
@@ -26,10 +38,19 @@ from repro.sim.process import SimulatedProcess
 
 __all__ = ["SchedulerDecisionRecord", "ExternalScheduler"]
 
+_DEPRECATION = (
+    "ExternalScheduler is a deprecated facade: compose repro.adapt.ControlLoop "
+    "with a CoreActuator instead (see the README 'Adaptation runtime' section)"
+)
+
 
 @dataclass(frozen=True, slots=True)
 class SchedulerDecisionRecord:
-    """One scheduler observation/decision."""
+    """One scheduler observation/decision (legacy record shape).
+
+    Superseded by :class:`repro.adapt.DecisionTrace`; kept so existing
+    experiment figures and analyses read unchanged.
+    """
 
     beat: int
     observed_rate: float
@@ -39,6 +60,27 @@ class SchedulerDecisionRecord:
     @property
     def changed(self) -> bool:
         return self.cores_after != self.cores_before
+
+
+class _PolicyController(Controller):
+    """Adapts an :class:`AllocationPolicy` to the :class:`Controller` surface.
+
+    Policies speak in absolute core counts given the current allocation, so
+    the adapter reads the allocator and emits an absolute-value decision the
+    :class:`~repro.adapt.CoreActuator` applies verbatim.
+    """
+
+    def __init__(self, target: TargetWindow, policy: AllocationPolicy, allocator: CoreAllocator) -> None:
+        super().__init__(target)
+        self.policy = policy
+        self._allocator = allocator
+
+    def _decide(self, rate: float) -> ControlDecision:
+        requested = self.policy.next_cores(rate, self._allocator.current_cores)
+        return ControlDecision(value=float(requested))
+
+    def reset(self) -> None:
+        self.policy.reset()
 
 
 class ExternalScheduler:
@@ -74,6 +116,7 @@ class ExternalScheduler:
         rate_window: int = 0,
         policy: AllocationPolicy | None = None,
     ) -> None:
+        warnings.warn(_DEPRECATION, DeprecationWarning, stacklevel=2)
         if decision_interval < 1:
             raise ValueError(f"decision_interval must be >= 1, got {decision_interval}")
         self.monitor = monitor
@@ -88,10 +131,23 @@ class ExternalScheduler:
             target = TargetWindow(tmin, tmax)
         self.target = target
         self.policy = policy if policy is not None else MinimizeCoresPolicy(target)
-        self.spacer = DecisionSpacer(decision_interval)
         self.rate_window = int(rate_window)
+        #: The unified adaptation loop doing the actual work.
+        self.loop = ControlLoop(
+            monitor,
+            _PolicyController(target, self.policy, allocator),
+            CoreActuator(allocator),
+            name="external-scheduler",
+            decision_interval=decision_interval,
+            rate_window=rate_window,
+            settle_after_change=True,
+        )
         self.decisions: list[SchedulerDecisionRecord] = []
-        self._last_change_beat: int | None = None
+
+    @property
+    def spacer(self) -> DecisionSpacer:
+        """The loop's decision spacer (legacy accessor)."""
+        return self.loop.spacer
 
     # ------------------------------------------------------------------ #
     # Decision step
@@ -101,37 +157,30 @@ class ExternalScheduler:
 
         Returns the decision record when a decision was taken, else ``None``.
         """
-        if not self.spacer.should_decide(beat_index):
+        trace = self.loop.step(beat_index)
+        if trace is None:
             return None
-        rate = self.monitor.current_rate(self._effective_window(beat_index))
-        before = self.allocator.current_cores
-        requested = self.policy.next_cores(rate, before)
-        after = self.allocator.set_cores(requested, beat=beat_index)
-        if after != before:
-            self._last_change_beat = beat_index
         record = SchedulerDecisionRecord(
-            beat=beat_index, observed_rate=rate, cores_before=before, cores_after=after
+            beat=trace.beat,
+            observed_rate=trace.observed_rate,
+            cores_before=int(trace.before),
+            cores_after=int(trace.after),
         )
         self.decisions.append(record)
         return record
 
-    def _effective_window(self, beat_index: int) -> int | None:
-        """Rate window restricted to beats produced since the last change.
+    @property
+    def _last_change_beat(self) -> int | None:
+        # Legacy private surface, proxied onto the loop (tests poke it).
+        return self.loop._last_change_beat
 
-        Judging a fresh allocation on a window that still contains beats from
-        the previous allocation makes the scheduler chase its own transient
-        and oscillate; restricting the window to post-change beats lets it
-        react quickly right after a change and judge steady state fairly.
-        """
-        window = self.rate_window or None
-        if self._last_change_beat is None:
-            return window
-        since_change = beat_index - self._last_change_beat
-        if since_change < 2:
-            since_change = 2
-        if window is None:
-            return since_change
-        return min(window, since_change)
+    @_last_change_beat.setter
+    def _last_change_beat(self, beat: int | None) -> None:
+        self.loop._last_change_beat = beat
+
+    def _effective_window(self, beat_index: int) -> int | None:
+        """Rate window restricted to beats produced since the last change."""
+        return self.loop._effective_window(beat_index)
 
     # ------------------------------------------------------------------ #
     # Engine integration
@@ -152,6 +201,7 @@ class ExternalScheduler:
     def reset(self) -> None:
         """Forget decision history and controller state."""
         self.decisions.clear()
+        self.loop.traces.clear()
         self.policy.reset()
         self.spacer.reset()
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 import py_compile
@@ -13,6 +14,7 @@ import time
 import pytest
 
 from repro import cli
+from repro.clock import WallClock
 from repro.core.backends import FileBackend
 from repro.core.heartbeat import Heartbeat
 from repro.experiments.runner import available_experiments, main
@@ -143,6 +145,102 @@ class TestTelemetryCLI:
         assert "live-svc" in capsys.readouterr().out
 
 
+class TestAdaptCLI:
+    """`python -m repro adapt` — spec-driven advisory adaptation."""
+
+    def write_spec(self, tmp_path, data=None):
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            json.dumps(
+                data
+                if data is not None
+                else {"loops": [{"match": "*", "controller": "step", "actuator": "log"}]}
+            )
+        )
+        return spec
+
+    def test_adapt_over_a_log_file_dry_runs_decisions(self, tmp_path, capsys):
+        log = tmp_path / "svc.hblog"
+        hb = Heartbeat(window=5, backend=FileBackend(log))
+        hb.set_target_rate(1e6, 2e6)  # unreachably fast: the loop must step up
+        for _ in range(10):
+            hb.heartbeat()
+        hb.finalize()
+        spec = self.write_spec(
+            tmp_path,
+            {"loops": [{"match": "file:*", "target": "published", "actuator": "log"}]},
+        )
+        assert cli.main(["adapt", "--spec", str(spec), "--file", str(log), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "advisory actuators" in out
+        assert "tick=0" in out and "loops=1" in out and "decisions=1" in out
+        assert "file:svc.hblog" in out  # the final per-loop table
+
+    def test_adapt_nothing_to_adapt_errors(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        assert cli.main(["adapt", "--spec", str(spec)]) == 2
+        assert "nothing to adapt" in capsys.readouterr().err
+
+    def test_adapt_rejects_bad_specs(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"loops": [{"match": "x", "controller": "warp"}]}))
+        assert cli.main(["adapt", "--spec", str(bad), "--listen", "127.0.0.1:0"]) == 2
+        assert "cannot load adaptation spec" in capsys.readouterr().err
+        assert cli.main(["adapt", "--spec", str(tmp_path / "absent.json"), "--once"]) == 2
+
+    def test_adapt_with_inline_collector_and_live_producer(self, tmp_path, capsys):
+        spec = self.write_spec(
+            tmp_path,
+            {
+                "engine": {"interval": 0.1},
+                "loops": [{"match": "*", "target": [1e6, 2e6], "actuator": "log"}],
+            },
+        )
+        rc: list[int] = []
+        ready = threading.Event()
+        real_emit = cli._emit
+
+        def emit_and_signal(line: str, *, stream=None) -> None:
+            real_emit(line, stream=stream)
+            if "collector listening on" in line:
+                ready.set()
+                emit_and_signal.port = int(line.rsplit(":", 1)[1])  # type: ignore[attr-defined]
+
+        thread = threading.Thread(
+            target=lambda: rc.append(
+                cli.main(["adapt", "--spec", str(spec), "--listen", "127.0.0.1:0",
+                          "--duration", "1.2", "--interval", "0.1"])
+            ),
+            daemon=True,
+        )
+        cli._emit, undo = emit_and_signal, real_emit
+        try:
+            thread.start()
+            assert ready.wait(timeout=5.0)
+            port = emit_and_signal.port  # type: ignore[attr-defined]
+            backend = NetworkBackend(("127.0.0.1", port), stream="live-svc", flush_interval=0.01)
+            # Remote producers stamp with the collector's time base, like
+            # every other wire producer (see examples/remote_fleet.py);
+            # otherwise liveness reads them as STALLED and nothing is steered.
+            hb = Heartbeat(window=5, backend=backend, clock=WallClock(rebase=False))
+            for _ in range(20):
+                hb.heartbeat()
+                time.sleep(0.005)
+            hb.finalize()
+            thread.join(timeout=10.0)
+        finally:
+            cli._emit = undo
+        assert rc == [0]
+        out = capsys.readouterr().out
+        assert "live-svc" in out
+        assert "loops=1" in out
+        # The unreachable target forces real decisions on the live stream.
+        assert any(
+            line.startswith("tick=") and "decisions=0" not in line
+            for line in out.splitlines()
+        ), out
+
+
 class TestExamples:
     """The examples must at least be importable/compilable as shipped."""
 
@@ -166,7 +264,28 @@ class TestExamples:
             "cross_process_monitor.py",
             "fleet_aggregator.py",
             "remote_fleet.py",
+            "adaptation_engine.py",
         } <= names
+
+    def test_adaptation_engine_example_runs_green(self):
+        """Spec-driven co-adaptation demo at example-default scale.
+
+        (The 1000-stream acceptance run of the same script lives in
+        tests/test_adapt_engine_fleet.py.)
+        """
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+        env.update(ADAPT_FLEET_STREAMS="24", ADAPT_FLEET_TICKS="14")
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "adaptation_engine.py")],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+        assert "adaptation engine demo OK" in result.stdout
+        assert "converged" in result.stdout
 
     def test_remote_fleet_example_runs_green(self):
         """The acceptance demo: subprocess producers → collector → aggregator.

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import importlib
+import math
+import pkgutil
+
 import pytest
 
 from repro.control import (
@@ -12,6 +16,7 @@ from repro.control import (
     StepController,
     TargetWindow,
 )
+from repro.control.base import Controller
 
 
 class TestTargetWindow:
@@ -168,3 +173,108 @@ class TestDecisionSpacer:
             DecisionSpacer(0)
         with pytest.raises(ValueError):
             DecisionSpacer(5, warmup=-1)
+
+
+# --------------------------------------------------------------------- #
+# The controller contract, parametrized over every Controller subclass
+# --------------------------------------------------------------------- #
+#: A bounded window every contract case uses.  The reachable in-window rate
+#: is the midpoint: for PID the midpoint *is* the setpoint (zero error), and
+#: for the ladder it sits below the climb threshold, so "in window" must be
+#: a no-op for every controller.
+CONTRACT_WINDOW = TargetWindow(10.0, 14.0)
+
+#: How to build one of each controller for the contract tests.  Every
+#: Controller subclass defined inside repro.control must have an entry here
+#: (enforced by test_every_control_subclass_is_under_contract), so future
+#: controllers are pulled into the contract automatically.
+CONTROLLER_FACTORIES = {
+    StepController: lambda target: StepController(target),
+    ProportionalStepController: lambda target: ProportionalStepController(target),
+    PIDController: lambda target: PIDController(target),
+    LadderController: lambda target: LadderController(target, levels=6, initial_level=2),
+}
+
+#: A rate sequence that forces direction changes and saturation.
+CONTRACT_SEQUENCE = (1.0, 3.0, 12.0, 25.0, 40.0, 12.0, 2.0, 12.0, 18.0, 12.0)
+
+
+def _control_subclasses() -> list[type]:
+    """Every Controller subclass defined in the repro.control package."""
+    import repro.control as pkg
+
+    for module in pkgutil.iter_modules(pkg.__path__):
+        importlib.import_module(f"repro.control.{module.name}")
+
+    found: list[type] = []
+
+    def walk(cls: type) -> None:
+        for sub in cls.__subclasses__():
+            if sub.__module__.startswith("repro.control."):
+                found.append(sub)
+            walk(sub)
+
+    walk(Controller)
+    return found
+
+
+def _decisions(controller, rates):
+    return [(d.delta, d.value) for d in (controller.decide(r) for r in rates)]
+
+
+class TestControllerContract:
+    def test_every_control_subclass_is_under_contract(self):
+        missing = [cls for cls in _control_subclasses() if cls not in CONTROLLER_FACTORIES]
+        assert not missing, (
+            f"Controller subclasses without a contract factory: {missing}; "
+            "add them to CONTROLLER_FACTORIES so they inherit the contract tests"
+        )
+
+    @pytest.mark.parametrize("cls", CONTROLLER_FACTORIES, ids=lambda c: c.__name__)
+    def test_in_window_rate_is_a_noop(self, cls):
+        controller = CONTROLLER_FACTORIES[cls](CONTRACT_WINDOW)
+        decision = controller.decide(CONTRACT_WINDOW.midpoint)
+        assert decision.is_noop
+
+    @pytest.mark.parametrize("cls", CONTROLLER_FACTORIES, ids=lambda c: c.__name__)
+    def test_deterministic_for_a_fixed_rate_sequence(self, cls):
+        first = CONTROLLER_FACTORIES[cls](CONTRACT_WINDOW)
+        second = CONTROLLER_FACTORIES[cls](CONTRACT_WINDOW)
+        assert _decisions(first, CONTRACT_SEQUENCE) == _decisions(second, CONTRACT_SEQUENCE)
+
+    @pytest.mark.parametrize("cls", CONTROLLER_FACTORIES, ids=lambda c: c.__name__)
+    def test_reset_clears_state_and_replays_identically(self, cls):
+        controller = CONTROLLER_FACTORIES[cls](CONTRACT_WINDOW)
+        fresh = _decisions(controller, CONTRACT_SEQUENCE)
+        controller.reset()
+        assert _decisions(controller, CONTRACT_SEQUENCE) == fresh
+
+    @pytest.mark.parametrize("cls", CONTROLLER_FACTORIES, ids=lambda c: c.__name__)
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_rate_is_a_guarded_noop(self, cls, bad):
+        """NaN/inf readings must neither act nor corrupt controller state."""
+        controller = CONTROLLER_FACTORIES[cls](CONTRACT_WINDOW)
+        decision = controller.decide(bad)
+        assert decision.is_noop
+        assert decision.delta is None and decision.value is None
+        # State is untouched: the subsequent trajectory matches a controller
+        # that never saw the bad reading.
+        poisoned = _decisions(controller, CONTRACT_SEQUENCE)
+        clean = _decisions(CONTROLLER_FACTORIES[cls](CONTRACT_WINDOW), CONTRACT_SEQUENCE)
+        assert poisoned == clean
+        for value in (v for _, v in poisoned if v is not None):
+            assert math.isfinite(value)
+
+    def test_nan_does_not_reach_pid_integrator(self):
+        """The regression the guard exists for: NaN once, poisoned forever."""
+        controller = PIDController(CONTRACT_WINDOW, ki=1.0)
+        controller.decide(float("nan"))
+        assert controller._integral == 0.0
+        value = controller.decide(1.0).value
+        assert value is not None and math.isfinite(value)
+
+    def test_nan_does_not_reject_ladder_levels(self):
+        controller = LadderController(CONTRACT_WINDOW, levels=4, initial_level=1)
+        controller.decide(float("nan"))
+        assert controller.level == 1
+        assert controller.rejected_levels == frozenset()
