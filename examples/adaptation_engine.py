@@ -54,7 +54,7 @@ from repro.adapt import AdaptSpec, FunctionActuator, LadderActuator
 from repro.clock import SimulatedClock
 from repro.core.aggregator import HeartbeatAggregator
 from repro.core.heartbeat import Heartbeat
-from repro.net import HeartbeatCollector, NetworkBackend
+from repro.net import HeartbeatCollector
 
 STREAMS = int(os.environ.get("ADAPT_FLEET_STREAMS", "24"))
 TICKS = int(os.environ.get("ADAPT_FLEET_TICKS", "14"))
@@ -99,8 +99,13 @@ class SimProducer:
         else:
             self.cores = 0
             self.level = 0  # most demanding preset: far below the rate goal
-        backend = NetworkBackend(endpoint, stream=name, capacity=256, flush_interval=0.02)
-        self.heartbeat = Heartbeat(window=4, clock=clock, backend=backend)
+        # The collector's tcp:// URL plus per-stream query parameters is the
+        # whole wiring; Heartbeat opens the network backend from it.
+        self.heartbeat = Heartbeat(
+            window=4,
+            clock=clock,
+            backend=f"{endpoint}?stream={name}&capacity=256&flush_interval=0.02",
+        )
         target = SVC_TARGET if kind == "svc" else ENC_TARGET
         self.heartbeat.set_target_rate(*target)
         # One beat at spawn time anchors the first batch's interpolation, so
@@ -180,7 +185,7 @@ def main() -> int:
         def spawn(index: int) -> SimProducer:
             kind = "svc" if index % 2 == 0 else "enc"
             producer = SimProducer(
-                f"{kind}-{index:04d}", clock, collector.endpoint, kind, seed=index * 7
+                f"{kind}-{index:04d}", clock, collector.endpoint_url, kind, seed=index * 7
             )
             producers[producer.name] = producer
             return producer

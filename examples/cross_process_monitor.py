@@ -19,42 +19,42 @@ from __future__ import annotations
 import multiprocessing as mp
 import time
 
-from repro import Heartbeat, HeartbeatMonitor, WallClock
-from repro.core import SharedMemoryBackend
+from repro import TelemetrySession
 
 
-SEGMENT_NAME = "hb-example-worker"
+#: The one string both processes share: where the stream lives.
+ENDPOINT = "shm://hb-example-worker?depth=1024"
 
 
-def worker(segment_name: str, beats: int, hang_after: int) -> None:
-    """The instrumented application: one beat per processed request."""
-    backend = SharedMemoryBackend(name=segment_name, capacity=1024)
-    # rebase=False keeps timestamps on the system-wide monotonic clock so the
-    # observing process can compute beat ages against the same time base.
-    heartbeat = Heartbeat(window=20, backend=backend, name="worker", clock=WallClock(rebase=False))
-    heartbeat.set_target_rate(40.0, 80.0)
-    try:
-        for i in range(beats):
-            if i == hang_after:
-                time.sleep(1.5)  # simulate a hang / stuck request
-            time.sleep(0.015)  # ~66 requests/s of "work"
-            heartbeat.heartbeat(tag=i)
-    finally:
-        time.sleep(0.5)  # give the observer a last look before unlinking
-        heartbeat.finalize()
+def worker(endpoint: str, beats: int, hang_after: int) -> None:
+    """The instrumented application: one beat per processed request.
+
+    The session stamps cross-process streams with the system-wide monotonic
+    clock by default, so the observing process computes beat ages against
+    the same time base.
+    """
+    with TelemetrySession() as session:
+        heartbeat = session.produce(endpoint, window=20, name="worker", target=(40.0, 80.0))
+        try:
+            for i in range(beats):
+                if i == hang_after:
+                    time.sleep(1.5)  # simulate a hang / stuck request
+                time.sleep(0.015)  # ~66 requests/s of "work"
+                heartbeat.heartbeat(tag=i)
+        finally:
+            time.sleep(0.5)  # give the observer a last look before unlinking
 
 
 def main() -> None:
+    session = TelemetrySession(liveness_timeout=0.5)
     mp_context = mp.get_context("spawn")
-    process = mp_context.Process(target=worker, args=(SEGMENT_NAME, 150, 120))
+    process = mp_context.Process(target=worker, args=(ENDPOINT, 150, 120))
     process.start()
     # Give the worker a moment to create the segment.
     monitor = None
     for _ in range(50):
         try:
-            monitor = HeartbeatMonitor.attach_shared_memory(
-                SEGMENT_NAME, liveness_timeout=0.5, clock=WallClock(rebase=False)
-            )
+            monitor = session.observe(ENDPOINT)
             break
         except Exception:
             time.sleep(0.05)
@@ -74,7 +74,7 @@ def main() -> None:
                 print("  -> observer detected a stall from the heartbeat stream alone")
             time.sleep(0.25)
     finally:
-        monitor.close()
+        session.close()  # detaches the monitor
         process.join()
     print("worker finished")
 

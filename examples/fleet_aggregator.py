@@ -14,22 +14,27 @@ Run with::
 
 from __future__ import annotations
 
-from repro import Heartbeat, HeartbeatAggregator
+from repro import Heartbeat, TelemetrySession
 from repro.clock import SimulatedClock
 
 
 def main() -> None:
     clock = SimulatedClock()
+    session = TelemetrySession(clock=clock)
 
     # Twelve services, each publishing the same goal but progressing at a
     # different pace; service i completes 120 - 9*i work items per tick.
-    aggregator = HeartbeatAggregator(clock=clock, num_shards=4, liveness_timeout=5.0)
+    # Each service is one mem:// endpoint; the fleet observer attaches the
+    # same URLs.
     services: dict[str, Heartbeat] = {}
     for i in range(12):
-        service = Heartbeat(window=256, clock=clock, name=f"svc-{i:02d}", history=4096)
-        service.set_target_rate(60.0, 1000.0)
-        aggregator.attach(service.name, service)
+        service = session.produce(
+            f"mem://svc-{i:02d}", window=256, history=4096, target=(60.0, 1000.0)
+        )
         services[service.name] = service
+    aggregator = session.fleet(
+        *(f"mem://{name}" for name in services), num_shards=4, liveness_timeout=5.0
+    )
 
     # One simulated second per tick; each service ingests its whole tick's
     # worth of completed work items as a single batch.
@@ -59,9 +64,7 @@ def main() -> None:
     print("lagging (worst first):", ", ".join(sample.lagging()) or "none")
     print("stalled:", ", ".join(sample.stalled()) or "none")
 
-    aggregator.close()
-    for service in services.values():
-        service.finalize()
+    session.close()  # releases the aggregator, then finalises every service
 
 
 if __name__ == "__main__":

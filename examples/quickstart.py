@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 
-from repro import Heartbeat, HeartbeatMonitor
+from repro import TelemetrySession, WallClock
 
 
 def do_work_unit(i: int) -> float:
@@ -29,15 +29,20 @@ def do_work_unit(i: int) -> float:
 
 
 def main() -> None:
-    # HB_initialize(window=20): a Heartbeat with a 20-beat default window.
-    heartbeat = Heartbeat(window=20, name="quickstart")
-    # HB_set_target_rate(150, 250): the goal this loop wants to maintain.
-    heartbeat.set_target_rate(150.0, 250.0)
+    # One session, one time base.  Sessions default to the host-wide
+    # monotonic clock (for cross-process alignment); this single-process
+    # demo passes a rebased wall clock so printed timestamps start near 0.
+    session = TelemetrySession(clock=WallClock())
+    # HB_initialize(window=20) + HB_set_target_rate(150, 250): a heartbeat
+    # stream at the mem:// endpoint with a 20-beat default window and the
+    # goal this loop wants to maintain.  The same URL with file://, shm://
+    # or tcp:// would publish the stream across processes or machines.
+    heartbeat = session.produce("mem://quickstart", window=20, target=(150.0, 250.0))
 
     # An external observer could live in another thread, another process
-    # (file or shared-memory backend), the OS, or hardware.  Here it simply
-    # shares the process.
-    monitor = HeartbeatMonitor.attach(heartbeat)
+    # (file or shared-memory endpoint), the OS, or hardware.  Here it simply
+    # shares the process, observing the same endpoint by name.
+    monitor = session.observe("mem://quickstart")
 
     for i in range(200):
         do_work_unit(i)
@@ -58,6 +63,7 @@ def main() -> None:
     print("last five heartbeats    :")
     for record in history:
         print(f"  beat={record.beat} t={record.timestamp:.4f}s tag={record.tag}")
+    session.close()  # finalises the stream and detaches the observer
 
 
 if __name__ == "__main__":

@@ -6,13 +6,13 @@ location; :mod:`repro.net` makes that location a TCP endpoint, so the
 observer can sit on a different machine from every producer.  This example
 wires the whole pipeline end to end:
 
-1. **Producers** — several *subprocesses*, each instrumented with a
-   :class:`~repro.net.NetworkBackend` that batches beats and ships them to
-   the collector (the beat path never blocks on the socket).  One producer
-   is deliberately slower than its published goal.
+1. **Producers** — several *subprocesses*, each opened through
+   ``TelemetrySession.produce("tcp://host:port?stream=...")``: beats are
+   batched and shipped to the collector, and the beat path never blocks on
+   the socket.  One producer is deliberately slower than its published goal.
 2. **Collector** — a :class:`~repro.net.HeartbeatCollector` bound to
-   ``127.0.0.1`` port 0 (the OS picks a free port; producers dial the
-   propagated endpoint).
+   ``tcp://127.0.0.1:0`` (the OS picks a free port; producers dial the
+   propagated ``tcp://`` endpoint URL).
 3. **Aggregator** — ``HeartbeatAggregator.attach_collector()`` turns the
    collected streams into fleet rate / lagging / percentile queries, checked
    here against each producer's self-reported ground truth.
@@ -35,10 +35,10 @@ import multiprocessing as mp
 import os
 import time
 
-from repro import Heartbeat, HeartbeatAggregator, WallClock
+from repro import Heartbeat, HeartbeatAggregator, TelemetrySession, WallClock
 from repro.cloud.balancer import HeartbeatLoadBalancer
 from repro.cloud.cluster import CloudCluster, CloudVM
-from repro.net import HeartbeatCollector, NetworkBackend
+from repro.net import HeartbeatCollector
 
 PRODUCERS = max(4, int(os.environ.get("REMOTE_FLEET_PRODUCERS", "4")))
 TICKS = int(os.environ.get("REMOTE_FLEET_TICKS", "25"))
@@ -48,21 +48,28 @@ SLOW_INTERVAL = 0.08  # the last producer misses the shared goal
 TARGET_MIN = 0.6 * (BATCH / FAST_INTERVAL)
 
 
-def producer(endpoint: str, name: str, interval: float, report) -> None:
-    """One remote service: `BATCH` work items per tick, one batched beat call."""
-    backend = NetworkBackend(endpoint, stream=name, capacity=4096, flush_interval=0.02)
-    # rebase=False: beats are stamped on the host-wide monotonic clock, the
-    # time base the collector's observers use for liveness ages.
-    heartbeat = Heartbeat(
-        window=256, backend=backend, name=name, clock=WallClock(rebase=False), history=4096
-    )
-    heartbeat.set_target_rate(TARGET_MIN, 1e9)
-    for tick in range(TICKS):
-        time.sleep(interval)
-        heartbeat.heartbeat_batch(BATCH, tag=tick)
-    # Self-reported ground truth the parent checks the fleet view against.
-    report.put((name, heartbeat.count, heartbeat.global_heart_rate()))
-    heartbeat.finalize()  # flushes the pending queue, then a CLOSE frame
+def producer(endpoint_url: str, name: str, interval: float, report) -> None:
+    """One remote service: `BATCH` work items per tick, one batched beat call.
+
+    ``endpoint_url`` is the collector's ``tcp://host:port`` URL; the session
+    appends the stream identity and local-mirror sizing as query parameters
+    and stamps beats on the host-wide monotonic clock — the time base the
+    collector's observers use for liveness ages.
+    """
+    with TelemetrySession() as session:
+        heartbeat = session.produce(
+            f"{endpoint_url}?stream={name}&capacity=4096&flush_interval=0.02",
+            window=256,
+            history=4096,
+            target=(TARGET_MIN, 1e9),
+        )
+        for tick in range(TICKS):
+            time.sleep(interval)
+            heartbeat.heartbeat_batch(BATCH, tag=tick)
+        # Self-reported ground truth the parent checks the fleet view against.
+        report.put((name, heartbeat.count, heartbeat.global_heart_rate()))
+        # Leaving the session finalises the stream: the pending queue is
+        # flushed, then a CLOSE frame is sent.
 
 
 def run_producers(collector: HeartbeatCollector) -> dict[str, tuple[int, float]]:
@@ -73,7 +80,7 @@ def run_producers(collector: HeartbeatCollector) -> dict[str, tuple[int, float]]
     workers = [
         ctx.Process(
             target=producer,
-            args=(collector.endpoint, name, SLOW_INTERVAL if i == PRODUCERS - 1 else FAST_INTERVAL, report),
+            args=(collector.endpoint_url, name, SLOW_INTERVAL if i == PRODUCERS - 1 else FAST_INTERVAL, report),
         )
         for i, name in enumerate(names)
     ]
@@ -137,10 +144,14 @@ def run_balancer(collector: HeartbeatCollector) -> None:
     node_b = cluster.add_node(100.0)
     for i in range(4):
         vm_id = 1000 + i
-        backend = NetworkBackend(
-            collector.endpoint, stream=f"vm-{vm_id}", capacity=4096, flush_interval=0.02
+        # The VM's heartbeat publishes straight to the collector's endpoint
+        # URL; the simulated cluster clock stamps the beats.
+        heartbeat = Heartbeat(
+            window=20,
+            clock=cluster.clock,
+            backend=f"{collector.endpoint_url}?stream=vm-{vm_id}&capacity=4096&flush_interval=0.02",
+            history=4096,
         )
-        heartbeat = Heartbeat(window=20, clock=cluster.clock, backend=backend, history=4096)
         vm = CloudVM(
             work_per_beat=1.0, target_min=5.0, target_max=60.0, heartbeat=heartbeat, vm_id=vm_id
         )
@@ -173,7 +184,7 @@ def run_balancer(collector: HeartbeatCollector) -> None:
 
 def main() -> None:
     with HeartbeatCollector() as collector:
-        print(f"collector listening on {collector.endpoint}")
+        print(f"collector listening on {collector.endpoint_url}")
         run_producers(collector)
         run_balancer(collector)
         stats = collector.stats()

@@ -33,6 +33,19 @@ Quickstart
 """
 
 from repro._version import __version__
+from repro.endpoints import (
+    Endpoint,
+    EndpointError,
+    FileEndpoint,
+    MemEndpoint,
+    ShmEndpoint,
+    TcpEndpoint,
+    open_backend,
+    open_collector,
+    open_sink,
+    open_source,
+)
+from repro.session import TelemetrySession
 from repro.adapt import (
     AdaptationEngine,
     AdaptSpec,
@@ -43,6 +56,7 @@ from repro.adapt import (
 from repro.clock import Clock, ManualClock, SimulatedClock, WallClock
 from repro.core import (
     DEFAULT_WINDOW,
+    BoundSource,
     DeltaSnapshot,
     FileBackend,
     FleetSample,
@@ -57,6 +71,10 @@ from repro.core import (
     MonitorReading,
     SharedMemoryBackend,
     SnapshotCursor,
+    SourceCapabilities,
+    StreamSink,
+    StreamSource,
+    capabilities_of,
     moving_rate_series,
     windowed_rate,
 )
@@ -64,6 +82,22 @@ from repro.net import HeartbeatCollector, NetworkBackend
 
 __all__ = [
     "__version__",
+    "TelemetrySession",
+    "Endpoint",
+    "MemEndpoint",
+    "FileEndpoint",
+    "ShmEndpoint",
+    "TcpEndpoint",
+    "EndpointError",
+    "open_backend",
+    "open_source",
+    "open_sink",
+    "open_collector",
+    "StreamSource",
+    "StreamSink",
+    "SourceCapabilities",
+    "BoundSource",
+    "capabilities_of",
     "Heartbeat",
     "HeartbeatMonitor",
     "MonitorReading",

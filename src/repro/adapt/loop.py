@@ -117,16 +117,13 @@ def backend_monitor(
     polling the monitor reads O(new beats) per step exactly like the fleet
     aggregator does.
     """
-    snapshot = getattr(backend, "snapshot", None)
-    if snapshot is None:
+    if getattr(backend, "snapshot", None) is None:
         raise TypeError(f"backend {type(backend).__name__} has no snapshot()")
-    return HeartbeatMonitor(
-        snapshot,
+    return HeartbeatMonitor.for_source(
+        backend,
         clock=clock,  # type: ignore[arg-type]
         window=window,
         liveness_timeout=liveness_timeout,
-        delta=getattr(backend, "snapshot_since", None),
-        probe=getattr(backend, "version", None),
     )
 
 
@@ -138,7 +135,21 @@ def collector_monitor(
     window: int = 0,
     liveness_timeout: float | None = None,
 ) -> HeartbeatMonitor:
-    """A monitor over one registered stream of a network collector."""
+    """A monitor over one registered stream of a network collector.
+
+    Collectors exposing a per-stream ``source(stream_id)`` view (as
+    :class:`~repro.net.collector.HeartbeatCollector` does) attach it
+    directly through the capability protocol; others fall back to the
+    ``snapshot_source``/``delta_source``/``version_source`` triple.
+    """
+    source_of = getattr(collector, "source", None)
+    if source_of is not None and callable(source_of):
+        return HeartbeatMonitor.for_source(
+            source_of(stream_id),
+            clock=clock,  # type: ignore[arg-type]
+            window=window,
+            liveness_timeout=liveness_timeout,
+        )
     from repro.core.aggregator import collector_stream_sources
 
     source, delta, probe = collector_stream_sources(collector, stream_id)  # type: ignore[arg-type]

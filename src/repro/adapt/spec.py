@@ -11,6 +11,7 @@ observe-and-act class:
 
     [engine]
     liveness_timeout = 5.0
+    attach = ["tcp://0.0.0.0:7717", "shm://svc", "file:///var/log/enc.hblog"]
 
     [[loops]]
     match = "svc-*"
@@ -23,6 +24,14 @@ observe-and-act class:
     target = [28.0, 1e9]
     controller = { kind = "ladder", levels = 5 }
     actuator = "preset"
+
+``attach`` names the observed streams by telemetry endpoint URL (see
+:mod:`repro.endpoints`), validated at parse time: a ``tcp://`` entry binds a
+collector and observes every producer that dials in, ``shm://``/``file://``
+entries attach single same-host streams.  The endpoints are wired by
+whoever owns the runtime — :meth:`repro.session.TelemetrySession.adapt`
+(which also owns their teardown) or the ``repro adapt`` CLI, where
+positional endpoint arguments extend the spec's own list.
 
 Actuator *names* bind to factories supplied at build time (specs are data;
 knobs are code).  The built-in ``log`` actuator needs no factory: it applies
@@ -56,12 +65,28 @@ from repro.control import (
 )
 from repro.core.aggregator import HeartbeatAggregator
 from repro.core.monitor import MonitorReading
+from repro.endpoints import Endpoint, EndpointError
 
 __all__ = ["AdaptSpec", "LoopSpec", "SpecError", "ActuatorFactory"]
 
 
 class SpecError(ValueError):
     """A declarative adaptation spec is malformed."""
+
+
+def _parse_attach(entries: Sequence[Union[str, Endpoint]]) -> list[Endpoint]:
+    """Validate the spec's ``attach`` endpoints at parse time, not at wiring."""
+    parsed: list[Endpoint] = []
+    for entry in entries:
+        if not isinstance(entry, (str, Endpoint)):
+            raise SpecError(
+                f"'attach' entries must be endpoint URL strings, got {entry!r}"
+            )
+        try:
+            parsed.append(Endpoint.parse(entry))
+        except EndpointError as exc:
+            raise SpecError(f"invalid attach endpoint {entry!r}: {exc}") from exc
+    return parsed
 
 
 #: Builds the actuator for one matched stream: ``(stream name, first
@@ -237,6 +262,7 @@ class AdaptSpec:
         num_shards: int = 1,
         interval: float = 1.0,
         min_beats: int = 2,
+        attach: Sequence[Union[str, Endpoint]] = (),
     ) -> None:
         if not loops:
             raise SpecError("an adaptation spec needs at least one [[loops]] entry")
@@ -248,6 +274,7 @@ class AdaptSpec:
         self.num_shards = int(num_shards)
         self.interval = float(interval)
         self.min_beats = int(min_beats)
+        self.attach = tuple(_parse_attach(attach))
 
     # ------------------------------------------------------------------ #
     # Parsing
@@ -260,7 +287,9 @@ class AdaptSpec:
         engine = data.get("engine", {})
         if not isinstance(engine, Mapping):
             raise SpecError(f"'engine' must be a table, got {type(engine).__name__}")
-        known_engine = {"window", "liveness_timeout", "num_shards", "interval", "min_beats"}
+        known_engine = {
+            "window", "liveness_timeout", "num_shards", "interval", "min_beats", "attach",
+        }
         unknown = set(engine) - known_engine
         if unknown:
             raise SpecError(f"unknown engine keys {sorted(unknown)}; known: {sorted(known_engine)}")
@@ -269,6 +298,9 @@ class AdaptSpec:
             raise SpecError("'loops' must be an array of loop tables")
         loops = [LoopSpec.from_mapping(entry) for entry in raw_loops]
         timeout = engine.get("liveness_timeout")
+        attach = engine.get("attach", ())
+        if isinstance(attach, (str, bytes)) or not isinstance(attach, Sequence):
+            raise SpecError("'attach' must be an array of endpoint URL strings")
         return cls(
             loops,
             window=int(engine.get("window", 0)),
@@ -276,6 +308,7 @@ class AdaptSpec:
             num_shards=int(engine.get("num_shards", 1)),
             interval=float(engine.get("interval", 1.0)),
             min_beats=int(engine.get("min_beats", 2)),
+            attach=attach,
         )
 
     @classmethod

@@ -1,29 +1,37 @@
-"""Command-line interface: ``python -m repro``.
+"""Command-line interface: ``python -m repro`` (or the ``repro`` script).
 
-Three subcommands wrap the telemetry and adaptation subsystems so a fleet
-can be collected, watched and (dry-run) adapted without writing any code:
+Every subcommand speaks **telemetry endpoint URLs** (see
+:mod:`repro.endpoints`) as positional arguments — the same strings the
+library APIs accept::
+
+    repro collect tcp://0.0.0.0:7717
+    repro watch tcp://127.0.0.1:0 shm://svc file:///var/log/enc.hblog
+    repro adapt --spec fleet.toml tcp://127.0.0.1:7717
 
 ``collect``
     Run a :class:`repro.net.collector.HeartbeatCollector` and periodically
-    print a one-line fleet summary.  Binds ``127.0.0.1:0`` by default and
-    prints the actual endpoint on startup (machine-readable via
-    ``--port-file``), so scripted producers can discover the port.
+    print a one-line fleet summary.  Defaults to ``tcp://127.0.0.1:0`` (an
+    ephemeral port) and prints the actual endpoint on startup
+    (machine-readable via ``--port-file``, written atomically), so scripted
+    producers can discover the port.
 
 ``watch``
-    Render a live fleet table.  With ``--listen`` it runs its own collector
-    and watches whatever producers dial in; ``--shm`` and ``--file``
-    additionally attach local shared-memory segments and heartbeat log
-    files, so one table can mix remote and same-host streams.
+    Render a live fleet table over any mix of endpoints: ``tcp://`` runs a
+    collector and watches whatever producers dial in, ``shm://`` and
+    ``file://`` attach local streams, so one table can mix remote and
+    same-host streams.
 
 ``adapt``
     Drive a declarative :class:`repro.adapt.AdaptSpec` over the observed
-    streams (same attachment flags as ``watch``).  Spec loops bind to the
-    built-in advisory ``log`` actuator, so the command shows the decisions
-    the controllers *would* take against the live fleet — the dry run an
-    operator does before wiring real knobs to the engine in code.
+    streams.  Endpoints come from the spec's own ``[engine] attach`` list
+    plus any positional arguments.  Spec loops bind to the built-in advisory
+    ``log`` actuator, so the command shows the decisions the controllers
+    *would* take against the live fleet — the dry run an operator does
+    before wiring real knobs to the engine in code.
 
-All commands are bounded by ``--duration`` (handy for tests and demos) and
-exit cleanly on Ctrl-C.
+The legacy ``--bind`` / ``--listen`` / ``--shm`` / ``--file`` flags remain
+as deprecated facades over the positional URLs.  All commands are bounded by
+``--duration`` (handy for tests and demos) and exit cleanly on Ctrl-C.
 """
 
 from __future__ import annotations
@@ -32,17 +40,33 @@ import argparse
 import os
 import sys
 import time
-from typing import Sequence
+import warnings
+from typing import Callable, Sequence
 
+from repro._version import __version__
 from repro.adapt.engine import AdaptationEngine, EngineTick
 from repro.adapt.spec import AdaptSpec, SpecError
 from repro.clock import WallClock
 from repro.core.aggregator import FleetSample, HeartbeatAggregator
 from repro.core.errors import HeartbeatError
+from repro.endpoints import (
+    Endpoint,
+    EndpointError,
+    FileEndpoint,
+    MemEndpoint,
+    ShmEndpoint,
+    TcpEndpoint,
+    open_collector,
+)
 from repro.net.collector import HeartbeatCollector
 from repro.net.protocol import parse_address
 
 __all__ = ["main"]
+
+_ENDPOINT_HELP = (
+    "telemetry endpoint URL: tcp://host:port (collector; port 0 for ephemeral), "
+    "shm://segment, file:///path/to/log.hblog (repeatable)"
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -50,18 +74,29 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Heartbeat telemetry tools (Application Heartbeats reproduction).",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     collect = sub.add_parser("collect", help="run a TCP heartbeat collector")
     collect.add_argument(
+        "endpoint",
+        nargs="?",
+        default=None,
+        metavar="ENDPOINT",
+        help="tcp:// endpoint to bind (default tcp://127.0.0.1:0 — an ephemeral port)",
+    )
+    collect.add_argument(
         "--bind",
-        default="127.0.0.1:0",
-        help="host:port to listen on (default 127.0.0.1:0 — an ephemeral port)",
+        default=None,
+        metavar="HOST:PORT",
+        help="deprecated facade for the positional tcp:// endpoint",
     )
     collect.add_argument(
         "--port-file",
         default=None,
-        help="write the bound port to this file once listening (for scripts)",
+        help="write the bound port to this file once listening (atomic, for scripts)",
     )
     collect.add_argument(
         "--interval", type=float, default=2.0, help="seconds between summary lines"
@@ -76,26 +111,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="no periodic summaries, just collect"
     )
 
-    watch = sub.add_parser("watch", help="live fleet table from a collector and/or local streams")
+    watch = sub.add_parser("watch", help="live fleet table from any mix of endpoints")
+    watch.add_argument(
+        "endpoints", nargs="*", default=[], metavar="ENDPOINT", help=_ENDPOINT_HELP
+    )
     watch.add_argument(
         "--listen",
         default=None,
         metavar="HOST:PORT",
-        help="run a collector at this address and watch its producers (use port 0 for ephemeral)",
+        help="deprecated facade for a positional tcp:// endpoint",
     )
     watch.add_argument(
         "--shm",
         action="append",
         default=[],
         metavar="SEGMENT",
-        help="attach a shared-memory heartbeat segment (repeatable)",
+        help="deprecated facade for a positional shm:// endpoint (repeatable)",
     )
     watch.add_argument(
         "--file",
         action="append",
         default=[],
         metavar="PATH",
-        help="attach a heartbeat log file (repeatable)",
+        help="deprecated facade for a positional file:// endpoint (repeatable)",
     )
     watch.add_argument(
         "--interval", type=float, default=1.0, help="seconds between table refreshes"
@@ -114,6 +152,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="drive a declarative adaptation spec over observed streams (advisory actuators)",
     )
     adapt.add_argument(
+        "endpoints",
+        nargs="*",
+        default=[],
+        metavar="ENDPOINT",
+        help=_ENDPOINT_HELP + "; extends the spec's own [engine] attach list",
+    )
+    adapt.add_argument(
         "--spec",
         required=True,
         metavar="PATH",
@@ -123,21 +168,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--listen",
         default=None,
         metavar="HOST:PORT",
-        help="run a collector at this address and adapt its producers (port 0 for ephemeral)",
+        help="deprecated facade for a positional tcp:// endpoint",
     )
     adapt.add_argument(
         "--shm",
         action="append",
         default=[],
         metavar="SEGMENT",
-        help="attach a shared-memory heartbeat segment (repeatable)",
+        help="deprecated facade for a positional shm:// endpoint (repeatable)",
     )
     adapt.add_argument(
         "--file",
         action="append",
         default=[],
         metavar="PATH",
-        help="attach a heartbeat log file (repeatable)",
+        help="deprecated facade for a positional file:// endpoint (repeatable)",
     )
     adapt.add_argument(
         "--interval",
@@ -154,6 +199,78 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _emit(line: str, *, stream=None) -> None:
     print(line, file=stream if stream is not None else sys.stdout, flush=True)
+
+
+def _deprecated_flag(flag: str, url: str) -> str:
+    message = (
+        f"{flag} is a deprecated facade; pass the endpoint URL {url!r} "
+        "as a positional argument instead"
+    )
+    # Both channels on purpose: the warning for programmatic callers and
+    # test filters, the stderr line for CLI users (whose default warning
+    # filter hides DeprecationWarning raised outside __main__).
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+    _emit(f"note: {message}", stream=sys.stderr)
+    return url
+
+
+def _gather_endpoints(args: argparse.Namespace) -> list[Endpoint]:
+    """Positional endpoint URLs plus the legacy-flag shims, parsed and merged."""
+    urls: list[str | Endpoint] = list(args.endpoints)
+    if args.listen is not None:
+        host, port = parse_address(args.listen)
+        urls.append(_deprecated_flag("--listen", str(TcpEndpoint(host=host, port=port))))
+    for segment in args.shm:
+        urls.append(_deprecated_flag("--shm", str(ShmEndpoint(name=segment))))
+    for path in args.file:
+        urls.append(_deprecated_flag("--file", str(FileEndpoint(path=path))))
+    return [Endpoint.parse(url) for url in urls]
+
+
+def _attach_endpoints(
+    aggregator: HeartbeatAggregator,
+    endpoints: Sequence[Endpoint],
+    *,
+    attach_collector: Callable[[HeartbeatCollector], list[str]],
+    collectors: list[HeartbeatCollector],
+) -> int:
+    """Wire every endpoint; returns 0 or the exit code of the first failure.
+
+    Bound collectors are appended to the caller-owned ``collectors`` list
+    *as they bind*, so the caller's ``finally`` closes every one of them even
+    when a later endpoint raises out of this function (e.g. an unbindable
+    second ``tcp://`` address).
+    """
+    for ep in endpoints:
+        if isinstance(ep, TcpEndpoint):
+            collector = open_collector(ep)
+            collectors.append(collector)
+            _emit(f"collector listening on {collector.endpoint}")
+            _emit(f"producers dial {collector.endpoint_url}")
+            attach_collector(collector)
+        elif isinstance(ep, MemEndpoint):
+            _emit(
+                f"cannot observe {ep}: mem:// endpoints are process-local",
+                stream=sys.stderr,
+            )
+            return 2
+        elif isinstance(ep, ShmEndpoint):
+            try:
+                aggregator.attach_endpoint(ep)
+            except HeartbeatError as exc:
+                _emit(
+                    f"cannot attach shared-memory segment {ep.name!r}: {exc}",
+                    stream=sys.stderr,
+                )
+                return 1
+        else:
+            assert isinstance(ep, FileEndpoint)
+            try:
+                aggregator.attach_endpoint(ep)
+            except HeartbeatError as exc:
+                _emit(f"cannot attach heartbeat log {ep.path!r}: {exc}", stream=sys.stderr)
+                return 1
+    return 0
 
 
 def _fmt_age(age: float | None) -> str:
@@ -197,14 +314,51 @@ def _run_loop(duration: float | None, interval: float, tick) -> None:
         return
 
 
-def _cmd_collect(args: argparse.Namespace) -> int:
-    host, port = parse_address(args.bind)
+def _write_port_file(path: str, port: int) -> None:
+    """Publish the bound port atomically (temp file + rename).
+
+    Watchers polling the path can never read a partially-written file: the
+    rename makes the fully-flushed content appear in one step.
+    """
+    tmp = f"{path}.tmp.{os.getpid()}"
     try:
-        with HeartbeatCollector(host, port) as collector:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(f"{port}\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _collect_endpoint(args: argparse.Namespace) -> Endpoint:
+    if args.endpoint is not None:
+        if args.bind is not None:
+            raise EndpointError("pass the tcp:// endpoint or --bind, not both")
+        return Endpoint.parse(args.endpoint)
+    if args.bind is not None:
+        host, port = parse_address(args.bind)
+        return Endpoint.parse(
+            _deprecated_flag("--bind", str(TcpEndpoint(host=host, port=port)))
+        )
+    return TcpEndpoint(host="127.0.0.1", port=0)
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    endpoint = _collect_endpoint(args)
+    if not isinstance(endpoint, TcpEndpoint):
+        _emit(f"collect: collectors bind tcp:// endpoints, not {endpoint}", stream=sys.stderr)
+        return 2
+    try:
+        with open_collector(endpoint) as collector:
             _emit(f"collector listening on {collector.endpoint}")
+            _emit(f"producers dial {collector.endpoint_url}")
             if args.port_file:
-                with open(args.port_file, "w", encoding="utf-8") as fh:
-                    fh.write(f"{collector.port}\n")
+                _write_port_file(args.port_file, collector.port)
             aggregator = HeartbeatAggregator(
                 clock=WallClock(rebase=False), liveness_timeout=args.liveness
             )
@@ -235,31 +389,26 @@ def _cmd_collect(args: argparse.Namespace) -> int:
 
 
 def _cmd_watch(args: argparse.Namespace) -> int:
-    if args.listen is None and not args.shm and not args.file:
-        _emit("watch: nothing to watch — pass --listen, --shm and/or --file", stream=sys.stderr)
+    endpoints = _gather_endpoints(args)
+    if not endpoints:
+        _emit(
+            "watch: nothing to watch — pass endpoint URLs (tcp://, shm://, file://)",
+            stream=sys.stderr,
+        )
         return 2
-    collector: HeartbeatCollector | None = None
     aggregator = HeartbeatAggregator(
         clock=WallClock(rebase=False), window=args.window, liveness_timeout=args.liveness
     )
+    collectors: list[HeartbeatCollector] = []
     try:
-        if args.listen is not None:
-            host, port = parse_address(args.listen)
-            collector = HeartbeatCollector(host, port)
-            _emit(f"collector listening on {collector.endpoint}")
-            aggregator.attach_collector(collector)
-        for segment in args.shm:
-            try:
-                aggregator.attach_shared_memory(f"shm:{segment}", segment)
-            except HeartbeatError as exc:
-                _emit(f"cannot attach shared-memory segment {segment!r}: {exc}", stream=sys.stderr)
-                return 1
-        for path in args.file:
-            try:
-                aggregator.attach_file(f"file:{os.path.basename(path)}", path)
-            except HeartbeatError as exc:
-                _emit(f"cannot attach heartbeat log {path!r}: {exc}", stream=sys.stderr)
-                return 1
+        rc = _attach_endpoints(
+            aggregator,
+            endpoints,
+            attach_collector=aggregator.attach_collector,
+            collectors=collectors,
+        )
+        if rc:
+            return rc
 
         def tick() -> None:
             _emit(_fleet_table(aggregator.poll()))
@@ -270,7 +419,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             _run_loop(args.duration, args.interval, tick)
     finally:
         aggregator.close()
-        if collector is not None:
+        for collector in collectors:
             collector.close()
     return 0
 
@@ -310,35 +459,31 @@ def _loop_table(engine: AdaptationEngine) -> str:
 
 
 def _cmd_adapt(args: argparse.Namespace) -> int:
-    if args.listen is None and not args.shm and not args.file:
-        _emit("adapt: nothing to adapt — pass --listen, --shm and/or --file", stream=sys.stderr)
-        return 2
     try:
         spec = AdaptSpec.from_file(args.spec)
     except (OSError, SpecError) as exc:
         _emit(f"cannot load adaptation spec {args.spec!r}: {exc}", stream=sys.stderr)
         return 2
-    collector: HeartbeatCollector | None = None
+    endpoints = [*spec.attach, *_gather_endpoints(args)]
+    if not endpoints:
+        _emit(
+            "adapt: nothing to adapt — pass endpoint URLs (tcp://, shm://, file://) "
+            "or add [engine] attach to the spec",
+            stream=sys.stderr,
+        )
+        return 2
     engine = spec.build_engine(clock=WallClock(rebase=False))
     aggregator = engine.aggregator
+    collectors: list[HeartbeatCollector] = []
     try:
-        if args.listen is not None:
-            host, port = parse_address(args.listen)
-            collector = HeartbeatCollector(host, port)
-            _emit(f"collector listening on {collector.endpoint}")
-            engine.attach_collector(collector)
-        for segment in args.shm:
-            try:
-                aggregator.attach_shared_memory(f"shm:{segment}", segment)
-            except HeartbeatError as exc:
-                _emit(f"cannot attach shared-memory segment {segment!r}: {exc}", stream=sys.stderr)
-                return 1
-        for path in args.file:
-            try:
-                aggregator.attach_file(f"file:{os.path.basename(path)}", path)
-            except HeartbeatError as exc:
-                _emit(f"cannot attach heartbeat log {path!r}: {exc}", stream=sys.stderr)
-                return 1
+        rc = _attach_endpoints(
+            aggregator,
+            endpoints,
+            attach_collector=engine.attach_collector,
+            collectors=collectors,
+        )
+        if rc:
+            return rc
         _emit(
             f"adaptation engine: {len(spec.loops)} loop rule(s), advisory actuators "
             f"(decisions are logged, not applied)"
@@ -356,7 +501,7 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
             _emit(_loop_table(engine))
     finally:
         engine.close(close_aggregator=True)
-        if collector is not None:
+        for collector in collectors:
             collector.close()
     return 0
 
@@ -370,6 +515,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_watch(args)
         if args.command == "adapt":
             return _cmd_adapt(args)
+    except EndpointError as exc:
+        _emit(f"{args.command}: {exc}", stream=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Downstream pipe closed (e.g. `repro collect | head`): exit quietly
         # the way any well-behaved CLI does, with stdout pointed at devnull

@@ -115,7 +115,11 @@ class HeartbeatLoadBalancer:
         are polled *instead of* the VMs' in-process heartbeat objects.  This
         is the balancer of the paper's Section 2.6 moved off-box: the VMs
         run anywhere, ship heartbeats over TCP, and the balancer manages
-        placement purely from the collected telemetry.
+        placement purely from the collected telemetry.  A ``tcp://host:port``
+        endpoint URL (or :class:`~repro.endpoints.TcpEndpoint`) may be
+        passed instead of an object: the balancer then binds its own
+        collector there (port ``0`` for ephemeral; see
+        :attr:`collector_endpoint`) and closes it with :meth:`close`.
     clock:
         Observer time base for liveness ages; defaults to the cluster clock.
         Remote fleets stamped with ``WallClock(rebase=False)`` pass the same
@@ -129,7 +133,7 @@ class HeartbeatLoadBalancer:
         liveness_timeout: float = 5.0,
         headroom: float = 0.2,
         num_shards: int = 1,
-        collector: CollectorLike | None = None,
+        collector: "CollectorLike | str | None" = None,
         clock: Clock | None = None,
     ) -> None:
         if liveness_timeout <= 0:
@@ -140,6 +144,12 @@ class HeartbeatLoadBalancer:
         self.liveness_timeout = float(liveness_timeout)
         self.headroom = float(headroom)
         self.actions: list[BalancerAction] = []
+        self._own_collector = None
+        if collector is not None and not callable(getattr(collector, "stream_ids", None)):
+            # A tcp:// endpoint URL: bind (and own) the collector ourselves.
+            from repro.endpoints import open_collector
+
+            collector = self._own_collector = open_collector(collector)  # type: ignore[arg-type]
         self._collector = collector
         self._aggregator = HeartbeatAggregator(
             clock=clock if clock is not None else cluster.clock,
@@ -400,9 +410,22 @@ class HeartbeatLoadBalancer:
                 )
         return actions
 
+    @property
+    def collector_endpoint(self) -> str | None:
+        """The ``tcp://host:port`` URL of the balancer-owned collector, if any.
+
+        ``None`` in local mode or when the caller supplied (and owns) the
+        collector object.  Producers dial this URL.
+        """
+        if self._own_collector is None:
+            return None
+        return self._own_collector.endpoint_url
+
     def close(self) -> None:
-        """Release the fleet aggregator (idempotent)."""
+        """Release the fleet aggregator (and any owned collector).  Idempotent."""
         self._aggregator.close()
+        if self._own_collector is not None:
+            self._own_collector.close()
         self._last_sample = None
         self._slow_loops.clear()
 

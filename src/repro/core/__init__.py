@@ -55,6 +55,13 @@ from repro.core.rate import (
 )
 from repro.core.record import RECORD_DTYPE, HeartbeatRecord
 from repro.core.registry import HeartbeatRegistry
+from repro.core.stream import (
+    BoundSource,
+    SourceCapabilities,
+    StreamSink,
+    StreamSource,
+    capabilities_of,
+)
 from repro.core.window import DEFAULT_WINDOW, MAX_WINDOW
 
 __all__ = [
@@ -82,6 +89,12 @@ __all__ = [
     "HB_global_rate",
     "HB_finalize",
     "HB_is_initialized",
+    # capability protocols
+    "StreamSource",
+    "StreamSink",
+    "SourceCapabilities",
+    "BoundSource",
+    "capabilities_of",
     # backends
     "Backend",
     "BackendSnapshot",

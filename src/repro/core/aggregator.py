@@ -46,7 +46,6 @@ import numpy as np
 
 from repro.clock import Clock, WallClock
 from repro.core.backends.base import BackendSnapshot, delta_from_snapshot
-from repro.core.backends.shared_memory import SharedMemoryReader
 from repro.core.errors import HeartbeatError, MonitorAttachError
 from repro.core.heartbeat import Heartbeat
 from repro.core.monitor import (
@@ -55,7 +54,6 @@ from repro.core.monitor import (
     HeartbeatMonitor,
     MonitorReading,
     StreamDeltaState,
-    file_observer_sources,
     reading_from_snapshot,
 )
 from repro.core.registry import HeartbeatRegistry
@@ -480,32 +478,66 @@ class HeartbeatAggregator:
     # ------------------------------------------------------------------ #
     # Attachment
     # ------------------------------------------------------------------ #
-    def attach(self, name: str, heartbeat: Heartbeat) -> None:
-        """Attach an in-process heartbeat object as stream ``name``."""
-        backend = heartbeat.backend
-        self.attach_source(
-            name, backend.snapshot, delta=backend.snapshot_since, probe=backend.version
-        )
+    def attach_stream(self, name: str, source: object, *, own: bool = False) -> None:
+        """Attach any :class:`~repro.core.stream.StreamSource`-shaped object.
 
-    def attach_file(self, name: str, path: str | os.PathLike[str]) -> None:
-        """Attach a heartbeat log file written by a ``FileBackend``."""
-        source, delta, probe = file_observer_sources(path)
-        self.attach_source(name, source, delta=delta, probe=probe)
+        The universal attachment: capabilities (``snapshot_since`` deltas,
+        ``version`` probes, a ``close`` hook) are discovered with
+        :func:`repro.core.stream.capabilities_of`, so backends, readers,
+        collector per-stream views, ``Heartbeat`` objects, monitors and bare
+        snapshot callables all come in through the same door.  ``own=True``
+        hands the source's ``close`` to :meth:`detach`/:meth:`close`.
+        """
+        from repro.core.stream import capabilities_of
 
-    def attach_shared_memory(self, name: str, segment: str | None = None) -> None:
-        """Attach a shared-memory segment (``segment`` defaults to ``name``)."""
-        reader = SharedMemoryReader(segment if segment is not None else name)
+        caps = capabilities_of(source)
         try:
             self.attach_source(
                 name,
-                reader.snapshot,
-                close=reader.close,
-                delta=reader.snapshot_since,
-                probe=reader.version,
+                caps.snapshot,
+                close=caps.close if own else None,
+                delta=caps.delta,
+                probe=caps.probe,
             )
         except Exception:
-            reader.close()  # don't leak the mapping on a rejected attachment
+            if own and caps.close is not None:
+                caps.close()  # don't leak the attachment on a rejected stream
             raise
+
+    def attach_endpoint(self, endpoint: object, *, name: str | None = None) -> str:
+        """Attach the stream named by an endpoint URL; returns the stream name.
+
+        ``file://`` and ``shm://`` endpoints attach one observed stream
+        (named ``file:<basename>`` / ``shm:<segment>`` unless ``name`` is
+        given), owned by the aggregator.  ``tcp://`` endpoints are whole
+        fleets — bind a collector (:func:`repro.endpoints.open_collector` or
+        :meth:`TelemetrySession.fleet <repro.session.TelemetrySession.fleet>`)
+        and use :meth:`attach_collector`.
+        """
+        from repro.endpoints import Endpoint, open_source, stream_name_for
+
+        ep = Endpoint.parse(endpoint)  # type: ignore[arg-type]
+        stream_name = name if name is not None else stream_name_for(ep)
+        self.attach_stream(stream_name, open_source(ep), own=True)
+        return stream_name
+
+    def attach(self, name: str, heartbeat: Heartbeat) -> None:
+        """Attach an in-process heartbeat object as stream ``name``."""
+        self.attach_stream(name, heartbeat)
+
+    def attach_file(self, name: str, path: str | os.PathLike[str]) -> None:
+        """Attach a heartbeat log file (``file://`` endpoint) as stream ``name``."""
+        from repro.endpoints import FileEndpoint
+
+        self.attach_endpoint(FileEndpoint(path=os.fspath(path)), name=name)
+
+    def attach_shared_memory(self, name: str, segment: str | None = None) -> None:
+        """Attach a shared-memory segment (``segment`` defaults to ``name``)."""
+        from repro.endpoints import ShmEndpoint
+
+        self.attach_endpoint(
+            ShmEndpoint(name=segment if segment is not None else name), name=name
+        )
 
     def attach_monitor(self, name: str, monitor: "HeartbeatMonitor") -> None:
         """Adopt an existing per-stream monitor attachment as stream ``name``.

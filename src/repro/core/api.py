@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 import threading
+import warnings
 
 from repro.core.heartbeat import Heartbeat
 from repro.core.record import HeartbeatRecord
@@ -68,7 +69,11 @@ def reset_registry() -> None:
 
 
 def HB_initialize(
-    window: int = 0, local: bool = False, remote: str | None = None, **kwargs: object
+    window: int = 0,
+    local: bool = False,
+    remote: str | None = None,
+    endpoint: object | None = None,
+    **kwargs: object,
 ) -> Heartbeat:
     """Initialise the heartbeat runtime (paper: ``HB_initialize``).
 
@@ -78,40 +83,68 @@ def HB_initialize(
     Extra keyword arguments (``clock``, ``backend``, ``history``) are passed
     to :class:`~repro.core.heartbeat.Heartbeat`.
 
-    With ``remote="host:port"`` the stream is backed by a
-    :class:`repro.net.exporter.NetworkBackend` shipping batched heartbeats
-    to a :class:`repro.net.collector.HeartbeatCollector` at that address,
-    registered as ``"global-<pid>"`` (or ``"local-<pid>-<tid>"``).  Beats are
-    then stamped with the host-wide monotonic clock
-    (``WallClock(rebase=False)``) unless a ``clock`` is supplied, so the
-    collector's observers compute liveness ages against the producer's time
-    base.
-    """
-    backend = None
-    if remote is not None:
-        if "backend" in kwargs:
-            raise ValueError("pass either remote= or backend=, not both")
-        from repro.clock import WallClock
-        from repro.net.exporter import NetworkBackend
+    ``endpoint`` names where the stream publishes, as a telemetry endpoint
+    URL (see :mod:`repro.endpoints`): ``tcp://host:port`` ships batched
+    heartbeats to a :class:`repro.net.collector.HeartbeatCollector`,
+    registered as ``"global-<pid>"`` (or ``"local-<pid>-<tid>"``) unless the
+    URL carries ``?stream=`` or a ``stream=`` keyword is passed;
+    ``file://``/``shm://`` endpoints publish for same-host cross-process
+    observers.  For every cross-process endpoint, beats are stamped with the
+    host-wide monotonic clock (``WallClock(rebase=False)``) unless a
+    ``clock`` is supplied, so external observers compute liveness ages
+    against the producer's time base.
 
-        if local:
-            stream = f"local-{os.getpid()}-{threading.get_ident()}"
-        else:
-            stream = f"global-{os.getpid()}"
+    ``remote="host:port"`` is the deprecated facade spelling of
+    ``endpoint="tcp://host:port"`` and delegates to it.
+    """
+    if remote is not None:
+        if endpoint is not None:
+            raise ValueError("pass either endpoint= or remote=, not both")
+        warnings.warn(
+            "HB_initialize(remote='host:port') is a deprecated facade; "
+            "pass endpoint='tcp://host:port' instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        endpoint = f"tcp://{remote}"
+    if endpoint is not None:
+        if "backend" in kwargs:
+            raise ValueError("pass either endpoint= or backend=, not both")
+        from dataclasses import replace
+
+        from repro.clock import WallClock
+        from repro.endpoints import Endpoint, MemEndpoint, TcpEndpoint
+
+        ep = Endpoint.parse(endpoint)  # type: ignore[arg-type]
         kwargs = dict(kwargs)
-        backend = NetworkBackend(remote, stream=str(kwargs.pop("stream", stream)))
-        kwargs["backend"] = backend
-        kwargs.setdefault("clock", WallClock(rebase=False))
-    try:
-        if local:
-            return _registry.initialize_local(window, **kwargs)
-        return _registry.initialize(window, **kwargs)
-    except Exception:
-        if backend is not None:
-            # Registry rejected the stream (already initialized, bad window,
-            # ...): release the backend we created or its sender thread leaks.
-            backend.close()
-        raise
+        if isinstance(ep, TcpEndpoint):
+            if "stream" in kwargs and ep.stream is not None:
+                raise ValueError(
+                    "pass the stream name in the URL (?stream=) or as "
+                    "stream=, not both"
+                )
+            if ep.stream is None:
+                if local:
+                    stream = f"local-{os.getpid()}-{threading.get_ident()}"
+                else:
+                    stream = f"global-{os.getpid()}"
+                ep = replace(ep, stream=str(kwargs.pop("stream", stream)))
+        elif "stream" in kwargs:
+            raise ValueError(
+                "stream= applies only to tcp:// endpoints; file/shm/mem "
+                "endpoints are named in the URL itself"
+            )
+        # Heartbeat opens the endpoint itself (one layer owns URL → backend,
+        # including mem:// history/window sizing).  The registry rejects
+        # conflicting registrations *before* construction, and Heartbeat
+        # validates its arguments before opening, so a rejected stream never
+        # leaves an opened backend behind.
+        kwargs["backend"] = ep
+        if not isinstance(ep, MemEndpoint):
+            kwargs.setdefault("clock", WallClock(rebase=False))
+    if local:
+        return _registry.initialize_local(window, **kwargs)
+    return _registry.initialize(window, **kwargs)
 
 
 def HB_heartbeat(tag: int = 0, local: bool = False) -> int:

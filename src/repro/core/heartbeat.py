@@ -63,10 +63,18 @@ class Heartbeat:
         Time source used to stamp beats; defaults to :class:`WallClock`.
     backend:
         Storage backend; defaults to an in-process :class:`MemoryBackend`
-        whose capacity is ``max(history, window)``.
+        whose capacity is ``max(history, window)``.  May also be a telemetry
+        endpoint URL string or parsed :class:`~repro.endpoints.Endpoint`
+        (``mem://``, ``file:///path``, ``shm://name?depth=65536``,
+        ``tcp://host:port``), opened through
+        :func:`repro.endpoints.open_backend` with this heartbeat's ``name``
+        as the default ``tcp://`` stream name.
     history:
-        Number of beats retained for history queries when the default memory
-        backend is constructed.  Ignored when ``backend`` is supplied.
+        Number of beats retained for history queries when this constructor
+        sizes in-process storage itself: the default memory backend, and a
+        ``mem://`` endpoint URL without an explicit ``?capacity=``.  Ignored
+        when a backend *object* (or any other endpoint scheme, which sizes
+        storage via URL parameters) is supplied.
     thread_safe:
         When True (default) beat registration is serialised with a lock, which
         is required for the application-global heartbeat shared by several
@@ -82,7 +90,7 @@ class Heartbeat:
         *,
         name: str = "heartbeat",
         clock: Clock | None = None,
-        backend: Backend | None = None,
+        backend: "Backend | str | object | None" = None,
         history: int = 2048,
         thread_safe: bool = True,
     ) -> None:
@@ -92,7 +100,26 @@ class Heartbeat:
         if history <= 0:
             raise InvalidWindowError(f"history must be positive, got {history}")
         capacity = min(max(int(history), self._window), MAX_WINDOW)
-        self._backend = backend if backend is not None else MemoryBackend(capacity)
+        if backend is not None and not isinstance(backend, Backend):
+            # Endpoint URL (or parsed Endpoint): open through the front door.
+            # Anything else non-Backend is trusted as a duck-typed sink.
+            from dataclasses import replace
+
+            from repro.endpoints import Endpoint, MemEndpoint, open_backend
+
+            if isinstance(backend, (str, Endpoint)):
+                ep = Endpoint.parse(backend)
+                if isinstance(ep, MemEndpoint) and ep.capacity is None:
+                    # A mem:// URL without ?capacity= sizes its history
+                    # exactly like the default backend would.
+                    ep = replace(ep, capacity=capacity)
+                # A default-named stream must not impose "heartbeat" as the
+                # wire stream id (every process would collide at the
+                # collector); the network backend's per-process default
+                # applies instead.
+                stream = self.name if self.name != "heartbeat" else None
+                backend = open_backend(ep, stream=stream)
+        self._backend = backend if backend is not None else MemoryBackend(capacity)  # type: ignore[assignment]
         self._backend.set_default_window(self._window)
         self._lock: threading.Lock | _NullLock = (
             threading.Lock() if thread_safe else _NullLock()

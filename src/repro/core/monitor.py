@@ -34,7 +34,6 @@ import numpy as np
 from repro.clock import Clock, WallClock
 from repro.core.backends.base import BackendSnapshot, DeltaSnapshot, SnapshotCursor
 from repro.core.backends.file import HEADER_WIDTH, read_heartbeat_log, tail_heartbeat_log
-from repro.core.backends.shared_memory import SharedMemoryReader
 from repro.core.buffer import circular_batch_slices
 from repro.core.errors import MonitorAttachError
 from repro.core.heartbeat import Heartbeat
@@ -360,6 +359,38 @@ class HeartbeatMonitor:
     # Attachment constructors
     # ------------------------------------------------------------------ #
     @classmethod
+    def for_source(
+        cls,
+        source: object,
+        *,
+        clock: Clock | None = None,
+        window: int = 0,
+        liveness_timeout: float | None = None,
+        own: bool = False,
+    ) -> "HeartbeatMonitor":
+        """Observe any :class:`~repro.core.stream.StreamSource`-shaped object.
+
+        Capabilities (``snapshot_since`` deltas, ``version`` probes, a
+        ``close`` hook) are discovered with
+        :func:`repro.core.stream.capabilities_of`, so a backend, a reader, a
+        collector per-stream view, a ``Heartbeat`` or a bare snapshot
+        callable all attach through the same door and get every fast path
+        they support.  ``own=True`` makes :meth:`close` release the source.
+        """
+        from repro.core.stream import capabilities_of
+
+        caps = capabilities_of(source)
+        return cls(
+            caps.snapshot,
+            clock=clock,
+            window=window,
+            liveness_timeout=liveness_timeout,
+            close=caps.close if own else None,
+            delta=caps.delta,
+            probe=caps.probe,
+        )
+
+    @classmethod
     def attach(
         cls,
         heartbeat: Heartbeat,
@@ -368,13 +399,37 @@ class HeartbeatMonitor:
         liveness_timeout: float | None = None,
     ) -> "HeartbeatMonitor":
         """Observe a heartbeat object living in this process."""
-        return cls(
-            heartbeat.backend.snapshot,
+        return cls.for_source(
+            heartbeat,
             clock=heartbeat.clock,
             window=window,
             liveness_timeout=liveness_timeout,
-            delta=heartbeat.backend.snapshot_since,
-            probe=heartbeat.backend.version,
+        )
+
+    @classmethod
+    def attach_endpoint(
+        cls,
+        endpoint: object,
+        *,
+        clock: Clock | None = None,
+        window: int = 0,
+        liveness_timeout: float | None = None,
+    ) -> "HeartbeatMonitor":
+        """Observe the stream named by an endpoint URL (``file://``/``shm://``).
+
+        The monitor owns the attachment: :meth:`close` detaches it.  See
+        :mod:`repro.endpoints` for the URL scheme; ``mem://`` and ``tcp://``
+        endpoints are observed through
+        :class:`~repro.session.TelemetrySession` instead.
+        """
+        from repro.endpoints import open_source
+
+        return cls.for_source(
+            open_source(endpoint),  # type: ignore[arg-type]
+            clock=clock,
+            window=window,
+            liveness_timeout=liveness_timeout,
+            own=True,
         )
 
     @classmethod
@@ -386,15 +441,17 @@ class HeartbeatMonitor:
         window: int = 0,
         liveness_timeout: float | None = None,
     ) -> "HeartbeatMonitor":
-        """Observe a heartbeat log file written by a :class:`FileBackend`."""
-        source, delta, probe = file_observer_sources(path)
-        return cls(
-            source,
+        """Observe a heartbeat log file written by a :class:`FileBackend`.
+
+        Equivalent to :meth:`attach_endpoint` with a ``file://`` URL.
+        """
+        from repro.endpoints import FileEndpoint
+
+        return cls.attach_endpoint(
+            FileEndpoint(path=os.fspath(path)),
             clock=clock,
             window=window,
             liveness_timeout=liveness_timeout,
-            delta=delta,
-            probe=probe,
         )
 
     @classmethod
@@ -406,16 +463,17 @@ class HeartbeatMonitor:
         window: int = 0,
         liveness_timeout: float | None = None,
     ) -> "HeartbeatMonitor":
-        """Observe a shared-memory segment written by another process."""
-        reader = SharedMemoryReader(name)
-        return cls(
-            reader.snapshot,
+        """Observe a shared-memory segment written by another process.
+
+        Equivalent to :meth:`attach_endpoint` with a ``shm://`` URL.
+        """
+        from repro.endpoints import ShmEndpoint
+
+        return cls.attach_endpoint(
+            ShmEndpoint(name=name),
             clock=clock,
             window=window,
             liveness_timeout=liveness_timeout,
-            close=reader.close,
-            delta=reader.snapshot_since,
-            probe=reader.version,
         )
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,233 @@
+"""Capability-based stream protocols: the one contract every wiring speaks.
+
+Four PRs of growth produced several ways to hand an observer a heartbeat
+stream: ``Backend`` objects, ``SharedMemoryReader``\\ s, the collector's
+per-stream views, monitor ``snapshot_source``/``delta_source`` properties and
+bare ``(snapshot, delta, probe)`` callable triples.  They all answer the same
+three questions — *what is the state now* (``snapshot``), *what changed since
+my cursor* (``snapshot_since``) and *did anything change at all*
+(``version``) — they just spell them differently.
+
+This module names that contract once:
+
+* :class:`StreamSource` — the read side.  ``snapshot()`` is the only
+  required capability; ``snapshot_since`` (cursored deltas), ``version``
+  (cheap change probe) and ``close`` (detach) are optional and *discovered*,
+  never ``isinstance``-checked, so any object that grew the methods gets the
+  incremental fast paths for free.
+* :class:`StreamSink` — the write side: what a producer needs to publish
+  beats and goals.  Every :class:`~repro.core.backends.base.Backend`
+  satisfies it.
+* :func:`capabilities_of` — the single discovery routine.  It accepts a
+  source object, a ``Heartbeat`` (unwrapping its backend), a
+  ``HeartbeatMonitor`` (adopting its attachment), or a bare zero-argument
+  snapshot callable, and returns the normalized
+  :class:`SourceCapabilities` bundle every attacher
+  (:class:`~repro.core.monitor.HeartbeatMonitor`,
+  :class:`~repro.core.aggregator.HeartbeatAggregator`,
+  :class:`~repro.session.TelemetrySession`) consumes.
+* :class:`BoundSource` — the inverse adapter: packages loose callables back
+  into an object satisfying :class:`StreamSource`, which is how log-file
+  observation (a path, not an object) joins the protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.backends.base import BackendSnapshot, DeltaSnapshot, SnapshotCursor
+
+__all__ = [
+    "StreamSource",
+    "StreamSink",
+    "DeltaSource",
+    "ProbeSource",
+    "SourceCapabilities",
+    "BoundSource",
+    "capabilities_of",
+]
+
+#: Cursored delta provider (the optional incremental-read capability).
+DeltaSource = Callable[
+    [SnapshotCursor | None], "tuple[DeltaSnapshot, SnapshotCursor]"
+]
+
+#: Cheap change-token provider (the optional idle-skip capability).
+ProbeSource = Callable[[], object]
+
+
+@runtime_checkable
+class StreamSource(Protocol):
+    """The read side of a heartbeat stream: anything with ``snapshot()``.
+
+    ``snapshot_since`` / ``version`` / ``close`` are optional capabilities on
+    top of this minimum; use :func:`capabilities_of` to discover them rather
+    than testing types.
+    """
+
+    def snapshot(self) -> BackendSnapshot:  # pragma: no cover - protocol stub
+        ...
+
+
+@runtime_checkable
+class StreamSink(Protocol):
+    """The write side of a heartbeat stream: where a producer publishes.
+
+    Every storage backend satisfies it (``mem://``, ``file://``, ``shm://``
+    and ``tcp://`` endpoints all open into one); so can anything else that
+    wants to receive beats — a test double, a metrics bridge, a fan-out tee.
+    """
+
+    def append(
+        self, beat: int, timestamp: float, tag: int, thread_id: int
+    ) -> None:  # pragma: no cover - protocol stub
+        ...
+
+    def append_many(self, records: np.ndarray) -> None:  # pragma: no cover
+        ...
+
+    def set_targets(
+        self, target_min: float, target_max: float
+    ) -> None:  # pragma: no cover - protocol stub
+        ...
+
+    def set_default_window(self, window: int) -> None:  # pragma: no cover
+        ...
+
+    def close(self) -> None:  # pragma: no cover - protocol stub
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class SourceCapabilities:
+    """The normalized capability bundle of one stream source.
+
+    ``snapshot`` is always present; the rest are ``None`` when the source
+    does not offer the capability.  ``close`` is *reported*, not exercised —
+    whether detaching the consumer should also release the source is an
+    ownership decision the attacher makes (``own=True`` on the attach
+    surfaces).
+    """
+
+    snapshot: Callable[[], BackendSnapshot]
+    delta: DeltaSource | None = None
+    probe: ProbeSource | None = None
+    close: Callable[[], None] | None = None
+
+
+class BoundSource:
+    """Loose ``(snapshot, delta, probe, close)`` callables as one object.
+
+    The adapter that brings callable-shaped attachments (log-file observers,
+    lambdas in tests) into the :class:`StreamSource` protocol, so every
+    consumer can be written against objects only.
+    """
+
+    __slots__ = ("_snapshot", "_delta", "_probe", "_close")
+
+    def __init__(
+        self,
+        snapshot: Callable[[], BackendSnapshot],
+        delta: DeltaSource | None = None,
+        probe: ProbeSource | None = None,
+        close: Callable[[], None] | None = None,
+    ) -> None:
+        self._snapshot = snapshot
+        self._delta = delta
+        self._probe = probe
+        self._close = close
+
+    def snapshot(self) -> BackendSnapshot:
+        return self._snapshot()
+
+    def snapshot_since(
+        self, cursor: SnapshotCursor | None = None
+    ) -> tuple[DeltaSnapshot, SnapshotCursor]:
+        if self._delta is None:
+            from repro.core.backends.base import delta_from_snapshot
+
+            return delta_from_snapshot(self._snapshot(), cursor)
+        return self._delta(cursor)
+
+    def version(self) -> object | None:
+        return self._probe() if self._probe is not None else None
+
+    def close(self) -> None:
+        if self._close is not None:
+            self._close()
+
+    def capabilities(self) -> SourceCapabilities:
+        """This adapter's exact capabilities (no fallback synthesis)."""
+        return SourceCapabilities(
+            snapshot=self._snapshot,
+            delta=self._delta,
+            probe=self._probe,
+            close=self._close,
+        )
+
+
+def capabilities_of(obj: object) -> SourceCapabilities:
+    """Discover what stream capabilities ``obj`` offers.
+
+    Accepted shapes, probed in order:
+
+    * a :class:`BoundSource` (its exact capabilities are adopted);
+    * anything exposing monitor-style ``snapshot_source`` / ``delta_source``
+      / ``probe_source`` properties (a ``HeartbeatMonitor`` attachment);
+    * anything with ``snapshot`` (a ``Backend``, a ``SharedMemoryReader``, a
+      collector per-stream view, ...) — ``snapshot_since`` / ``version`` /
+      ``close`` ride along when present.  An object's own ``snapshot``
+      always wins over any ``backend`` it wraps, so locking wrappers are
+      never bypassed;
+    * anything with a ``backend`` attribute that is itself a source (a
+      ``Heartbeat`` — the backend's capabilities are adopted);
+    * a bare zero-argument callable, treated as a snapshot provider with no
+      optional capabilities.
+
+    Raises ``TypeError`` for anything else.  Capabilities are discovered by
+    attribute, never by ``isinstance``: a third-party object that grew
+    ``snapshot_since`` yesterday gets incremental polling today.
+    """
+    if isinstance(obj, BoundSource):
+        return obj.capabilities()
+    if callable(getattr(obj, "stream_ids", None)):
+        # A collector-like object is a *set* of streams, and its
+        # snapshot/snapshot_source surface takes a stream id — accepting it
+        # here would wire a source whose every read fails.  Reject loudly.
+        raise TypeError(
+            f"{type(obj).__name__} is collector-like (it has stream_ids); "
+            "attach it with attach_collector() / TelemetrySession.fleet(), "
+            "or pick one stream via its source(stream_id) view"
+        )
+    monitor_snapshot = getattr(obj, "snapshot_source", None)
+    if monitor_snapshot is not None and callable(monitor_snapshot):
+        return SourceCapabilities(
+            snapshot=monitor_snapshot,
+            delta=getattr(obj, "delta_source", None),
+            probe=getattr(obj, "probe_source", None),
+            close=getattr(obj, "close", None),
+        )
+    # The object's own snapshot wins over any `backend` attribute it holds:
+    # a wrapper like the collector's per-stream view serialises access to
+    # its inner backend, and unwrapping would bypass that lock.
+    snapshot = getattr(obj, "snapshot", None)
+    if snapshot is not None and callable(snapshot):
+        close = getattr(obj, "close", None)
+        return SourceCapabilities(
+            snapshot=snapshot,
+            delta=getattr(obj, "snapshot_since", None),
+            probe=getattr(obj, "version", None),
+            close=close if callable(close) else None,
+        )
+    backend = getattr(obj, "backend", None)
+    if backend is not None and callable(getattr(backend, "snapshot", None)):
+        return capabilities_of(backend)
+    if callable(obj):
+        return SourceCapabilities(snapshot=obj)  # type: ignore[arg-type]
+    raise TypeError(
+        f"{type(obj).__name__} is not a stream source: expected snapshot()/"
+        "snapshot_source, a Heartbeat, or a zero-argument snapshot callable"
+    )

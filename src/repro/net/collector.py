@@ -191,6 +191,18 @@ class HeartbeatCollector:
         """The bound address as the ``"host:port"`` string producers dial."""
         return f"{self.host}:{self.port}"
 
+    @property
+    def endpoint_url(self) -> str:
+        """The bound address as a ``tcp://host:port`` endpoint URL.
+
+        The string producers pass to ``TelemetrySession.produce`` /
+        ``open_backend`` / ``Heartbeat(backend=...)`` to dial this collector
+        (port ``0`` already resolved to the real port).
+        """
+        from repro.endpoints import TcpEndpoint
+
+        return str(TcpEndpoint(host=str(self.host), port=int(self.port)))
+
     # ------------------------------------------------------------------ #
     # Observation surface (what the aggregator consumes)
     # ------------------------------------------------------------------ #
@@ -202,6 +214,17 @@ class HeartbeatCollector:
     def snapshot(self, stream_id: str) -> BackendSnapshot:
         """A consistent snapshot of one stream's retained history."""
         return self._get_stream(stream_id).snapshot()
+
+    def source(self, stream_id: str) -> "_CollectorStream":
+        """One registered stream as a :class:`~repro.core.stream.StreamSource`.
+
+        The returned per-stream view carries the full capability set —
+        ``snapshot`` / ``snapshot_since`` / ``version`` — so it attaches
+        anywhere a source does (``HeartbeatMonitor.for_source``,
+        ``HeartbeatAggregator.attach_stream``, a ``ControlLoop`` rate
+        source) with incremental polling intact.
+        """
+        return self._get_stream(stream_id)
 
     def snapshot_source(self, stream_id: str) -> Callable[[], BackendSnapshot]:
         """A zero-argument snapshot provider for aggregator attachment."""

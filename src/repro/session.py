@@ -1,0 +1,391 @@
+"""The context-managed front door: one object that opens and owns everything.
+
+:class:`TelemetrySession` is the composition root of the telemetry API.  Give
+it endpoint URLs (see :mod:`repro.endpoints`) and it hands back live,
+correctly-wired objects — producers (:meth:`produce`), single-stream
+observers (:meth:`observe`), fleet observers (:meth:`fleet`), collectors
+(:meth:`collect`) and adaptation engines (:meth:`adapt`) — while keeping
+ownership of every resource it created: leaving the ``with`` block flushes,
+closes and detaches them all, in reverse creation order, exactly once.
+
+>>> from repro import TelemetrySession
+>>> with TelemetrySession() as session:
+...     hb = session.produce("mem://worker", window=20)
+...     hb.set_target_rate(100.0, 200.0)
+...     monitor = session.observe("mem://worker")
+...     for item in work:
+...         process(item)
+...         hb.heartbeat()
+...     print(monitor.read().status)
+
+The same URLs cross process boundaries: a producer in one process runs
+``session.produce("shm://svc?depth=65536")`` (or ``tcp://host:port``,
+or ``file:///var/log/svc.hblog``) and an observer anywhere else runs
+``session.observe("shm://svc")`` or ``session.fleet("tcp://0.0.0.0:7717")``
+with no other coordination.
+
+One session, one time base: unless a ``clock`` is supplied (to the session,
+or per call), every stream a session produces or observes — ``mem://``
+included — is stamped with the host-wide monotonic clock
+(``WallClock(rebase=False)``), so liveness ages are consistent across the
+whole session and across processes.  (A bare
+:class:`~repro.core.heartbeat.Heartbeat` keeps its process-rebased default;
+pass ``clock=WallClock()`` to a session that prefers readable near-zero
+timestamps and needs no cross-process alignment.)
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import TYPE_CHECKING, Callable
+
+from repro.clock import Clock, WallClock
+from repro.core.aggregator import HeartbeatAggregator
+from repro.core.heartbeat import Heartbeat
+from repro.core.monitor import HeartbeatMonitor
+from repro.endpoints import (
+    Endpoint,
+    EndpointError,
+    MemEndpoint,
+    TcpEndpoint,
+    open_collector,
+    stream_name_for,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.adapt.engine import AdaptationEngine
+    from repro.adapt.spec import ActuatorFactory, AdaptSpec
+    from repro.net.collector import HeartbeatCollector
+
+__all__ = ["TelemetrySession"]
+
+
+class TelemetrySession:
+    """Context-managed facade over producers, observers and fleets.
+
+    Parameters
+    ----------
+    clock:
+        Default time source for everything the session creates.  ``None``
+        selects the host-wide monotonic clock (``WallClock(rebase=False)``)
+        for every endpoint, keeping one time base across the session.
+    window:
+        Default rate window for produced and observed streams (``0``: the
+        library / producer default).
+    liveness_timeout:
+        Default seconds-without-a-beat before observers classify a stream
+        ``STALLED``; ``None`` disables the check.
+    """
+
+    def __init__(
+        self,
+        *,
+        clock: Clock | None = None,
+        window: int = 0,
+        liveness_timeout: float | None = None,
+    ) -> None:
+        self._clock = clock
+        self._window = int(window)
+        self._liveness_timeout = liveness_timeout
+        self._lock = threading.Lock()
+        #: LIFO of ``(label, close callable)`` — closed in reverse creation
+        #: order so observers detach before the producers they read.
+        self._resources: list[tuple[str, Callable[[], None]]] = []
+        self._produced: dict[str, Heartbeat] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Producer side
+    # ------------------------------------------------------------------ #
+    def produce(
+        self,
+        endpoint: str | Endpoint = "mem://",
+        *,
+        name: str | None = None,
+        window: int | None = None,
+        history: int = 2048,
+        target: tuple[float, float] | None = None,
+        clock: Clock | None = None,
+        thread_safe: bool = True,
+    ) -> Heartbeat:
+        """Open a heartbeat stream that publishes to ``endpoint``.
+
+        ``name`` defaults to the endpoint's natural stream name (the
+        ``mem://``/``shm://`` name, the ``tcp://...?stream=`` parameter, the
+        log file's basename; a bare ``tcp://host:port`` gets the per-process
+        ``hb-<pid>`` so producers on different hosts never collide at the
+        collector).  ``target=(min, max)`` publishes a heart-rate goal
+        immediately.  ``history`` sizes the retained history of ``mem://``
+        streams without an explicit ``?capacity=``, exactly like a bare
+        :class:`Heartbeat`; the other schemes size their storage with URL
+        parameters (``capacity``/``depth``).  The returned heartbeat is
+        session-owned: it is finalised (backend flushed and closed) when the
+        session closes, and can also be finalised earlier by the caller —
+        finalisation is idempotent.
+        """
+        ep = Endpoint.parse(endpoint)
+        label = f"produce:{ep}"
+        if name is not None:
+            stream_name = name
+        elif isinstance(ep, TcpEndpoint) and ep.stream is None:
+            stream_name = f"hb-{os.getpid()}"
+        else:
+            stream_name = stream_name_for(ep)
+        # Heartbeat opens the endpoint itself (one layer owns URL → backend,
+        # including mem:// history sizing and tcp:// stream naming).
+        heartbeat = Heartbeat(
+            self._window if window is None else window,
+            name=stream_name,
+            clock=self._clock_for(ep, clock),
+            backend=ep,
+            history=history,
+            thread_safe=thread_safe,
+        )
+        try:
+            if target is not None:
+                heartbeat.set_target_rate(target[0], target[1])
+            with self._lock:
+                # observe()/fleet() resolve mem:// URLs through this
+                # registry; a silent alias would split one name across two
+                # streams, so duplicates are rejected.
+                if stream_name in self._produced:
+                    raise EndpointError(
+                        f"a stream named {stream_name!r} was already produced "
+                        "in this session; pass name= (or ?stream=) to "
+                        "distinguish them"
+                    )
+            self._register(label, heartbeat.finalize)
+            with self._lock:
+                self._produced[stream_name] = heartbeat
+        except Exception:
+            heartbeat.finalize()  # a rejected stream must not leak its backend
+            raise
+        return heartbeat
+
+    # ------------------------------------------------------------------ #
+    # Observer side
+    # ------------------------------------------------------------------ #
+    def observe(
+        self,
+        endpoint: str | Endpoint,
+        *,
+        window: int | None = None,
+        liveness_timeout: float | None = None,
+        clock: Clock | None = None,
+    ) -> HeartbeatMonitor:
+        """Attach a read-only monitor to one stream named by ``endpoint``.
+
+        ``file://`` and ``shm://`` endpoints attach across processes;
+        ``mem://NAME`` resolves to the stream this session produced under
+        that name.  ``tcp://`` observation is fleet-shaped — use
+        :meth:`fleet` (or :meth:`collect`) and let producers dial in.
+        """
+        ep = Endpoint.parse(endpoint)
+        window = self._window if window is None else int(window)
+        timeout = (
+            self._liveness_timeout if liveness_timeout is None else liveness_timeout
+        )
+        if isinstance(ep, MemEndpoint):
+            heartbeat = self._lookup(ep)
+            observer_clock = clock if clock is not None else self._clock
+            monitor = HeartbeatMonitor.for_source(
+                heartbeat,
+                clock=observer_clock if observer_clock is not None else heartbeat.clock,
+                window=window,
+                liveness_timeout=timeout,
+            )
+        elif isinstance(ep, TcpEndpoint):
+            raise EndpointError(
+                f"{ep} is fleet-shaped: observe it with session.fleet({str(ep)!r})"
+            )
+        else:
+            monitor = HeartbeatMonitor.attach_endpoint(
+                ep,
+                clock=self._clock_for(ep, clock),
+                window=window,
+                liveness_timeout=timeout,
+            )
+        self._register(f"observe:{ep}", monitor.close)
+        return monitor
+
+    def fleet(
+        self,
+        *endpoints: str | Endpoint | object,
+        window: int | None = None,
+        liveness_timeout: float | None = None,
+        num_shards: int = 1,
+        incremental: bool = True,
+        clock: Clock | None = None,
+    ) -> HeartbeatAggregator:
+        """Open a fleet observer over any mix of endpoints.
+
+        Each argument may be an endpoint URL/:class:`Endpoint` — ``tcp://``
+        binds a session-owned collector and observes every producer that
+        dials in (dynamically, as they appear); ``file://`` / ``shm://`` /
+        ``mem://NAME`` attach single streams — or an already-running
+        collector-like object (anything with ``stream_ids``), which is
+        observed without taking ownership.
+        """
+        aggregator = HeartbeatAggregator(
+            clock=clock if clock is not None else self._observer_clock(),
+            window=self._window if window is None else int(window),
+            liveness_timeout=(
+                self._liveness_timeout if liveness_timeout is None else liveness_timeout
+            ),
+            num_shards=num_shards,
+            incremental=incremental,
+        )
+        self._register("fleet", aggregator.close)
+        for entry in endpoints:
+            self._attach_fleet_entry(aggregator, entry)
+        return aggregator
+
+    def collect(
+        self, endpoint: str | Endpoint = "tcp://127.0.0.1:0"
+    ) -> "HeartbeatCollector":
+        """Bind a session-owned TCP collector at a ``tcp://`` endpoint."""
+        collector = open_collector(endpoint)
+        self._register(f"collect:tcp://{collector.endpoint}", collector.close)
+        return collector
+
+    # ------------------------------------------------------------------ #
+    # Adaptation
+    # ------------------------------------------------------------------ #
+    def adapt(
+        self,
+        spec: "AdaptSpec | str",
+        *,
+        actuators: "dict[str, ActuatorFactory] | None" = None,
+        attach: "tuple[str | Endpoint, ...] | list[str | Endpoint]" = (),
+        clock: Clock | None = None,
+    ) -> "AdaptationEngine":
+        """Build a session-owned adaptation engine from a declarative spec.
+
+        ``spec`` is an :class:`~repro.adapt.AdaptSpec` or a path to one.  The
+        spec's own ``[engine] attach`` endpoints are wired first, then any
+        extra ``attach`` entries, through exactly the same rules as
+        :meth:`fleet` — so a spec can carry its full wiring
+        (``attach = ["tcp://0.0.0.0:7717"]``) and need nothing but
+        ``session.adapt("spec.toml")`` at runtime.
+        """
+        from repro.adapt.spec import AdaptSpec
+
+        if not isinstance(spec, AdaptSpec):
+            spec = AdaptSpec.from_file(spec)
+        aggregator = self.fleet(
+            window=spec.window,
+            liveness_timeout=spec.liveness_timeout,
+            num_shards=spec.num_shards,
+            clock=clock,
+        )
+        engine = spec.build_engine(aggregator=aggregator, actuators=actuators)
+        # The aggregator is already session-owned; the engine must not close
+        # it a second time (engine.close is idempotent about its own state).
+        self._register("adapt", lambda: engine.close(close_aggregator=False))
+        for entry in (*spec.attach, *attach):
+            self._attach_fleet_entry(aggregator, entry)
+        return engine
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release everything the session created, newest first.  Idempotent.
+
+        Every resource's close is attempted even if an earlier one raises;
+        the first failure is re-raised once teardown has run to completion.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            resources = list(self._resources)
+            self._resources.clear()
+            self._produced.clear()
+        first_error: BaseException | None = None
+        for _, closer in reversed(resources):
+            try:
+                closer()
+            except BaseException as exc:  # noqa: BLE001 - teardown must finish
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "TelemetrySession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TelemetrySession(resources={len(self._resources)}, "
+            f"closed={self._closed})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _register(self, label: str, closer: Callable[[], None]) -> None:
+        with self._lock:
+            if not self._closed:
+                self._resources.append((label, closer))
+                return
+        # Too late to own anything: release the resource and refuse.
+        closer()
+        raise EndpointError("telemetry session is closed")
+
+    def _clock_for(self, ep: Endpoint, override: Clock | None) -> Clock:
+        """The time base for one endpoint: override > session > the default.
+
+        One session, one time base: every produced and observed stream
+        defaults to the same host-wide monotonic clock, so a fleet mixing
+        ``mem://`` and cross-process streams computes consistent liveness
+        ages for all of them.
+        """
+        if override is not None:
+            return override
+        return self._observer_clock()
+
+    def _observer_clock(self) -> Clock:
+        """Fleet observers default to the host-wide monotonic time base."""
+        return self._clock if self._clock is not None else WallClock(rebase=False)
+
+    def _lookup(self, ep: MemEndpoint) -> Heartbeat:
+        name = ep.name or "heartbeat"
+        with self._lock:
+            heartbeat = self._produced.get(name)
+        if heartbeat is None:
+            raise EndpointError(
+                f"no stream named {name!r} was produced in this session; "
+                "mem:// endpoints are process-local"
+            )
+        return heartbeat
+
+    def _attach_fleet_entry(
+        self, aggregator: HeartbeatAggregator, entry: "str | Endpoint | object"
+    ) -> None:
+        """Attach one fleet entry: an endpoint URL or a collector-like object."""
+        if not isinstance(entry, (str, Endpoint)):
+            if callable(getattr(entry, "stream_ids", None)):
+                aggregator.attach_collector(entry)  # type: ignore[arg-type]
+                return
+            raise EndpointError(
+                f"fleet entries are endpoint URLs or collector-like objects, "
+                f"got {type(entry).__name__}"
+            )
+        ep = Endpoint.parse(entry)
+        if isinstance(ep, TcpEndpoint):
+            collector = self.collect(ep)
+            aggregator.attach_collector(collector)
+        elif isinstance(ep, MemEndpoint):
+            heartbeat = self._lookup(ep)
+            aggregator.attach(heartbeat.name, heartbeat)
+        else:
+            aggregator.attach_endpoint(ep)

@@ -241,6 +241,119 @@ class TestAdaptCLI:
         ), out
 
 
+class TestEndpointCLI:
+    """Positional endpoint URLs, --version, and the atomic port file."""
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_version_via_python_m_repro(self):
+        from repro import __version__
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            env=env, capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 0
+        assert result.stdout.strip() == f"repro {__version__}"
+
+    def test_collect_positional_tcp_endpoint(self, capsys):
+        assert cli.main(
+            ["collect", "tcp://127.0.0.1:0", "--duration", "0.2", "--interval", "0.1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "collector listening on 127.0.0.1:" in out
+        assert "producers dial tcp://127.0.0.1:" in out
+
+    def test_collect_rejects_non_tcp_endpoint(self, capsys):
+        assert cli.main(["collect", "shm://x", "--duration", "0.1"]) == 2
+        assert "tcp://" in capsys.readouterr().err
+
+    def test_collect_rejects_endpoint_plus_bind(self, capsys):
+        assert cli.main(["collect", "tcp://127.0.0.1:0", "--bind", "127.0.0.1:0"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_watch_positional_file_endpoint(self, tmp_path, capsys):
+        log = tmp_path / "svc.hblog"
+        hb = Heartbeat(window=5, backend=FileBackend(log))
+        for _ in range(10):
+            hb.heartbeat()
+        hb.finalize()
+        assert cli.main(["watch", f"file://{log}", "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "file:svc.hblog" in out
+        assert "1 streams, 1 measurable" in out
+
+    def test_watch_rejects_mem_endpoint(self, capsys):
+        assert cli.main(["watch", "mem://x", "--once"]) == 2
+        assert "process-local" in capsys.readouterr().err
+
+    def test_watch_rejects_invalid_endpoint_url(self, capsys):
+        assert cli.main(["watch", "warp://x", "--once"]) == 2
+        assert "unknown endpoint scheme" in capsys.readouterr().err
+
+    def test_adapt_positional_endpoint_matches_spec_attach(self, tmp_path, capsys):
+        """The same file:// URL works as a positional arg and in the spec."""
+        log = tmp_path / "svc.hblog"
+        hb = Heartbeat(window=5, backend=FileBackend(log))
+        hb.set_target_rate(1e6, 2e6)
+        for _ in range(10):
+            hb.heartbeat()
+        hb.finalize()
+        spec_positional = tmp_path / "spec.json"
+        spec_positional.write_text(json.dumps(
+            {"loops": [{"match": "file:*", "target": "published", "actuator": "log"}]}
+        ))
+        assert cli.main(
+            ["adapt", "--spec", str(spec_positional), f"file://{log}", "--once"]
+        ) == 0
+        positional_out = capsys.readouterr().out
+        spec_attach = tmp_path / "spec_attach.json"
+        spec_attach.write_text(json.dumps({
+            "engine": {"attach": [f"file://{log}"]},
+            "loops": [{"match": "file:*", "target": "published", "actuator": "log"}],
+        }))
+        assert cli.main(["adapt", "--spec", str(spec_attach), "--once"]) == 0
+        attach_out = capsys.readouterr().out
+        for out in (positional_out, attach_out):
+            assert "tick=0" in out and "loops=1" in out and "decisions=1" in out
+            assert "file:svc.hblog" in out
+
+    def test_legacy_flags_warn_deprecation(self, tmp_path, capsys):
+        log = tmp_path / "svc.hblog"
+        hb = Heartbeat(window=5, backend=FileBackend(log))
+        hb.heartbeat()
+        hb.finalize()
+        with pytest.warns(DeprecationWarning, match="deprecated facade"):
+            assert cli.main(["watch", "--file", str(log), "--once"]) == 0
+
+    def test_port_file_written_atomically(self, tmp_path):
+        """The port file appears fully-formed: temp file + rename, no tail."""
+        port_file = tmp_path / "port"
+        observed: list[str] = []
+        real_replace = os.replace
+
+        def spying_replace(src, dst, **kwargs):
+            observed.append(pathlib.Path(src).read_text())
+            return real_replace(src, dst, **kwargs)
+
+        cli.os.replace = spying_replace
+        try:
+            cli._write_port_file(str(port_file), 43210)
+        finally:
+            cli.os.replace = real_replace
+        assert observed == ["43210\n"]  # fully written before the rename
+        assert port_file.read_text() == "43210\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["port"]  # no temp left
+
+
 class TestExamples:
     """The examples must at least be importable/compilable as shipped."""
 
