@@ -16,6 +16,18 @@ Three regimes per fleet:
   poll: the steady state of a live fleet, and where the aggregate
   beats-per-second ingest figure comes from.
 
+Two further regimes exercise the event-loop ingest tier itself
+(``--sources concurrent,tree``):
+
+* ``concurrent`` — one collector process holding thousands of *live
+  producer connections at once* (client fleets run in subprocesses, so the
+  per-process FD table bounds neither side): connection count actually
+  reached, connect time, and ingest beats/sec through the event loop.
+* ``tree``       — the same producer fleet split across two edge
+  collectors relaying into one root (collector federation): delivered
+  beats/sec at the root, replay/dedup counters, and a stalled-detection
+  check after every producer dies abruptly.
+
 Run standalone to produce ``BENCH_fleet.json`` (the repo's fleet-scale perf
 trajectory artifact)::
 
@@ -323,6 +335,271 @@ def run_collector(streams: int, depth: int) -> dict:
 
 
 # --------------------------------------------------------------------- #
+# Concurrent-connection and federation-tree regimes (the ingest tier)
+# --------------------------------------------------------------------- #
+#: Records per BATCH frame and frames per connection in the beat phase.
+CONN_BATCH = 20
+CONN_ROUNDS = 5
+
+
+def _raise_fd_limit(need: int) -> None:
+    """Raise RLIMIT_NOFILE toward ``need`` (best effort, capped at hard)."""
+    import resource
+
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft < need:
+        resource.setrlimit(resource.RLIMIT_NOFILE, (min(need, hard), hard))
+
+
+def _client_fleet_worker(
+    address, names, rounds, batch, start, drain, acks
+) -> None:
+    """One subprocess's share of the producer fleet (raw sockets).
+
+    Holds every connection open across the whole run: connect + HELLO all,
+    ack, wait for ``start``, ship ``rounds`` preencoded BATCH frames per
+    connection, ack, then hold until ``drain`` and die *abruptly* (no CLOSE
+    frame) — which the tree regime uses for its stalled-detection check.
+    """
+    import socket as socketlib
+
+    from repro.net import protocol
+
+    _raise_fd_limit(len(names) + 512)
+    socks = []
+    try:
+        for i, name in enumerate(names):
+            for _attempt in range(400):
+                try:
+                    sock = socketlib.create_connection(address, timeout=10.0)
+                    break
+                except OSError:
+                    time.sleep(0.025)
+            else:
+                acks.put(("error", f"worker could not connect {name}"))
+                return
+            sock.setsockopt(socketlib.IPPROTO_TCP, socketlib.TCP_NODELAY, 1)
+            sock.sendall(protocol.encode_hello(name, pid=os.getpid(), default_window=20))
+            socks.append(sock)
+            if i % 250 == 249:
+                time.sleep(0.01)  # ease the accept burst
+        acks.put(("connected", len(socks)))
+        if not start.wait(timeout=600):
+            return
+        beat = 0
+        sent = 0
+        for _round in range(rounds):
+            records = synth_records(batch, start_beat=beat, start_ts=beat * DT)
+            header, payload = protocol.frame_buffers(
+                protocol.FRAME_BATCH, protocol.batch_payload(records)
+            )
+            frame = bytes(header) + bytes(payload)
+            beat += batch
+            for sock in socks:
+                sock.sendall(frame)
+                sent += batch
+        acks.put(("sent", sent))
+        drain.wait(timeout=600)
+    finally:
+        for sock in socks:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+def _spawn_client_fleet(ctx, address, connections, workers, rounds, batch, prefix, start, drain, acks):
+    """Start ``workers`` subprocesses covering ``connections`` producers."""
+    procs = []
+    offset = 0
+    for w in range(workers):
+        count = connections // workers + (1 if w < connections % workers else 0)
+        names = [f"{prefix}-{offset + i:05d}" for i in range(count)]
+        offset += count
+        proc = ctx.Process(
+            target=_client_fleet_worker,
+            args=(address, names, rounds, batch, start, drain, acks),
+            daemon=True,
+        )
+        proc.start()
+        procs.append(proc)
+    return procs
+
+
+def _await_acks(acks, kind, workers, timeout=600.0):
+    total = 0
+    for _ in range(workers):
+        got_kind, value = acks.get(timeout=timeout)
+        if got_kind == "error":
+            raise RuntimeError(value)
+        assert got_kind == kind, f"expected {kind} ack, got {got_kind}"
+        total += value
+    return total
+
+
+def run_concurrent(
+    connections: int, *, workers: int = 4, rounds: int = CONN_ROUNDS, batch: int = CONN_BATCH
+) -> dict:
+    """One collector, ``connections`` live producer links, ingest rate."""
+    import multiprocessing as mp
+
+    from repro.net import HeartbeatCollector
+
+    _raise_fd_limit(connections + 4096)
+    ctx = mp.get_context("spawn")
+    start, drain = ctx.Event(), ctx.Event()
+    acks = ctx.Queue()
+    collector = HeartbeatCollector(
+        backlog=4096, default_capacity=max(64, rounds * batch)
+    )
+    try:
+        t_connect = time.monotonic()
+        procs = _spawn_client_fleet(
+            ctx, collector.address, connections, workers, rounds, batch,
+            "conn", start, drain, acks,
+        )
+        connected = _await_acks(acks, "connected", workers)
+        deadline = time.monotonic() + 300.0
+        while (
+            collector.stats()["open_connections"] < connections
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.05)
+        connect_seconds = time.monotonic() - t_connect
+        stats = collector.stats()
+        peak_open = stats["open_connections"]
+        expected = connections * rounds * batch
+
+        t0 = time.monotonic()
+        start.set()
+        sent = _await_acks(acks, "sent", workers)
+        while collector.stats()["records"] < expected and time.monotonic() < deadline:
+            time.sleep(0.02)
+        ingest_seconds = time.monotonic() - t0
+        stats = collector.stats()
+        drain.set()
+        for proc in procs:
+            proc.join(timeout=120.0)
+        return {
+            "connections_requested": connections,
+            "connections_connected": connected,
+            "peak_open_connections": peak_open,
+            "connect_seconds": connect_seconds,
+            "records_sent": sent,
+            "records_ingested": stats["records"],
+            "ingest_seconds": ingest_seconds,
+            "ingest_beats_per_sec": stats["records"] / ingest_seconds if ingest_seconds > 0 else 0.0,
+            "streams": stats["streams"],
+            "protocol_errors": stats["protocol_errors"],
+        }
+    finally:
+        collector.close()
+
+
+def run_tree(
+    streams: int,
+    *,
+    edges: int = 2,
+    workers_per_edge: int = 2,
+    rounds: int = CONN_ROUNDS,
+    batch: int = CONN_BATCH,
+) -> dict:
+    """Producers → ``edges`` edge collectors → one root (federation).
+
+    The same client fleet as :func:`run_concurrent`, split across edge
+    collectors that relay into a root.  Measures delivered beats/sec *at
+    the root*, then kills every producer abruptly and checks the root
+    observes the deaths (disconnected streams classifying as STALLED).
+    """
+    import multiprocessing as mp
+
+    from repro.net import HeartbeatCollector
+
+    _raise_fd_limit(streams + 4096)
+    ctx = mp.get_context("spawn")
+    start, drain = ctx.Event(), ctx.Event()
+    acks = ctx.Queue()
+    root = HeartbeatCollector(backlog=4096, default_capacity=max(64, rounds * batch))
+    edge_nodes = [
+        HeartbeatCollector(
+            upstream=root.endpoint,
+            relay_interval=0.02,
+            backlog=4096,
+            default_capacity=max(64, rounds * batch),
+        )
+        for _ in range(edges)
+    ]
+    procs = []
+    try:
+        per_edge = streams // edges
+        total_workers = 0
+        for e, edge in enumerate(edge_nodes):
+            count = per_edge + (streams % edges if e == edges - 1 else 0)
+            procs.extend(
+                _spawn_client_fleet(
+                    ctx, edge.address, count, workers_per_edge, rounds, batch,
+                    f"tree{e}", start, drain, acks,
+                )
+            )
+            total_workers += workers_per_edge
+        _await_acks(acks, "connected", total_workers)
+        expected = streams * rounds * batch
+
+        t0 = time.monotonic()
+        start.set()
+        sent = _await_acks(acks, "sent", total_workers)
+        deadline = time.monotonic() + 600.0
+        while root.stats()["records"] < expected and time.monotonic() < deadline:
+            time.sleep(0.02)
+        deliver_seconds = time.monotonic() - t0
+        root_stats = root.stats()
+        delivered = root_stats["records"]
+
+        # Stalled detection: every producer dies abruptly (no CLOSE); the
+        # edges observe the hangups and the relay propagates them, so the
+        # root must end with every stream disconnected-but-not-closed and an
+        # aggregator must classify the silence as STALLED.
+        drain.set()
+        for proc in procs:
+            proc.join(timeout=120.0)
+        while time.monotonic() < deadline:
+            infos = root.streams()
+            if len(infos) >= streams and all(not i.connected for i in infos):
+                break
+            time.sleep(0.05)
+        infos = root.streams()
+        deaths_seen = sum(1 for i in infos if not i.connected and not i.closed)
+
+        clock = _FrozenClock(now=rounds * batch * DT + 60.0)
+        agg = HeartbeatAggregator(clock=clock, num_shards=SHARDS, liveness_timeout=5.0)
+        try:
+            agg.attach_collector(root)
+            sample = agg.poll()
+            stalled = sum(
+                1 for _name, reading in sample if reading.status.value == "stalled"
+            )
+        finally:
+            agg.close()
+
+        return {
+            "streams": streams,
+            "edges": edges,
+            "records_sent": sent,
+            "records_delivered_to_root": delivered,
+            "deliver_seconds": deliver_seconds,
+            "delivered_beats_per_sec": delivered / deliver_seconds if deliver_seconds > 0 else 0.0,
+            "relay_duplicates": root_stats["relay_duplicates"],
+            "deaths_observed_at_root": deaths_seen,
+            "stalled_at_root": stalled,
+            "stalled_detection_ok": deaths_seen == streams and stalled == streams,
+        }
+    finally:
+        for edge in edge_nodes:
+            edge.close()
+        root.close()
+
+
+# --------------------------------------------------------------------- #
 # Pytest threshold checks (CI's benchmark-smoke gate)
 # --------------------------------------------------------------------- #
 def test_incremental_poll_beats_full_snapshot_1k() -> None:
@@ -340,6 +617,35 @@ def test_incremental_poll_beats_full_snapshot_1k() -> None:
         if best >= 2.0:
             break
     assert best > 1.5, f"incremental poll only {best:.2f}x the full-snapshot poll at 1k streams"
+
+
+def test_collector_sustains_concurrent_connection_fleet() -> None:
+    """The ingest-tier gate: one collector, a whole client fleet at once.
+
+    CI-sized (1 000 live connections — the full 5k/10k regime runs in the
+    standalone artifact mode): every connection must register, stay open
+    concurrently, and every sent record must land, with zero protocol
+    errors.
+    """
+    connections = 250 if _quick() else 1000
+    row = run_concurrent(connections, workers=2)
+    assert row["peak_open_connections"] >= connections, row
+    assert row["records_ingested"] == row["records_sent"], row
+    assert row["protocol_errors"] == 0, row
+    assert row["ingest_beats_per_sec"] > 0, row
+
+
+def test_tree_delivers_every_beat_and_detects_stalls() -> None:
+    """The federation gate: 2 edges → 1 root, full delivery + stall fan-in.
+
+    Every beat produced at the edges must reach the root exactly once
+    (dedup keeps replays idempotent), and every abrupt producer death must
+    be observed at the root as a disconnected stream classifying STALLED.
+    """
+    streams = 100 if _quick() else 200
+    row = run_tree(streams, workers_per_edge=1)
+    assert row["records_delivered_to_root"] == row["records_sent"], row
+    assert row["stalled_detection_ok"], row
 
 
 def test_idle_fleet_polls_in_near_constant_time() -> None:
@@ -369,8 +675,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true", help="CI-sized fleets")
     parser.add_argument(
         "--sources",
-        default="memory,shm,file,collector",
-        help="comma-separated subset of memory,shm,file,collector",
+        default="memory,shm,file,collector,concurrent,tree",
+        help="comma-separated subset of memory,shm,file,collector,concurrent,tree",
     )
     parser.add_argument(
         "--output",
@@ -386,10 +692,14 @@ def main(argv: list[str] | None = None) -> int:
         sizes = (100, 1000)
         memory_depth = 4096
         caps = {"shm": (128, 2048), "file": (64, 1024), "collector": (64, 512)}
+        concurrent_sizes = (1000,)
+        tree_sizes = (200,)
     else:
         sizes = (100, 1000, 10000)
         memory_depth = 65536
         caps = {"shm": (512, 8192), "file": (256, 8192), "collector": (128, 2048)}
+        concurrent_sizes = (5000, 10000)
+        tree_sizes = (1000, 5000)
 
     results: dict = {
         "timestamp": time.time(),
@@ -444,6 +754,33 @@ def main(argv: list[str] | None = None) -> int:
                 row = run_collector(n, depth)
                 rows.append(row)
                 emit(source, row)
+        elif source == "concurrent":
+            results["sources"]["concurrent"] = {
+                "rounds": CONN_ROUNDS, "batch": CONN_BATCH, "fleets": rows,
+            }
+            for n in concurrent_sizes:
+                row = run_concurrent(n)
+                rows.append(row)
+                print(
+                    f"{source:>9} n={row['connections_requested']:>6}: "
+                    f"open {row['peak_open_connections']:>6} conns "
+                    f"(connected in {row['connect_seconds']:>6.1f} s)   "
+                    f"ingest {row['ingest_beats_per_sec']:>12,.0f} beats/s   "
+                    f"{row['records_ingested']:,}/{row['records_sent']:,} records"
+                )
+        elif source == "tree":
+            results["sources"]["tree"] = {
+                "rounds": CONN_ROUNDS, "batch": CONN_BATCH, "fleets": rows,
+            }
+            for n in tree_sizes:
+                row = run_tree(n)
+                rows.append(row)
+                print(
+                    f"{source:>9} n={row['streams']:>6} via {row['edges']} edges: "
+                    f"deliver {row['delivered_beats_per_sec']:>12,.0f} beats/s   "
+                    f"{row['records_delivered_to_root']:,}/{row['records_sent']:,} records   "
+                    f"stalled-detection {'OK' if row['stalled_detection_ok'] else 'FAILED'}"
+                )
         else:
             raise SystemExit(f"unknown source {source!r}")
 

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Check that relative markdown links resolve to real files.
+
+Scans the given markdown files (default: README.md and docs/*.md) for
+``[text](target)`` links, resolves each relative target against the linking
+file's directory, and fails listing every target that does not exist.
+External links (``http(s)://``, ``mailto:``) and pure in-page anchors
+(``#section``) are skipped — this is a repo-consistency gate, not a crawler.
+
+Usage::
+
+    python scripts/check_links.py [FILE.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links, tolerating an optional title: [text](target "title")
+LINK = re.compile(r"\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_links(path: Path) -> "list[tuple[int, str]]":
+    """Every (line number, link target) in one markdown file."""
+    links: list[tuple[int, str]] = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(line):
+            links.append((lineno, match.group(1)))
+    return links
+
+
+def check_file(path: Path) -> "list[str]":
+    problems: list[str] = []
+    for lineno, target in iter_links(path):
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        # ../../actions/... style badge links point at the GitHub UI, not
+        # the working tree; they resolve outside the repository root.
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        try:
+            resolved.relative_to(Path.cwd().resolve())
+        except ValueError:
+            continue
+        if not resolved.exists():
+            problems.append(f"{path}:{lineno}: broken link -> {target}")
+    return problems
+
+
+def main(argv: "list[str]") -> int:
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = [Path("README.md"), *sorted(Path("docs").glob("*.md"))]
+    problems: list[str] = []
+    for path in files:
+        if not path.exists():
+            problems.append(f"{path}: file not found")
+            continue
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = ", ".join(str(f) for f in files)
+    if problems:
+        print(f"{len(problems)} broken link(s) across {checked}", file=sys.stderr)
+        return 1
+    print(f"links OK: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -354,9 +354,19 @@ def _cmd_collect(args: argparse.Namespace) -> int:
         _emit(f"collect: collectors bind tcp:// endpoints, not {endpoint}", stream=sys.stderr)
         return 2
     try:
-        with open_collector(endpoint) as collector:
+        collector = open_collector(endpoint)
+    except OSError as exc:
+        # The traceback would bury the one fact that matters (address in
+        # use / unresolvable host); say it in one line and exit non-zero.
+        _emit(f"collect: cannot bind {endpoint}: {exc}", stream=sys.stderr)
+        return 1
+    try:
+        with collector:
             _emit(f"collector listening on {collector.endpoint}")
             _emit(f"producers dial {collector.endpoint_url}")
+            if collector.is_edge:
+                up_host, up_port = collector.upstream_address or ("", 0)
+                _emit(f"forwarding upstream to {up_host}:{up_port}")
             if args.port_file:
                 _write_port_file(args.port_file, collector.port)
             aggregator = HeartbeatAggregator(

@@ -11,6 +11,7 @@ URL                                         meaning
 ``file://svc.hblog?buffered=0``             log file, write-through appends
 ``shm://svc?depth=65536``                   shared-memory segment, 65536 slots
 ``tcp://collector:7717?stream=svc``         ship beats to / collect from TCP
+``tcp://0.0.0.0:7717?upstream=root:7717``   edge collector forwarding upstream
 ==========================================  =====================================
 
 The same string works everywhere: :class:`~repro.session.TelemetrySession`
@@ -306,14 +307,22 @@ class ShmEndpoint(Endpoint):
 
 @dataclass(frozen=True, slots=True)
 class TcpEndpoint(Endpoint):
-    """``tcp://HOST:PORT[?stream=NAME&capacity=N]`` — networked telemetry.
+    """``tcp://HOST:PORT[?stream=NAME&capacity=N&upstream=H:P]`` — networked telemetry.
 
     On the producer side the endpoint is the collector address beats are
     shipped to (``stream`` names the registered stream, ``capacity`` sizes
     the local mirror buffer).  On the observer side it is the address a
     :class:`~repro.net.collector.HeartbeatCollector` binds; port ``0`` asks
-    the OS for an ephemeral port.  IPv6 literals use brackets:
+    the OS for an ephemeral port, and ``upstream=HOST:PORT`` binds an *edge*
+    collector that forwards every stream to the named parent collector
+    (federation — see :mod:`repro.net.relay`).  IPv6 literals use brackets:
     ``tcp://[::1]:7717``.
+
+    >>> ep = Endpoint.parse("tcp://0.0.0.0:7717?upstream=root.example:7717")
+    >>> ep.upstream
+    'root.example:7717'
+    >>> Endpoint.parse(str(ep)) == ep
+    True
     """
 
     scheme: ClassVar[str] = "tcp"
@@ -323,6 +332,7 @@ class TcpEndpoint(Endpoint):
     stream: str | None = None
     capacity: int | None = None
     flush_interval: float | None = None
+    upstream: str | None = None
 
     def __post_init__(self) -> None:
         if not self.host:
@@ -335,6 +345,15 @@ class TcpEndpoint(Endpoint):
             raise EndpointError(
                 f"flush_interval must be positive, got {self.flush_interval}"
             )
+        if self.upstream is not None:
+            from repro.net.protocol import parse_address
+
+            try:
+                parse_address(self.upstream)
+            except ValueError as exc:
+                raise EndpointError(
+                    f"upstream must be host:port, got {self.upstream!r}: {exc}"
+                ) from exc
 
     @classmethod
     def _parse(cls, url: str, body: str, query: str) -> "TcpEndpoint":
@@ -342,7 +361,7 @@ class TcpEndpoint(Endpoint):
         # the wire protocol's address parser.
         from repro.net.protocol import parse_address
 
-        params = _query_dict(url, query, ("stream", "capacity", "flush_interval"))
+        params = _query_dict(url, query, ("stream", "capacity", "flush_interval", "upstream"))
         try:
             host, port = parse_address(unquote(body))
         except ValueError as exc:
@@ -357,6 +376,7 @@ class TcpEndpoint(Endpoint):
             stream=params.get("stream"),
             capacity=None if capacity is None else _parse_int("capacity", capacity),
             flush_interval=None if flush is None else _parse_float("flush_interval", flush),
+            upstream=params.get("upstream"),
         )
 
     @property
@@ -373,6 +393,8 @@ class TcpEndpoint(Endpoint):
             pairs.append(("capacity", self.capacity))
         if self.flush_interval is not None:
             pairs.append(("flush_interval", self.flush_interval))
+        if self.upstream is not None:
+            pairs.append(("upstream", self.upstream))
         return f"tcp://{quote(host, safe='[]:')}:{self.port}{_format_query(pairs)}"
 
 
@@ -392,9 +414,29 @@ def open_backend(endpoint: "str | Endpoint", *, stream: str | None = None) -> "B
 
     ``stream`` is the default stream name for ``tcp://`` endpoints that do
     not carry a ``?stream=`` parameter themselves (other schemes name their
-    storage in the URL and ignore it).  The returned object is a
-    :class:`~repro.core.backends.base.Backend` and therefore also a
-    :class:`~repro.core.stream.StreamSink`.
+    storage in the URL and ignore it).
+
+    Returns
+    -------
+    Backend
+        A live :class:`~repro.core.backends.base.Backend` (and therefore
+        also a :class:`~repro.core.stream.StreamSink`); the caller owns it
+        and must ``close()`` it.
+
+    Raises
+    ------
+    EndpointError
+        On an unparseable URL or collector-side parameters (``upstream=``)
+        on a producer endpoint.
+    OSError
+        When the endpoint's storage cannot be created (file path,
+        shared-memory segment).
+
+    >>> backend = open_backend("mem://?capacity=64")
+    >>> backend.append(1, 0.01, 0, 1)
+    >>> backend.snapshot().total_beats
+    1
+    >>> backend.close()
     """
     ep = Endpoint.parse(endpoint)
     if isinstance(ep, MemEndpoint):
@@ -422,6 +464,11 @@ def open_backend(endpoint: "str | Endpoint", *, stream: str | None = None) -> "B
     if isinstance(ep, TcpEndpoint):
         from repro.net.exporter import NetworkBackend
 
+        if ep.upstream is not None:
+            raise EndpointError(
+                f"upstream= is a collector-side parameter and has no meaning "
+                f"when producing to {ep}; bind the edge with open_collector()"
+            )
         net_kwargs: dict[str, Any] = {}
         if ep.capacity is not None:
             net_kwargs["capacity"] = ep.capacity
@@ -456,6 +503,20 @@ def open_source(endpoint: "str | Endpoint") -> "StreamSource":
     :class:`~repro.session.TelemetrySession` that produced them.  ``tcp://``
     observation is fleet-shaped — bind a collector with
     :func:`open_collector` (or ``session.fleet``) and producers dial in.
+
+    Raises
+    ------
+    EndpointError
+        On an unparseable URL, a ``mem://``/``tcp://`` endpoint (see
+        above), or a nameless ``shm://``.
+    OSError
+        When the file or shared-memory segment does not exist.
+
+    >>> open_source("mem://svc")
+    Traceback (most recent call last):
+        ...
+    repro.endpoints.EndpointError: mem://svc is process-local: observe it \
+through the TelemetrySession that produced it (session.observe)
     """
     ep = Endpoint.parse(endpoint)
     if isinstance(ep, FileEndpoint):
@@ -487,7 +548,22 @@ def open_collector(endpoint: "str | Endpoint" = "tcp://127.0.0.1:0") -> "Heartbe
     """Bind a :class:`~repro.net.collector.HeartbeatCollector` at a ``tcp://`` endpoint.
 
     Port ``0`` resolves to an ephemeral port; the collector's ``endpoint_url``
-    property reports the actually-bound ``tcp://host:port``.
+    property reports the actually-bound ``tcp://host:port``.  An
+    ``?upstream=HOST:PORT`` parameter binds an *edge* collector that forwards
+    every registered stream to the named parent collector, so collectors
+    compose into a federation tree (producers → edges → root).
+
+    Raises
+    ------
+    EndpointError
+        When the endpoint is not ``tcp://`` or carries producer-side
+        parameters (``stream``, ``capacity``, ``flush_interval``).
+    OSError
+        When the address cannot be bound (already in use, unresolvable).
+
+    >>> with open_collector("tcp://127.0.0.1:0") as root:
+    ...     root.is_edge
+    False
     """
     ep = Endpoint.parse(endpoint)
     if not isinstance(ep, TcpEndpoint):
@@ -510,7 +586,7 @@ def open_collector(endpoint: "str | Endpoint" = "tcp://127.0.0.1:0") -> "Heartbe
         )
     from repro.net.collector import HeartbeatCollector
 
-    return HeartbeatCollector(ep.host, ep.port)
+    return HeartbeatCollector(ep.host, ep.port, upstream=ep.upstream)
 
 
 def stream_name_for(endpoint: "str | Endpoint") -> str:

@@ -13,35 +13,55 @@ fleet manager on a different machine entirely:
   buffers beats locally and ships them over TCP on a background thread with
   bounded queueing and drop-oldest backpressure, so the producer's beat path
   never blocks on the network;
-* :mod:`repro.net.collector` — :class:`HeartbeatCollector`, a threaded TCP
-  server that accepts many producers, demultiplexes their streams into
-  per-stream in-memory backends and exposes them to
-  :class:`repro.core.aggregator.HeartbeatAggregator` via
-  ``attach_collector()``.
+* :mod:`repro.net.async_collector` — :class:`AsyncHeartbeatCollector` (also
+  exported under its historic name :class:`HeartbeatCollector` from
+  :mod:`repro.net.collector`), an event-loop TCP server that multiplexes
+  thousands of producer connections through one ``selectors`` loop thread,
+  demultiplexes their streams into per-stream in-memory backends and exposes
+  them to :class:`repro.core.aggregator.HeartbeatAggregator` via
+  ``attach_collector()``;
+* :mod:`repro.net.relay` — :class:`RelayForwarder`, the edge half of
+  collector federation: collectors built with ``upstream=`` batch their
+  streams' deltas into RELAY frames and forward them up a collector tree
+  with reconnect/backoff and idempotent replay.
+
+The full byte-level frame format is specified in ``docs/wire-protocol.md``.
 
 Producers that will be observed remotely should stamp beats with a time base
 the collector host shares — on the same host ``WallClock(rebase=False)``; the
 :func:`repro.core.api.HB_initialize` ``remote=`` mode selects that default.
 """
 
+from repro.net.async_collector import AsyncHeartbeatCollector
 from repro.net.collector import CollectorStreamInfo, HeartbeatCollector
 from repro.net.exporter import NetworkBackend
 from repro.net.protocol import (
     FRAME_BATCH,
     FRAME_CLOSE,
     FRAME_HELLO,
+    FRAME_RELAY,
     FRAME_TARGETS,
     Frame,
     FrameDecoder,
     Hello,
     ProtocolError,
+    RelayEntry,
+    decode_relay,
+    encode_relay,
     parse_address,
 )
+from repro.net.relay import RelayForwarder
 
 __all__ = [
     "NetworkBackend",
     "HeartbeatCollector",
+    "AsyncHeartbeatCollector",
+    "RelayForwarder",
     "CollectorStreamInfo",
+    "RelayEntry",
+    "encode_relay",
+    "decode_relay",
+    "FRAME_RELAY",
     "Frame",
     "FrameDecoder",
     "Hello",

@@ -1,0 +1,678 @@
+"""Event-loop ingest tier: one process, 10k+ concurrent producer connections.
+
+:class:`AsyncHeartbeatCollector` is the fan-in point of a remote fleet,
+rebuilt on a ``selectors`` event loop.  The original collector ran one thread
+per connection, which caps a single process at a few hundred producers (stack
+memory, scheduler pressure); here a single loop thread multiplexes every
+connection through ``epoll``/``kqueue``, so the connection count is bounded
+by file descriptors rather than threads — the step that takes one collector
+from "a host's fleet" to an ingest *tier*.
+
+The observation surface is exactly the one the rest of the system already
+speaks: per-stream sources (``snapshot`` / ``snapshot_since`` / ``version``),
+:meth:`stream_ids`, aggregator attachment via
+:meth:`~repro.core.aggregator.HeartbeatAggregator.attach_collector`, and
+streams that survive disconnects so a producer death reads ``STALLED``.
+
+Collectors also *compose*.  A collector constructed with ``upstream=`` runs
+in **edge mode**: a background :class:`~repro.net.relay.RelayForwarder`
+batches every local stream's new records into RELAY frames (see
+:mod:`repro.net.protocol`) and ships them to the next collector up the tree,
+with reconnect/backoff and ring-buffer drop-oldest backpressure.  Any
+collector accepts RELAY links alongside producer links, so trees of any
+depth — producers → edges → root — aggregate under unchanged ``tcp://``
+semantics at the root.
+
+Design points:
+
+* one event-loop thread owns every socket; per-stream backends are guarded
+  by their own locks, so observer threads read concurrently with ingest;
+* a malformed byte stream poisons only its own connection — producer or
+  relay — and every other link keeps flowing;
+* relayed records are deduplicated by beat number per stream, so an edge
+  reconnecting after a drop (or a restarted root receiving a full replay)
+  never double-counts history;
+* the server binds port ``0`` by default and exposes the chosen port, so
+  tests and scripts never collide on a fixed port.
+
+>>> with AsyncHeartbeatCollector() as collector:
+...     collector.host
+'127.0.0.1'
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.core.backends.base import BackendSnapshot, DeltaSnapshot, SnapshotCursor
+from repro.core.backends.memory import MemoryBackend
+from repro.core.errors import MonitorAttachError, ProtocolError
+from repro.net import protocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.relay import RelayForwarder
+
+__all__ = ["AsyncHeartbeatCollector", "CollectorStreamInfo"]
+
+#: Bounds applied to the capacity hint producers send in HELLO.
+_MIN_STREAM_CAPACITY = 16
+_MAX_STREAM_CAPACITY = 1 << 20
+
+#: Largest single ``recv`` and the cap on consecutive reads per readiness
+#: event, so one firehose connection cannot starve ten thousand quiet ones.
+_RECV_SIZE = 1 << 16
+_MAX_READS_PER_EVENT = 8
+
+
+@dataclass(frozen=True, slots=True)
+class CollectorStreamInfo:
+    """Metadata of one registered stream (not its records).
+
+    ``reported_total`` is the final beat count the producer declared in its
+    CLOSE frame (``None`` until then); comparing it with ``total_beats``
+    exposes how many records the producer's drop-oldest backpressure shed.
+    ``via_relay`` is true for streams fed by a downstream collector rather
+    than a directly-connected producer.
+    """
+
+    stream_id: str
+    name: str
+    pid: int
+    connected: bool
+    closed: bool
+    total_beats: int
+    reported_total: int | None
+    via_relay: bool = False
+
+
+class _CollectorStream:
+    """One registered stream: a locked in-memory backend plus liveness state.
+
+    The backend is written by the collector's event-loop thread and read by
+    any number of observer threads, so every access goes through ``lock``.
+    """
+
+    __slots__ = (
+        "stream_id", "name", "pid", "nonce", "lock", "backend",
+        "connected", "closed", "reported_total", "conn_gen",
+        "target_min", "target_max", "default_window", "last_beat", "via_relay",
+    )
+
+    def __init__(self, stream_id: str, hello: protocol.Hello, capacity: int) -> None:
+        self.stream_id = stream_id
+        self.name = hello.name
+        self.pid = hello.pid
+        self.nonce = hello.nonce
+        self.lock = threading.Lock()
+        self.backend = MemoryBackend(capacity)
+        self.backend.set_default_window(hello.default_window)
+        self.backend.set_targets(hello.target_min, hello.target_max)
+        self.connected = True
+        self.closed = False
+        self.reported_total: int | None = None
+        #: Connection generation: bumped on every (re)registration so a
+        #: superseded connection cannot clobber its successor's state.
+        self.conn_gen = 1
+        #: Mirrors of the backend's metadata, so relay ingestion and
+        #: forwarding can diff goals without a full snapshot read.
+        self.target_min = hello.target_min
+        self.target_max = hello.target_max
+        self.default_window = hello.default_window
+        #: Highest beat number ever appended via a relay link (−1: none);
+        #: relay replays are deduplicated against it.
+        self.last_beat = -1
+        self.via_relay = False
+
+    def snapshot(self) -> BackendSnapshot:
+        with self.lock:
+            return self.backend.snapshot()
+
+    def snapshot_since(
+        self, cursor: SnapshotCursor | None = None
+    ) -> tuple[DeltaSnapshot, SnapshotCursor]:
+        with self.lock:
+            return self.backend.snapshot_since(cursor)
+
+    def version(self) -> tuple[int, int]:
+        with self.lock:
+            return self.backend.version()
+
+    def info(self) -> CollectorStreamInfo:
+        with self.lock:
+            total = self.backend.snapshot().total_beats
+            return CollectorStreamInfo(
+                stream_id=self.stream_id,
+                name=self.name,
+                pid=self.pid,
+                connected=self.connected,
+                closed=self.closed,
+                total_beats=total,
+                reported_total=self.reported_total,
+                via_relay=self.via_relay,
+            )
+
+
+class _Connection:
+    """Per-socket state owned exclusively by the event-loop thread."""
+
+    __slots__ = ("sock", "decoder", "stream", "gen", "is_relay", "relay_streams")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.decoder = protocol.FrameDecoder()
+        #: Producer-link state: the HELLO-registered stream and its
+        #: registration generation.
+        self.stream: _CollectorStream | None = None
+        self.gen = 0
+        #: Relay-link state: edge-local stream id → (stream, generation).
+        self.is_relay = False
+        self.relay_streams: dict[str, tuple[_CollectorStream, int]] = {}
+
+
+class AsyncHeartbeatCollector:
+    """Event-loop TCP fan-in server turning remote producers into streams.
+
+    Parameters
+    ----------
+    host, port:
+        Listening address.  The defaults (``127.0.0.1``, port ``0``) bind a
+        loopback ephemeral port; read :attr:`port` (or :attr:`endpoint`) for
+        the address the OS actually assigned.
+    default_capacity:
+        Record slots per stream when a producer's HELLO carries no capacity
+        hint; hints are clipped to a sane range either way.
+    backlog:
+        ``listen()`` backlog.  Raise it for connect storms of thousands of
+        producers (the kernel clamps it to ``net.core.somaxconn``).
+    poll_timeout:
+        Upper bound on one ``select()`` wait, which doubles as the shutdown
+        poll interval for the loop thread.
+    upstream:
+        ``"host:port"`` (or ``(host, port)``) of the next collector up the
+        tree.  When given, the collector runs in edge mode: a background
+        forwarder relays every stream's new records upstream — see
+        :class:`repro.net.relay.RelayForwarder` for the full discipline.
+    relay_interval:
+        Edge mode only: seconds between forwarding sweeps (the relay
+        analogue of the exporter's ``flush_interval``).
+
+    Raises
+    ------
+    OSError
+        When the listening address cannot be bound (already in use,
+        unresolvable host, privileged port).
+
+    >>> with AsyncHeartbeatCollector() as root:
+    ...     with AsyncHeartbeatCollector(upstream=root.endpoint) as edge:
+    ...         edge.is_edge, root.is_edge
+    (True, False)
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        default_capacity: int = 4096,
+        backlog: int = 128,
+        poll_timeout: float = 0.25,
+        upstream: str | tuple[str, int] | None = None,
+        relay_interval: float = 0.05,
+    ) -> None:
+        self._default_capacity = int(default_capacity)
+        self._poll_timeout = float(poll_timeout)
+        self._lock = threading.Lock()
+        self._streams: dict[str, _CollectorStream] = {}
+        self._streams_changed = threading.Condition(self._lock)
+        self._stopping = False
+        self._closed = False
+
+        self._accepted = 0
+        self._frames = 0
+        self._records = 0
+        self._protocol_errors = 0
+        self._relay_frames = 0
+        self._relay_records = 0
+        self._relay_duplicates = 0
+
+        #: fd → connection; touched only by the event-loop thread.
+        self._connections: dict[int, _Connection] = {}
+        self._open_connections = 0  # mirrored under _lock for stats()
+
+        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._server.bind((host, port))
+            self._server.listen(backlog)
+            self._server.setblocking(False)
+        except OSError:
+            self._server.close()
+            raise
+        self.host, self.port = self._server.getsockname()[:2]
+
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._server, selectors.EVENT_READ, None)
+        #: Self-pipe so close() interrupts a parked select() immediately.
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._selector.register(self._wake_r, selectors.EVENT_READ, None)
+
+        self._relay: "RelayForwarder | None" = None
+        if upstream is not None:
+            from repro.net.relay import RelayForwarder
+
+            self._relay = RelayForwarder(
+                self, upstream, interval=float(relay_interval)
+            )
+
+        self._loop_thread = threading.Thread(
+            target=self._run_loop, name=f"hb-collector-{self.port}", daemon=True
+        )
+        self._loop_thread.start()
+        if self._relay is not None:
+            self._relay.start()
+
+    # ------------------------------------------------------------------ #
+    # Addressing
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (port 0 resolved to the real one)."""
+        return (self.host, self.port)
+
+    @property
+    def endpoint(self) -> str:
+        """The bound address as the ``"host:port"`` string producers dial."""
+        return f"{self.host}:{self.port}"
+
+    @property
+    def endpoint_url(self) -> str:
+        """The bound address as a ``tcp://host:port`` endpoint URL.
+
+        The string producers pass to ``TelemetrySession.produce`` /
+        ``open_backend`` / ``Heartbeat(backend=...)`` to dial this collector
+        (port ``0`` already resolved to the real port).
+        """
+        from repro.endpoints import TcpEndpoint
+
+        return str(TcpEndpoint(host=str(self.host), port=int(self.port)))
+
+    @property
+    def is_edge(self) -> bool:
+        """True when this collector forwards its streams to an upstream."""
+        return self._relay is not None
+
+    @property
+    def upstream_address(self) -> tuple[str, int] | None:
+        """``(host, port)`` of the upstream collector, or ``None`` at a root."""
+        return None if self._relay is None else self._relay.address
+
+    # ------------------------------------------------------------------ #
+    # Observation surface (what the aggregator consumes)
+    # ------------------------------------------------------------------ #
+    def stream_ids(self) -> list[str]:
+        """Registered stream ids, in registration order."""
+        with self._lock:
+            return list(self._streams)
+
+    def snapshot(self, stream_id: str) -> BackendSnapshot:
+        """A consistent snapshot of one stream's retained history."""
+        return self._get_stream(stream_id).snapshot()
+
+    def source(self, stream_id: str) -> "_CollectorStream":
+        """One registered stream as a :class:`~repro.core.stream.StreamSource`.
+
+        The returned per-stream view carries the full capability set —
+        ``snapshot`` / ``snapshot_since`` / ``version`` — so it attaches
+        anywhere a source does (``HeartbeatMonitor.for_source``,
+        ``HeartbeatAggregator.attach_stream``, a ``ControlLoop`` rate
+        source) with incremental polling intact.
+        """
+        return self._get_stream(stream_id)
+
+    def snapshot_source(self, stream_id: str) -> Callable[[], BackendSnapshot]:
+        """A zero-argument snapshot provider for aggregator attachment."""
+        return self._get_stream(stream_id).snapshot
+
+    def delta_source(
+        self, stream_id: str
+    ) -> Callable[[SnapshotCursor | None], tuple[DeltaSnapshot, SnapshotCursor]]:
+        """A cursored delta provider: poll cost proportional to new records."""
+        return self._get_stream(stream_id).snapshot_since
+
+    def version_source(self, stream_id: str) -> Callable[[], tuple[int, int]]:
+        """A cheap change-token provider for the aggregator's idle-skip path."""
+        return self._get_stream(stream_id).version
+
+    def streams(self) -> list[CollectorStreamInfo]:
+        """Metadata for every registered stream."""
+        with self._lock:
+            streams = list(self._streams.values())
+        return [stream.info() for stream in streams]
+
+    def stats(self) -> dict[str, int]:
+        """Server counters (connections, frames, records, errors, relay).
+
+        Returns
+        -------
+        dict
+            ``connections_accepted`` / ``open_connections`` — lifetime and
+            current connection counts; ``frames`` / ``records`` — ingest
+            totals; ``protocol_errors`` — connections dropped for malformed
+            input; ``streams`` — registered streams; ``relay_frames`` /
+            ``relay_records`` / ``relay_duplicates`` — RELAY-link ingest and
+            the replayed records deduplication discarded.
+        """
+        with self._lock:
+            return {
+                "connections_accepted": self._accepted,
+                "open_connections": self._open_connections,
+                "frames": self._frames,
+                "records": self._records,
+                "protocol_errors": self._protocol_errors,
+                "streams": len(self._streams),
+                "relay_frames": self._relay_frames,
+                "relay_records": self._relay_records,
+                "relay_duplicates": self._relay_duplicates,
+            }
+
+    def relay_stats(self) -> dict[str, int]:
+        """Edge-mode forwarding counters (empty dict at a root collector)."""
+        return {} if self._relay is None else self._relay.stats()
+
+    def wait_for_streams(self, count: int, timeout: float = 5.0) -> bool:
+        """Block until at least ``count`` streams registered (True) or timeout."""
+        deadline = time.monotonic() + timeout
+        with self._streams_changed:
+            while len(self._streams) < count:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._streams_changed.wait(timeout=remaining)
+        return True
+
+    def _get_stream(self, stream_id: str) -> _CollectorStream:
+        with self._lock:
+            stream = self._streams.get(stream_id)
+        if stream is None:
+            raise MonitorAttachError(f"no stream {stream_id!r} is registered with this collector")
+        return stream
+
+    # ------------------------------------------------------------------ #
+    # Internal surface for the relay forwarder
+    # ------------------------------------------------------------------ #
+    def _relay_streams(self) -> list[_CollectorStream]:
+        """Every registered stream object (forwarder sweep; order stable)."""
+        with self._lock:
+            return list(self._streams.values())
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop accepting, drop every connection, keep histories.  Idempotent.
+
+        Edge mode first stops the forwarder (one final flush attempt toward
+        the upstream, bounded by its close deadline), then tears down the
+        event loop.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._stopping = True
+        if self._relay is not None:
+            self._relay.close()
+        try:
+            self._wake_w.send(b"x")
+        except OSError:  # pragma: no cover - loop already gone
+            pass
+        self._loop_thread.join(timeout=5.0)
+        self._server.close()
+        self._wake_w.close()
+
+    def __enter__(self) -> "AsyncHeartbeatCollector":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "edge" if self.is_edge else "root"
+        return (
+            f"{type(self).__name__}(endpoint={self.endpoint!r}, role={role}, "
+            f"streams={len(self.stream_ids())})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Event loop
+    # ------------------------------------------------------------------ #
+    def _run_loop(self) -> None:
+        try:
+            while not self._stopping:
+                events = self._selector.select(timeout=self._poll_timeout)
+                for key, _mask in events:
+                    if key.fileobj is self._server:
+                        self._accept_ready()
+                    elif key.fileobj is self._wake_r:
+                        self._drain_wake()
+                    else:
+                        self._service(key.fileobj)  # type: ignore[arg-type]
+        finally:
+            for conn in list(self._connections.values()):
+                self._drop_connection(conn)
+            self._selector.close()
+            self._wake_r.close()
+
+    def _drain_wake(self) -> None:
+        try:
+            while self._wake_r.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def _accept_ready(self) -> None:
+        """Accept every pending connection (storms arrive in bursts)."""
+        while True:
+            try:
+                sock, _peer = self._server.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return  # listening socket closed under us
+            if self._stopping:
+                sock.close()
+                return
+            sock.setblocking(False)
+            conn = _Connection(sock)
+            self._connections[sock.fileno()] = conn
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+            with self._lock:
+                self._accepted += 1
+                self._open_connections = len(self._connections)
+
+    def _service(self, sock: socket.socket) -> None:
+        conn = self._connections.get(sock.fileno())
+        if conn is None:  # pragma: no cover - stale readiness after a drop
+            return
+        for _ in range(_MAX_READS_PER_EVENT):
+            try:
+                data = sock.recv(_RECV_SIZE)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                self._drop_connection(conn)
+                return
+            if not data:
+                self._drop_connection(conn)  # peer hung up
+                return
+            try:
+                for frame in conn.decoder.feed(data):
+                    self._handle_frame(conn, frame)
+            except ProtocolError:
+                with self._lock:
+                    self._protocol_errors += 1
+                self._drop_connection(conn)
+                return
+            if len(data) < _RECV_SIZE:
+                return
+
+    def _drop_connection(self, conn: _Connection) -> None:
+        fd = conn.sock.fileno()
+        if fd >= 0 and fd in self._connections:
+            del self._connections[fd]
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError):  # pragma: no cover - already gone
+                pass
+        conn.sock.close()
+        if conn.stream is not None:
+            with conn.stream.lock:
+                # Only the stream's current connection may mark it
+                # disconnected; a superseded connection (the producer
+                # already redialled) must not clobber its successor.
+                if conn.stream.conn_gen == conn.gen:
+                    conn.stream.connected = False
+        for stream, gen in conn.relay_streams.values():
+            with stream.lock:
+                if stream.conn_gen == gen:
+                    stream.connected = False
+        conn.relay_streams.clear()
+        with self._lock:
+            self._open_connections = len(self._connections)
+
+    # ------------------------------------------------------------------ #
+    # Frame handling (event-loop thread only)
+    # ------------------------------------------------------------------ #
+    def _handle_frame(self, conn: _Connection, frame: protocol.Frame) -> None:
+        with self._lock:
+            self._frames += 1
+        if frame.type == protocol.FRAME_RELAY:
+            if conn.stream is not None:
+                raise ProtocolError("RELAY frame on a producer connection")
+            conn.is_relay = True
+            self._ingest_relay(conn, protocol.decode_relay(frame.payload))
+            return
+        if conn.is_relay:
+            raise ProtocolError("producer frame on a relay connection")
+        if frame.type == protocol.FRAME_HELLO:
+            if conn.stream is not None:
+                raise ProtocolError("duplicate HELLO on one connection")
+            conn.stream, conn.gen = self._register(protocol.decode_hello(frame.payload))
+            return
+        stream = conn.stream
+        if stream is None:
+            raise ProtocolError("first frame of a connection must be HELLO")
+        if frame.type == protocol.FRAME_BATCH:
+            records = protocol.decode_batch(frame.payload)
+            with stream.lock:
+                stream.backend.append_many(records)
+            with self._lock:
+                self._records += int(records.shape[0])
+        elif frame.type == protocol.FRAME_TARGETS:
+            tmin, tmax = protocol.decode_targets(frame.payload)
+            with stream.lock:
+                stream.backend.set_targets(tmin, tmax)
+                stream.target_min, stream.target_max = tmin, tmax
+        elif frame.type == protocol.FRAME_CLOSE:
+            reported = protocol.decode_close(frame.payload)
+            with stream.lock:
+                if stream.conn_gen == conn.gen:
+                    stream.closed = True
+                    stream.connected = False
+                    stream.reported_total = reported
+
+    def _ingest_relay(self, conn: _Connection, entries: list[protocol.RelayEntry]) -> None:
+        appended = 0
+        duplicates = 0
+        for entry in entries:
+            known = conn.relay_streams.get(entry.stream_id)
+            if known is None:
+                hello = protocol.Hello(
+                    name=entry.stream_id,
+                    pid=entry.pid,
+                    default_window=entry.default_window,
+                    capacity=0,
+                    target_min=entry.target_min,
+                    target_max=entry.target_max,
+                    nonce=entry.nonce,
+                )
+                stream, gen = self._register(hello)
+                stream.via_relay = True
+                conn.relay_streams[entry.stream_id] = (stream, gen)
+            else:
+                stream, gen = known
+            records = entry.records
+            with stream.lock:
+                # Replays (edge reconnect, root restart) are deduplicated by
+                # beat number: the origin beat counter is monotonic, so
+                # anything at or below the high-water mark was already seen.
+                if records.shape[0] and stream.last_beat >= 0:
+                    fresh = records["beat"] > stream.last_beat
+                    if not fresh.all():
+                        duplicates += int(records.shape[0] - np.count_nonzero(fresh))
+                        records = records[fresh]
+                if records.shape[0]:
+                    stream.backend.append_many(records)
+                    stream.last_beat = int(records["beat"][-1])
+                    appended += int(records.shape[0])
+                if (entry.target_min, entry.target_max) != (
+                    stream.target_min, stream.target_max,
+                ):
+                    stream.backend.set_targets(entry.target_min, entry.target_max)
+                    stream.target_min = entry.target_min
+                    stream.target_max = entry.target_max
+                if entry.default_window != stream.default_window:
+                    stream.backend.set_default_window(entry.default_window)
+                    stream.default_window = entry.default_window
+                if stream.conn_gen == gen:
+                    stream.connected = entry.connected
+                    if entry.closed:
+                        stream.closed = True
+                        stream.reported_total = entry.reported_total
+        with self._lock:
+            self._relay_frames += 1
+            self._relay_records += appended
+            self._relay_duplicates += duplicates
+            self._records += appended
+
+    def _register(self, hello: protocol.Hello) -> tuple[_CollectorStream, int]:
+        capacity = hello.capacity if hello.capacity > 0 else self._default_capacity
+        capacity = min(max(capacity, _MIN_STREAM_CAPACITY), _MAX_STREAM_CAPACITY)
+        with self._streams_changed:
+            stream_id = hello.name
+            suffix = 1
+            while stream_id in self._streams:
+                # A reconnecting producer resumes its own stream — identified
+                # by (pid, nonce), so a same-named sibling backend in the
+                # same process can never splice into another's history.  The
+                # nonce is unique per backend instance, so a matching HELLO
+                # supersedes the old connection even if the loop has not yet
+                # observed the disconnect.  Other collisions get a distinct
+                # id instead.
+                existing = self._streams[stream_id]
+                with existing.lock:
+                    if existing.pid == hello.pid and existing.nonce == hello.nonce:
+                        existing.conn_gen += 1
+                        existing.connected = True
+                        existing.closed = False
+                        existing.reported_total = None
+                        existing.backend.set_default_window(hello.default_window)
+                        existing.backend.set_targets(hello.target_min, hello.target_max)
+                        existing.target_min = hello.target_min
+                        existing.target_max = hello.target_max
+                        existing.default_window = hello.default_window
+                        return existing, existing.conn_gen
+                suffix += 1
+                stream_id = f"{hello.name}@{suffix}"
+            stream = _CollectorStream(stream_id, hello, capacity)
+            self._streams[stream_id] = stream
+            self._streams_changed.notify_all()
+            return stream, stream.conn_gen

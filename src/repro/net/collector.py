@@ -12,411 +12,38 @@ rate / lagging / percentile queries and
 :func:`repro.core.monitor.reading_from_snapshot` health classification it
 applies to local streams.
 
-Design points:
+The implementation lives in :mod:`repro.net.async_collector`: the original
+thread-per-connection server capped one process at a few hundred producers,
+so ingest was rebuilt on a ``selectors`` event loop that multiplexes
+thousands of connections through one thread.  This module keeps the historic
+import path and name — :class:`HeartbeatCollector` *is* the event-loop
+collector, with federation (``upstream=`` edge mode, RELAY links) included.
 
-* one thread per connection, plus one accept thread — heartbeat telemetry is
-  low-bandwidth per producer, so clarity wins over an event loop;
-* the server binds to port ``0`` by default and exposes the chosen port
-  (:attr:`port` / :attr:`endpoint`), so tests and scripts never collide on a
-  fixed port;
-* a malformed or malicious byte stream poisons only its own connection: the
-  frame decoder raises, the connection is dropped and counted, and every
-  other stream keeps flowing;
-* a stream outlives its connection.  A producer that disconnects without a
-  CLOSE frame keeps its history and simply stops beating, which the shared
-  classification rule reports as ``STALLED`` once the liveness timeout
-  passes — a mid-stream death looks exactly like a hung application, as the
-  paper's fault-tolerance story requires.
+>>> with HeartbeatCollector() as collector:
+...     collector.stream_ids()
+[]
 """
 
 from __future__ import annotations
 
-import socket
-import threading
-import time
-from dataclasses import dataclass
-from typing import Callable
-
-from repro.core.backends.base import BackendSnapshot, DeltaSnapshot, SnapshotCursor
-from repro.core.backends.memory import MemoryBackend
-from repro.core.errors import MonitorAttachError, ProtocolError
-from repro.net import protocol
+from repro.net.async_collector import (
+    _MAX_STREAM_CAPACITY,
+    _MIN_STREAM_CAPACITY,
+    AsyncHeartbeatCollector,
+    CollectorStreamInfo,
+)
 
 __all__ = ["HeartbeatCollector", "CollectorStreamInfo"]
 
-#: Bounds applied to the capacity hint producers send in HELLO.
-_MIN_STREAM_CAPACITY = 16
-_MAX_STREAM_CAPACITY = 1 << 20
+# Keep the capacity bounds importable from their historic home.
+_ = (_MIN_STREAM_CAPACITY, _MAX_STREAM_CAPACITY)
 
 
-@dataclass(frozen=True, slots=True)
-class CollectorStreamInfo:
-    """Metadata of one registered stream (not its records).
+class HeartbeatCollector(AsyncHeartbeatCollector):
+    """The collector under its historic name — see the base class for the API.
 
-    ``reported_total`` is the final beat count the producer declared in its
-    CLOSE frame (``None`` until then); comparing it with ``total_beats``
-    exposes how many records the producer's drop-oldest backpressure shed.
+    Every parameter, counter and per-stream source of
+    :class:`~repro.net.async_collector.AsyncHeartbeatCollector` applies
+    unchanged; code and docs that speak of
+    ``repro.net.collector.HeartbeatCollector`` keep working.
     """
-
-    stream_id: str
-    name: str
-    pid: int
-    connected: bool
-    closed: bool
-    total_beats: int
-    reported_total: int | None
-
-
-class _CollectorStream:
-    """One registered stream: a locked in-memory backend plus liveness state.
-
-    The backend is written by the stream's connection thread and read by any
-    number of observer threads, so every access goes through ``lock``.
-    """
-
-    __slots__ = (
-        "stream_id", "name", "pid", "nonce", "lock", "backend",
-        "connected", "closed", "reported_total", "conn_gen",
-    )
-
-    def __init__(self, stream_id: str, hello: protocol.Hello, capacity: int) -> None:
-        self.stream_id = stream_id
-        self.name = hello.name
-        self.pid = hello.pid
-        self.nonce = hello.nonce
-        self.lock = threading.Lock()
-        self.backend = MemoryBackend(capacity)
-        self.backend.set_default_window(hello.default_window)
-        self.backend.set_targets(hello.target_min, hello.target_max)
-        self.connected = True
-        self.closed = False
-        self.reported_total: int | None = None
-        #: Connection generation: bumped on every (re)registration so a
-        #: superseded connection thread cannot clobber its successor's state.
-        self.conn_gen = 1
-
-    def snapshot(self) -> BackendSnapshot:
-        with self.lock:
-            return self.backend.snapshot()
-
-    def snapshot_since(
-        self, cursor: SnapshotCursor | None = None
-    ) -> tuple[DeltaSnapshot, SnapshotCursor]:
-        with self.lock:
-            return self.backend.snapshot_since(cursor)
-
-    def version(self) -> tuple[int, int]:
-        with self.lock:
-            return self.backend.version()
-
-    def info(self) -> CollectorStreamInfo:
-        with self.lock:
-            total = self.backend.snapshot().total_beats
-            return CollectorStreamInfo(
-                stream_id=self.stream_id,
-                name=self.name,
-                pid=self.pid,
-                connected=self.connected,
-                closed=self.closed,
-                total_beats=total,
-                reported_total=self.reported_total,
-            )
-
-
-class HeartbeatCollector:
-    """TCP fan-in server turning remote producers into observable streams.
-
-    Parameters
-    ----------
-    host, port:
-        Listening address.  The defaults (``127.0.0.1``, port ``0``) bind a
-        loopback ephemeral port; read :attr:`port` (or :attr:`endpoint`) for
-        the address the OS actually assigned.
-    default_capacity:
-        Record slots per stream when a producer's HELLO carries no capacity
-        hint; hints are clipped to a sane range either way.
-    recv_timeout:
-        Socket receive timeout, which doubles as the shutdown poll interval
-        for connection threads.
-    """
-
-    def __init__(
-        self,
-        host: str = "127.0.0.1",
-        port: int = 0,
-        *,
-        default_capacity: int = 4096,
-        backlog: int = 128,
-        recv_timeout: float = 0.25,
-    ) -> None:
-        self._default_capacity = int(default_capacity)
-        self._recv_timeout = float(recv_timeout)
-        self._lock = threading.Lock()
-        self._streams: dict[str, _CollectorStream] = {}
-        self._streams_changed = threading.Condition(self._lock)
-        self._conn_threads: list[threading.Thread] = []
-        self._stopping = False
-        self._closed = False
-
-        self._accepted = 0
-        self._frames = 0
-        self._records = 0
-        self._protocol_errors = 0
-
-        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        try:
-            self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-            self._server.bind((host, port))
-            self._server.listen(backlog)
-            self._server.settimeout(self._recv_timeout)
-        except OSError:
-            self._server.close()
-            raise
-        self.host, self.port = self._server.getsockname()[:2]
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name=f"hb-collector-{self.port}", daemon=True
-        )
-        self._accept_thread.start()
-
-    # ------------------------------------------------------------------ #
-    # Addressing
-    # ------------------------------------------------------------------ #
-    @property
-    def address(self) -> tuple[str, int]:
-        """``(host, port)`` actually bound (port 0 resolved to the real one)."""
-        return (self.host, self.port)
-
-    @property
-    def endpoint(self) -> str:
-        """The bound address as the ``"host:port"`` string producers dial."""
-        return f"{self.host}:{self.port}"
-
-    @property
-    def endpoint_url(self) -> str:
-        """The bound address as a ``tcp://host:port`` endpoint URL.
-
-        The string producers pass to ``TelemetrySession.produce`` /
-        ``open_backend`` / ``Heartbeat(backend=...)`` to dial this collector
-        (port ``0`` already resolved to the real port).
-        """
-        from repro.endpoints import TcpEndpoint
-
-        return str(TcpEndpoint(host=str(self.host), port=int(self.port)))
-
-    # ------------------------------------------------------------------ #
-    # Observation surface (what the aggregator consumes)
-    # ------------------------------------------------------------------ #
-    def stream_ids(self) -> list[str]:
-        """Registered stream ids, in registration order."""
-        with self._lock:
-            return list(self._streams)
-
-    def snapshot(self, stream_id: str) -> BackendSnapshot:
-        """A consistent snapshot of one stream's retained history."""
-        return self._get_stream(stream_id).snapshot()
-
-    def source(self, stream_id: str) -> "_CollectorStream":
-        """One registered stream as a :class:`~repro.core.stream.StreamSource`.
-
-        The returned per-stream view carries the full capability set —
-        ``snapshot`` / ``snapshot_since`` / ``version`` — so it attaches
-        anywhere a source does (``HeartbeatMonitor.for_source``,
-        ``HeartbeatAggregator.attach_stream``, a ``ControlLoop`` rate
-        source) with incremental polling intact.
-        """
-        return self._get_stream(stream_id)
-
-    def snapshot_source(self, stream_id: str) -> Callable[[], BackendSnapshot]:
-        """A zero-argument snapshot provider for aggregator attachment."""
-        return self._get_stream(stream_id).snapshot
-
-    def delta_source(
-        self, stream_id: str
-    ) -> Callable[[SnapshotCursor | None], tuple[DeltaSnapshot, SnapshotCursor]]:
-        """A cursored delta provider: poll cost proportional to new records."""
-        return self._get_stream(stream_id).snapshot_since
-
-    def version_source(self, stream_id: str) -> Callable[[], tuple[int, int]]:
-        """A cheap change-token provider for the aggregator's idle-skip path."""
-        return self._get_stream(stream_id).version
-
-    def streams(self) -> list[CollectorStreamInfo]:
-        """Metadata for every registered stream."""
-        with self._lock:
-            streams = list(self._streams.values())
-        return [stream.info() for stream in streams]
-
-    def stats(self) -> dict[str, int]:
-        """Server counters (accepted connections, frames, records, errors)."""
-        with self._lock:
-            return {
-                "connections_accepted": self._accepted,
-                "frames": self._frames,
-                "records": self._records,
-                "protocol_errors": self._protocol_errors,
-                "streams": len(self._streams),
-            }
-
-    def wait_for_streams(self, count: int, timeout: float = 5.0) -> bool:
-        """Block until at least ``count`` streams registered (True) or timeout."""
-        deadline = time.monotonic() + timeout
-        with self._streams_changed:
-            while len(self._streams) < count:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    return False
-                self._streams_changed.wait(timeout=remaining)
-        return True
-
-    def _get_stream(self, stream_id: str) -> _CollectorStream:
-        with self._lock:
-            stream = self._streams.get(stream_id)
-        if stream is None:
-            raise MonitorAttachError(f"no stream {stream_id!r} is registered with this collector")
-        return stream
-
-    # ------------------------------------------------------------------ #
-    # Lifecycle
-    # ------------------------------------------------------------------ #
-    def close(self) -> None:
-        """Stop accepting, drop every connection, keep histories.  Idempotent."""
-        with self._lock:
-            if self._closed:
-                return
-            self._closed = True
-            self._stopping = True
-            threads = list(self._conn_threads)
-        self._server.close()
-        self._accept_thread.join(timeout=5.0)
-        for thread in threads:
-            thread.join(timeout=5.0)
-
-    def __enter__(self) -> "HeartbeatCollector":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"HeartbeatCollector(endpoint={self.endpoint!r}, streams={len(self.stream_ids())})"
-
-    # ------------------------------------------------------------------ #
-    # Server internals
-    # ------------------------------------------------------------------ #
-    def _accept_loop(self) -> None:
-        while not self._stopping:
-            try:
-                conn, _peer = self._server.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                break  # listening socket closed
-            with self._lock:
-                if self._stopping:
-                    conn.close()
-                    break
-                self._accepted += 1
-                # Long-lived collectors see many short-lived producers; keep
-                # only live handler threads on the books.
-                self._conn_threads = [t for t in self._conn_threads if t.is_alive()]
-                thread = threading.Thread(
-                    target=self._serve_connection,
-                    args=(conn,),
-                    name=f"hb-collector-conn-{self._accepted}",
-                    daemon=True,
-                )
-                self._conn_threads.append(thread)
-            thread.start()
-
-    def _serve_connection(self, conn: socket.socket) -> None:
-        conn.settimeout(self._recv_timeout)
-        decoder = protocol.FrameDecoder()
-        stream: _CollectorStream | None = None
-        gen = 0
-        try:
-            while not self._stopping:
-                try:
-                    data = conn.recv(1 << 16)
-                except socket.timeout:
-                    continue
-                except OSError:
-                    break
-                if not data:
-                    break  # peer hung up
-                for frame in decoder.feed(data):
-                    stream, gen = self._handle_frame(stream, gen, frame)
-                    if stream is not None and stream.closed:
-                        return
-        except ProtocolError:
-            with self._lock:
-                self._protocol_errors += 1
-        finally:
-            conn.close()
-            if stream is not None:
-                with stream.lock:
-                    # Only the stream's current connection may mark it
-                    # disconnected; a superseded connection (the producer
-                    # already redialled) must not clobber its successor.
-                    if stream.conn_gen == gen:
-                        stream.connected = False
-
-    def _handle_frame(
-        self, stream: _CollectorStream | None, gen: int, frame: protocol.Frame
-    ) -> tuple[_CollectorStream | None, int]:
-        with self._lock:
-            self._frames += 1
-        if frame.type == protocol.FRAME_HELLO:
-            if stream is not None:
-                raise ProtocolError("duplicate HELLO on one connection")
-            return self._register(protocol.decode_hello(frame.payload))
-        if stream is None:
-            raise ProtocolError("first frame of a connection must be HELLO")
-        if frame.type == protocol.FRAME_BATCH:
-            records = protocol.decode_batch(frame.payload)
-            with stream.lock:
-                stream.backend.append_many(records)
-            with self._lock:
-                self._records += int(records.shape[0])
-        elif frame.type == protocol.FRAME_TARGETS:
-            tmin, tmax = protocol.decode_targets(frame.payload)
-            with stream.lock:
-                stream.backend.set_targets(tmin, tmax)
-        elif frame.type == protocol.FRAME_CLOSE:
-            reported = protocol.decode_close(frame.payload)
-            with stream.lock:
-                if stream.conn_gen == gen:
-                    stream.closed = True
-                    stream.connected = False
-                    stream.reported_total = reported
-        return stream, gen
-
-    def _register(self, hello: protocol.Hello) -> tuple[_CollectorStream, int]:
-        capacity = hello.capacity if hello.capacity > 0 else self._default_capacity
-        capacity = min(max(capacity, _MIN_STREAM_CAPACITY), _MAX_STREAM_CAPACITY)
-        with self._streams_changed:
-            stream_id = hello.name
-            suffix = 1
-            while stream_id in self._streams:
-                # A reconnecting producer resumes its own stream — identified
-                # by (pid, nonce), so a same-named sibling backend in the
-                # same process can never splice into another's history.  The
-                # nonce is unique per backend instance, so a matching HELLO
-                # supersedes the old connection even if its thread has not
-                # yet observed the disconnect.  Other collisions get a
-                # distinct id instead.
-                existing = self._streams[stream_id]
-                with existing.lock:
-                    if existing.pid == hello.pid and existing.nonce == hello.nonce:
-                        existing.conn_gen += 1
-                        existing.connected = True
-                        existing.closed = False
-                        existing.reported_total = None
-                        existing.backend.set_default_window(hello.default_window)
-                        existing.backend.set_targets(hello.target_min, hello.target_max)
-                        return existing, existing.conn_gen
-                suffix += 1
-                stream_id = f"{hello.name}@{suffix}"
-            stream = _CollectorStream(stream_id, hello, capacity)
-            self._streams[stream_id] = stream
-            self._streams_changed.notify_all()
-            return stream, stream.conn_gen

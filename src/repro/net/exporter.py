@@ -74,6 +74,21 @@ class NetworkBackend(Backend):
         per failed attempt up to ``backoff_max``.
     close_deadline:
         Longest :meth:`close` waits for the pending queue to flush.
+
+    Raises
+    ------
+    ValueError
+        When ``address`` is not a parseable ``host:port``.
+    BackendError
+        From :meth:`append` after the backend is closed.
+
+    >>> from repro.net import HeartbeatCollector
+    >>> with HeartbeatCollector() as collector:
+    ...     backend = NetworkBackend(collector.address, stream="svc", flush_interval=0.01)
+    ...     backend.append(1, 0.01, 0, 1)
+    ...     backend.close()                      # flushes, then CLOSE
+    ...     collector.wait_for_streams(1, timeout=5.0)
+    True
     """
 
     def __init__(

@@ -40,6 +40,27 @@ Frame types
     Graceful end of stream, carrying the producer's final beat count; a
     connection that drops without a CLOSE is a producer death, not a
     shutdown.
+``RELAY``
+    A collector→collector frame: one batch of per-stream *delta* entries —
+    stream id, origin identity (pid, nonce), goals, liveness flags and any
+    new records — letting an edge collector forward its whole fleet upstream
+    in a handful of frames.  The payload carries its own version byte and
+    record itemsize, so relay links are re-negotiable independently of the
+    outer frame version and a root rejects mismatched record layouts
+    deterministically.  A connection's first frame chooses its role: HELLO
+    makes it a producer link, RELAY makes it a relay link, and the two frame
+    families must not be mixed afterwards.
+
+The byte-exact layouts, versioning rules and compatibility guarantees are
+specified normatively in ``docs/wire-protocol.md``; this module is the
+reference implementation.
+
+>>> frame = encode_targets(8.0, 12.0)
+>>> frame[:4], len(frame)
+(b'HBTP', 32)
+>>> decoder = FrameDecoder()
+>>> [f.type for f in decoder.feed(frame)] == [FRAME_TARGETS]
+True
 """
 
 from __future__ import annotations
@@ -63,9 +84,13 @@ __all__ = [
     "FRAME_BATCH",
     "FRAME_TARGETS",
     "FRAME_CLOSE",
+    "FRAME_RELAY",
+    "RELAY_VERSION",
+    "MAX_RELAY_ENTRIES",
     "Frame",
     "FrameDecoder",
     "Hello",
+    "RelayEntry",
     "ProtocolError",
     "encode_frame",
     "frame_buffers",
@@ -77,6 +102,10 @@ __all__ = [
     "decode_targets",
     "encode_close",
     "decode_close",
+    "encode_relay",
+    "decode_relay",
+    "relay_entry_size",
+    "strip_header",
     "parse_address",
 ]
 
@@ -96,7 +125,16 @@ FRAME_HELLO = 1
 FRAME_BATCH = 2
 FRAME_TARGETS = 3
 FRAME_CLOSE = 4
-_KNOWN_FRAMES = frozenset((FRAME_HELLO, FRAME_BATCH, FRAME_TARGETS, FRAME_CLOSE))
+FRAME_RELAY = 5
+_KNOWN_FRAMES = frozenset((FRAME_HELLO, FRAME_BATCH, FRAME_TARGETS, FRAME_CLOSE, FRAME_RELAY))
+
+#: Version byte of the RELAY payload itself.  Relay links are
+#: collector↔collector, so their layout can evolve (new flags, compression)
+#: without bumping :data:`PROTOCOL_VERSION` and breaking every producer.
+RELAY_VERSION = 1
+
+#: Upper bound on stream entries in one RELAY frame (the count field is u16).
+MAX_RELAY_ENTRIES = 0xFFFF
 
 #: On-the-wire record layout: the shared record dtype, little-endian.  On
 #: little-endian hosts this *is* :data:`RECORD_DTYPE`, so packing a batch is
@@ -110,6 +148,16 @@ _NATIVE_IS_WIRE = sys.byteorder == "little"
 _HELLO = struct.Struct("!qqqqqddH")
 _TARGETS = struct.Struct("!dd")
 _CLOSE = struct.Struct("!q")
+
+#: RELAY payload header: relay version, record itemsize, entry count.
+_RELAY_HEADER = struct.Struct("!BHH")
+#: One RELAY entry header: pid, nonce, default window, target min/max,
+#: reported total (-1: none), flags, stream-id byte length, record count.
+_RELAY_ENTRY = struct.Struct("!qqqddqBHI")
+
+#: RELAY entry flag bits (liveness propagated from the edge).
+RELAY_FLAG_CONNECTED = 0x01
+RELAY_FLAG_CLOSED = 0x02
 
 
 @dataclass(frozen=True, slots=True)
@@ -259,6 +307,189 @@ def decode_close(payload: bytes) -> int:
     if len(payload) != _CLOSE.size:
         raise ProtocolError(f"close payload must be {_CLOSE.size} bytes, got {len(payload)}")
     return int(_CLOSE.unpack(payload)[0])
+
+
+# ---------------------------------------------------------------------- #
+# Relay frames (collector → collector)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True, slots=True)
+class RelayEntry:
+    """One stream's contribution to a RELAY frame.
+
+    Every entry is self-describing: it carries the stream's edge-local id,
+    the *origin producer's* identity (``pid``, ``nonce`` — forwarded
+    unchanged so a root applies the same reconnect-resumption rule to
+    relayed streams as to direct producers), the current goals, liveness
+    flags and zero or more new records.  A root that has never seen the
+    stream registers it from the entry alone; no HELLO is required on a
+    relay link.
+
+    Parameters
+    ----------
+    stream_id:
+        The edge collector's id for the stream (its registration key at the
+        next hop, subject to the usual collision suffixing).
+    pid, nonce:
+        Identity of the origin producer backend, forwarded end to end.
+    default_window, target_min, target_max:
+        Stream metadata, always current (cheap to re-send; the receiver
+        applies them only on change).
+    connected, closed, reported_total:
+        Liveness as the edge sees it: ``connected`` tracks the producer's
+        link to the edge, ``closed``/``reported_total`` propagate a graceful
+        CLOSE.  ``reported_total`` is ``None`` until the producer closed.
+    records:
+        New records since the previous RELAY entry for this stream (dtype
+        :data:`repro.core.record.RECORD_DTYPE`), possibly empty for a pure
+        metadata/liveness update.
+
+    >>> import numpy as np
+    >>> from repro.core.record import RECORD_DTYPE
+    >>> entry = RelayEntry(stream_id="svc", pid=7, nonce=1,
+    ...                    records=np.zeros(2, dtype=RECORD_DTYPE))
+    >>> [e.records.shape[0] for e in decode_relay(strip_header(encode_relay([entry])))]
+    [2]
+    """
+
+    stream_id: str
+    pid: int = 0
+    nonce: int = 0
+    default_window: int = 0
+    target_min: float = 0.0
+    target_max: float = 0.0
+    connected: bool = True
+    closed: bool = False
+    reported_total: int | None = None
+    records: np.ndarray = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.records is None:
+            object.__setattr__(self, "records", np.empty(0, dtype=RECORD_DTYPE))
+
+
+def relay_entry_size(stream_id: str, record_count: int) -> int:
+    """Encoded size of one entry, for chunking frames under :data:`MAX_PAYLOAD`."""
+    return (
+        _RELAY_ENTRY.size
+        + len(stream_id.encode("utf-8"))
+        + record_count * WIRE_RECORD_DTYPE.itemsize
+    )
+
+
+def encode_relay(entries: "list[RelayEntry] | tuple[RelayEntry, ...]") -> bytes:
+    """Encode one RELAY frame carrying ``entries``.
+
+    The caller is responsible for keeping the total payload under
+    :data:`MAX_PAYLOAD` (use :func:`relay_entry_size` to chunk); an
+    oversized payload raises :class:`ProtocolError` like any other frame.
+    """
+    if len(entries) > MAX_RELAY_ENTRIES:
+        raise ProtocolError(f"{len(entries)} entries exceed the {MAX_RELAY_ENTRIES} per-frame limit")
+    parts = [_RELAY_HEADER.pack(RELAY_VERSION, RECORD_DTYPE.itemsize, len(entries))]
+    for entry in entries:
+        raw_id = entry.stream_id.encode("utf-8")
+        if not raw_id:
+            raise ProtocolError("relay entry stream id must not be empty")
+        if len(raw_id) > 0xFFFF:
+            raise ProtocolError(f"relay stream id of {len(raw_id)} bytes is too long")
+        if entry.records.dtype != RECORD_DTYPE:
+            raise ValueError(
+                f"records dtype must be {RECORD_DTYPE}, got {entry.records.dtype}"
+            )
+        flags = (RELAY_FLAG_CONNECTED if entry.connected else 0) | (
+            RELAY_FLAG_CLOSED if entry.closed else 0
+        )
+        reported = -1 if entry.reported_total is None else int(entry.reported_total)
+        parts.append(
+            _RELAY_ENTRY.pack(
+                entry.pid,
+                entry.nonce,
+                entry.default_window,
+                entry.target_min,
+                entry.target_max,
+                reported,
+                flags,
+                len(raw_id),
+                int(entry.records.shape[0]),
+            )
+        )
+        parts.append(raw_id)
+        if entry.records.shape[0]:
+            parts.append(bytes(batch_payload(entry.records)))
+    return encode_frame(FRAME_RELAY, b"".join(parts))
+
+
+def decode_relay(payload: bytes) -> list[RelayEntry]:
+    """Decode a RELAY payload into its stream entries.
+
+    Rejects unknown relay versions and mismatched record layouts up front —
+    a relay link negotiates nothing, so the first frame already proves (or
+    disproves) compatibility.
+    """
+    if len(payload) < _RELAY_HEADER.size:
+        raise ProtocolError(f"relay payload truncated: {len(payload)} bytes")
+    version, itemsize, count = _RELAY_HEADER.unpack_from(payload)
+    if version != RELAY_VERSION:
+        raise ProtocolError(f"unsupported relay version {version}")
+    if itemsize != RECORD_DTYPE.itemsize:
+        raise ProtocolError(
+            f"relay records are {itemsize} bytes per record, expected {RECORD_DTYPE.itemsize}"
+        )
+    offset = _RELAY_HEADER.size
+    entries: list[RelayEntry] = []
+    for _ in range(count):
+        if len(payload) - offset < _RELAY_ENTRY.size:
+            raise ProtocolError("relay payload truncated: entry header incomplete")
+        (
+            pid, nonce, window, tmin, tmax, reported, flags, id_len, n_records,
+        ) = _RELAY_ENTRY.unpack_from(payload, offset)
+        offset += _RELAY_ENTRY.size
+        raw_id = payload[offset : offset + id_len]
+        if len(raw_id) != id_len:
+            raise ProtocolError("relay payload truncated: stream id incomplete")
+        offset += id_len
+        try:
+            stream_id = raw_id.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"relay stream id is not valid UTF-8: {exc}") from exc
+        if not stream_id:
+            raise ProtocolError("relay entry stream id must not be empty")
+        nbytes = n_records * WIRE_RECORD_DTYPE.itemsize
+        raw_records = payload[offset : offset + nbytes]
+        if len(raw_records) != nbytes:
+            raise ProtocolError("relay payload truncated: records incomplete")
+        offset += nbytes
+        records = (
+            decode_batch(raw_records) if n_records else np.empty(0, dtype=RECORD_DTYPE)
+        )
+        entries.append(
+            RelayEntry(
+                stream_id=stream_id,
+                pid=int(pid),
+                nonce=int(nonce),
+                default_window=int(window),
+                target_min=float(tmin),
+                target_max=float(tmax),
+                connected=bool(flags & RELAY_FLAG_CONNECTED),
+                closed=bool(flags & RELAY_FLAG_CLOSED),
+                reported_total=None if reported < 0 else int(reported),
+                records=records,
+            )
+        )
+    if offset != len(payload):
+        raise ProtocolError(
+            f"relay payload has {len(payload) - offset} trailing bytes after its entries"
+        )
+    return entries
+
+
+def strip_header(frame: bytes) -> bytes:
+    """The payload of one already-encoded frame (a test/doctest convenience).
+
+    >>> strip_header(encode_close(3)) == _CLOSE.pack(3)
+    True
+    """
+    return frame[HEADER_SIZE:]
 
 
 # ---------------------------------------------------------------------- #

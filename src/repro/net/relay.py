@@ -1,0 +1,376 @@
+"""Edge-collector forwarding: ship local streams upstream in RELAY frames.
+
+:class:`RelayForwarder` is the other half of collector federation (see
+:mod:`repro.net.async_collector`).  An edge collector absorbs producer
+fan-in locally; this forwarder's single background thread sweeps every
+registered stream on a fixed interval, pulls *new* records through the
+backend's cursored :meth:`snapshot_since` delta path, and batches them —
+many streams per frame — into the versioned RELAY frames defined by
+:mod:`repro.net.protocol`, shipped over one upstream TCP connection.
+
+The discipline is the exporter's, applied one tier up:
+
+* **reconnect with exponential backoff** — the upstream being down never
+  blocks local ingest; the forwarder retries from 50 ms up to 2 s;
+* **full replay on reconnect** — every per-stream cursor is discarded when
+  a connection is established, so the next sweep re-sends each stream's
+  retained history.  A restarted (empty) root rebuilds the fleet from the
+  replay; a root that never went away deduplicates the overlap by beat
+  number, so replay is idempotent;
+* **drop-oldest backpressure** — unsent records are *not* queued here; they
+  live in the edge's per-stream ring buffers.  If the upstream stays down
+  long enough for a ring to lap, the delta path resynchronizes from the
+  retained window and the oldest records are the ones lost;
+* **at-least-once delivery** — cursors commit only after a successful send,
+  so a connection lost mid-sweep re-sends from the last committed cursor.
+
+>>> def chunks(total, per_entry):
+...     return (total + per_entry - 1) // per_entry
+>>> chunks(10_000, 4096)  # a lapped ring replays in a handful of entries
+3
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.backends.base import SnapshotCursor
+from repro.net import protocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.async_collector import AsyncHeartbeatCollector, _CollectorStream
+
+__all__ = ["RelayForwarder"]
+
+#: Per-frame payload budget, below the protocol hard cap so header and entry
+#: overheads can never push a frame over :data:`repro.net.protocol.MAX_PAYLOAD`.
+_FRAME_BUDGET = protocol.MAX_PAYLOAD - 4096
+
+#: Metadata/liveness fingerprint of one stream as last sent upstream.
+_Meta = tuple[float, float, int, bool, bool, "int | None"]
+
+
+class _StreamState:
+    """Forwarding state for one local stream (forwarder thread only)."""
+
+    __slots__ = ("cursor", "sent_meta")
+
+    def __init__(self) -> None:
+        self.cursor: SnapshotCursor | None = None
+        self.sent_meta: _Meta | None = None
+
+
+class RelayForwarder:
+    """Background thread relaying an edge collector's streams upstream.
+
+    Parameters
+    ----------
+    collector:
+        The owning edge collector; its registered streams are the source.
+    upstream:
+        ``"host:port"`` string or ``(host, port)`` tuple of the next
+        collector up the tree.
+    interval:
+        Seconds between forwarding sweeps while the link is healthy.
+    connect_timeout, send_timeout:
+        Socket timeouts for dialling and for one ``sendall``.
+    backoff_initial, backoff_max:
+        Reconnect backoff window (doubles on each failure).
+
+    Raises
+    ------
+    ValueError
+        When ``upstream`` is not a parseable address.
+
+    >>> RelayForwarder.parse_upstream("127.0.0.1:9000")
+    ('127.0.0.1', 9000)
+    """
+
+    def __init__(
+        self,
+        collector: "AsyncHeartbeatCollector",
+        upstream: str | tuple[str, int],
+        *,
+        interval: float = 0.05,
+        connect_timeout: float = 2.0,
+        send_timeout: float = 5.0,
+        backoff_initial: float = 0.05,
+        backoff_max: float = 2.0,
+    ) -> None:
+        self._collector = collector
+        self.address = self.parse_upstream(upstream)
+        self._interval = float(interval)
+        self._connect_timeout = float(connect_timeout)
+        self._send_timeout = float(send_timeout)
+        self._backoff_initial = float(backoff_initial)
+        self._backoff_max = float(backoff_max)
+
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._closing = False
+        self._sock: socket.socket | None = None
+        self._states: dict[str, _StreamState] = {}
+
+        self._connects = 0
+        self._connect_failures = 0
+        self._frames_sent = 0
+        self._entries_sent = 0
+        self._records_sent = 0
+        self._send_errors = 0
+
+        self._thread = threading.Thread(
+            target=self._run, name=f"hb-relay-{self.address[1]}", daemon=True
+        )
+
+    @staticmethod
+    def parse_upstream(upstream: str | tuple[str, int]) -> tuple[str, int]:
+        """Normalize an upstream spec to ``(host, port)``.
+
+        Accepts a ``(host, port)`` tuple or a ``"host:port"`` string (an
+        optional ``tcp://`` prefix is tolerated so collector endpoint
+        strings can be passed through unchanged).
+        """
+        if isinstance(upstream, tuple):
+            host, port = upstream
+            return (str(host), int(port))
+        spec = upstream.strip()
+        if spec.startswith("tcp://"):
+            spec = spec[len("tcp://"):]
+        host, sep, port_text = spec.rpartition(":")
+        if not sep or not host:
+            raise ValueError(f"upstream must be 'host:port', got {upstream!r}")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ValueError(f"upstream port must be an integer, got {upstream!r}") from None
+        if not 0 < port < 65536:
+            raise ValueError(f"upstream port out of range in {upstream!r}")
+        return (host, port)
+
+    def start(self) -> None:
+        """Start the forwarding thread (called once by the edge collector)."""
+        self._thread.start()
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop forwarding after one final flush attempt.  Idempotent.
+
+        The thread gets one last sweep toward the upstream (bounded by the
+        socket timeouts), then the connection is shut down.
+        """
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+        self._wake.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=timeout)
+        self._shutdown_socket()
+
+    def stats(self) -> dict[str, int]:
+        """Forwarding counters.
+
+        Returns
+        -------
+        dict
+            ``connects`` / ``connect_failures`` — upstream dial attempts;
+            ``frames_sent`` / ``entries_sent`` / ``records_sent`` — shipped
+            volume; ``send_errors`` — connections lost mid-send (the unsent
+            tail is replayed from committed cursors).
+        """
+        with self._lock:
+            return {
+                "connects": self._connects,
+                "connect_failures": self._connect_failures,
+                "frames_sent": self._frames_sent,
+                "entries_sent": self._entries_sent,
+                "records_sent": self._records_sent,
+                "send_errors": self._send_errors,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(upstream={self.address[0]}:{self.address[1]})"
+
+    # ------------------------------------------------------------------ #
+    # Forwarding thread
+    # ------------------------------------------------------------------ #
+    def _run(self) -> None:
+        backoff = self._backoff_initial
+        next_attempt = 0.0
+        while True:
+            self._wake.wait(timeout=self._interval)
+            self._wake.clear()
+            with self._lock:
+                closing = self._closing
+            if self._sock is None:
+                now = time.monotonic()
+                if now < next_attempt and not closing:
+                    continue
+                if not self._connect():
+                    backoff = min(backoff * 2.0, self._backoff_max)
+                    next_attempt = time.monotonic() + backoff
+                    if closing:
+                        return  # no peer; a final flush is pointless
+                    continue
+                backoff = self._backoff_initial
+            sock = self._sock
+            if sock is not None and not self._link_alive(sock):
+                # The upstream went away quietly (FIN, no RST): without this
+                # probe an *idle* link would never error and never reconnect.
+                self._shutdown_socket()
+                continue
+            self._sweep()
+            if closing:
+                return
+
+    def _link_alive(self, sock: socket.socket) -> bool:
+        """Probe the upstream link for a half-closed/ dead peer.
+
+        Collectors never send on relay links, so a readable socket means
+        EOF (peer closed) or an error; nothing-to-read means healthy.
+        """
+        try:
+            sock.setblocking(False)
+            try:
+                data = sock.recv(4096)
+            finally:
+                sock.settimeout(self._send_timeout)
+        except (BlockingIOError, InterruptedError):
+            return True
+        except OSError:
+            return False
+        return data != b""
+
+    def _connect(self) -> bool:
+        try:
+            sock = socket.create_connection(self.address, timeout=self._connect_timeout)
+            sock.settimeout(self._send_timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            with self._lock:
+                self._connect_failures += 1
+            return False
+        with self._lock:
+            self._sock = sock
+            self._connects += 1
+        # A fresh connection replays everything: discarding the cursors makes
+        # the next sweep re-send each stream's retained history, which a
+        # restarted root needs and a surviving root deduplicates.
+        self._states.clear()
+        return True
+
+    def _sweep(self) -> None:
+        """Forward one round of per-stream deltas; commit cursors on success."""
+        streams = self._collector._relay_streams()
+        pending: list[protocol.RelayEntry] = []
+        commits: list[tuple[_StreamState, SnapshotCursor, _Meta]] = []
+        pending_size = 0
+        for stream in streams:
+            state = self._states.get(stream.stream_id)
+            if state is None:
+                state = self._states[stream.stream_id] = _StreamState()
+            delta, cursor = stream.snapshot_since(state.cursor)
+            with stream.lock:
+                meta: _Meta = (
+                    stream.target_min,
+                    stream.target_max,
+                    stream.default_window,
+                    stream.connected,
+                    stream.closed,
+                    stream.reported_total,
+                )
+                pid, nonce = stream.pid, stream.nonce
+            if delta.records.shape[0] == 0 and meta == state.sent_meta:
+                # cursors for pure clock-stamp advances still need committing
+                state.cursor = cursor
+                continue
+            entries = self._build_entries(stream.stream_id, pid, nonce, meta, delta.records)
+            for i, entry in enumerate(entries):
+                size = protocol.relay_entry_size(entry.stream_id, entry.records.shape[0])
+                if pending and (
+                    pending_size + size > _FRAME_BUDGET
+                    or len(pending) >= protocol.MAX_RELAY_ENTRIES
+                ):
+                    if not self._send(pending, commits):
+                        return
+                    pending, commits, pending_size = [], [], 0
+                pending.append(entry)
+                pending_size += size
+                if i == len(entries) - 1:
+                    # Commit rides with the stream's *last* entry: a send
+                    # failure before it leaves the cursor untouched, so the
+                    # whole delta is replayed (and deduplicated upstream).
+                    commits.append((state, cursor, meta))
+        if pending:
+            self._send(pending, commits)
+
+    def _build_entries(
+        self,
+        stream_id: str,
+        pid: int,
+        nonce: int,
+        meta: _Meta,
+        records: np.ndarray,
+    ) -> list[protocol.RelayEntry]:
+        """One stream's delta as entries, each small enough for one frame."""
+        target_min, target_max, window, connected, closed, reported = meta
+        base = protocol.relay_entry_size(stream_id, 0)
+        per_entry = max(1, (_FRAME_BUDGET - base) // protocol.WIRE_RECORD_DTYPE.itemsize)
+
+        def make(chunk: np.ndarray) -> protocol.RelayEntry:
+            return protocol.RelayEntry(
+                stream_id=stream_id,
+                pid=pid,
+                nonce=nonce,
+                default_window=window,
+                target_min=target_min,
+                target_max=target_max,
+                connected=connected,
+                closed=closed,
+                reported_total=reported,
+                records=chunk,
+            )
+
+        n = int(records.shape[0])
+        if n <= per_entry:
+            return [make(records)]
+        return [make(records[start:start + per_entry]) for start in range(0, n, per_entry)]
+
+    def _send(
+        self,
+        entries: list[protocol.RelayEntry],
+        commits: list[tuple[_StreamState, SnapshotCursor, _Meta]],
+    ) -> bool:
+        sock = self._sock
+        if sock is None:  # pragma: no cover - only racing a close
+            return False
+        try:
+            frame = protocol.encode_relay(entries)
+            sock.sendall(frame)
+        except OSError:
+            with self._lock:
+                self._send_errors += 1
+            self._shutdown_socket()
+            return False
+        records = sum(int(e.records.shape[0]) for e in entries)
+        for state, cursor, meta in commits:
+            state.cursor = cursor
+            state.sent_meta = meta
+        with self._lock:
+            self._frames_sent += 1
+            self._entries_sent += len(entries)
+            self._records_sent += records
+        return True
+
+    def _shutdown_socket(self) -> None:
+        with self._lock:
+            sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close barely ever raises
+                pass

@@ -13,10 +13,10 @@ closes and detaches them all, in reverse creation order, exactly once.
 ...     hb = session.produce("mem://worker", window=20)
 ...     hb.set_target_rate(100.0, 200.0)
 ...     monitor = session.observe("mem://worker")
-...     for item in work:
-...         process(item)
-...         hb.heartbeat()
-...     print(monitor.read().status)
+...     for item in range(40):
+...         _ = hb.heartbeat(tag=item)   # returns the beat number
+...     monitor.read().total_beats
+40
 
 The same URLs cross process boundaries: a producer in one process runs
 ``session.produce("shm://svc?depth=65536")`` (or ``tcp://host:port``,
@@ -119,10 +119,31 @@ class TelemetrySession:
         immediately.  ``history`` sizes the retained history of ``mem://``
         streams without an explicit ``?capacity=``, exactly like a bare
         :class:`Heartbeat`; the other schemes size their storage with URL
-        parameters (``capacity``/``depth``).  The returned heartbeat is
-        session-owned: it is finalised (backend flushed and closed) when the
-        session closes, and can also be finalised earlier by the caller —
-        finalisation is idempotent.
+        parameters (``capacity``/``depth``).
+
+        Returns
+        -------
+        Heartbeat
+            A session-owned heartbeat: it is finalised (backend flushed and
+            closed) when the session closes, and can also be finalised
+            earlier by the caller — finalisation is idempotent.
+
+        Raises
+        ------
+        EndpointError
+            On an unparseable URL, producer-invalid parameters (e.g.
+            ``upstream=`` on a producer endpoint) or a duplicate stream
+            name within this session.
+        OSError
+            When the endpoint's storage cannot be opened (file path,
+            shared-memory segment).
+
+        >>> with TelemetrySession() as session:
+        ...     hb = session.produce("mem://svc", window=8, target=(5.0, 10.0))
+        ...     hb.heartbeat_batch(4)
+        ...     (hb.name, hb.target_min, hb.target_max)
+        0
+        ('svc', 5.0, 10.0)
         """
         ep = Endpoint.parse(endpoint)
         label = f"produce:{ep}"
@@ -180,6 +201,24 @@ class TelemetrySession:
         ``mem://NAME`` resolves to the stream this session produced under
         that name.  ``tcp://`` observation is fleet-shaped — use
         :meth:`fleet` (or :meth:`collect`) and let producers dial in.
+
+        Returns
+        -------
+        HeartbeatMonitor
+            A session-owned read-only monitor over the stream.
+
+        Raises
+        ------
+        EndpointError
+            For a ``tcp://`` endpoint (fleet-shaped), a ``mem://`` name
+            this session never produced, or an unparseable URL.
+
+        >>> with TelemetrySession() as session:
+        ...     hb = session.produce("mem://svc")
+        ...     hb.heartbeat_batch(3)
+        ...     session.observe("mem://svc").read().total_beats
+        0
+        3
         """
         ep = Endpoint.parse(endpoint)
         window = self._window if window is None else int(window)
@@ -226,6 +265,28 @@ class TelemetrySession:
         ``mem://NAME`` attach single streams — or an already-running
         collector-like object (anything with ``stream_ids``), which is
         observed without taking ownership.
+
+        Returns
+        -------
+        HeartbeatAggregator
+            A session-owned fleet observer; one :meth:`poll` samples every
+            attached stream.
+
+        Raises
+        ------
+        EndpointError
+            On an unparseable URL or an entry that is neither an endpoint
+            nor collector-like.
+        OSError
+            When a ``tcp://`` entry's bind address is already in use.
+
+        >>> with TelemetrySession() as session:
+        ...     hb = session.produce("mem://svc")
+        ...     hb.heartbeat_batch(5)
+        ...     fleet = session.fleet("mem://svc")
+        ...     fleet.poll().reading("svc").total_beats
+        0
+        5
         """
         aggregator = HeartbeatAggregator(
             clock=clock if clock is not None else self._observer_clock(),
@@ -244,7 +305,31 @@ class TelemetrySession:
     def collect(
         self, endpoint: str | Endpoint = "tcp://127.0.0.1:0"
     ) -> "HeartbeatCollector":
-        """Bind a session-owned TCP collector at a ``tcp://`` endpoint."""
+        """Bind a session-owned TCP collector at a ``tcp://`` endpoint.
+
+        A ``?upstream=host:port`` parameter binds an *edge* collector that
+        forwards every stream to the named upstream collector, so a
+        federation tree is built from URLs alone (see
+        ``docs/architecture.md`` §3).
+
+        Returns
+        -------
+        HeartbeatCollector
+            The bound collector; producers dial ``collector.endpoint_url``.
+
+        Raises
+        ------
+        EndpointError
+            When ``endpoint`` is not ``tcp://`` or carries producer-side
+            parameters (``stream``/``capacity``/``flush_interval``).
+        OSError
+            When the listen address is already bound.
+
+        >>> with TelemetrySession() as session:
+        ...     collector = session.collect("tcp://127.0.0.1:0")
+        ...     collector.stream_ids()
+        []
+        """
         collector = open_collector(endpoint)
         self._register(f"collect:tcp://{collector.endpoint}", collector.close)
         return collector
@@ -268,6 +353,20 @@ class TelemetrySession:
         :meth:`fleet` — so a spec can carry its full wiring
         (``attach = ["tcp://0.0.0.0:7717"]``) and need nothing but
         ``session.adapt("spec.toml")`` at runtime.
+
+        Returns
+        -------
+        AdaptationEngine
+            A session-owned engine over a session-owned aggregator; call
+            :meth:`~repro.adapt.engine.AdaptationEngine.tick` (or
+            ``run``) to observe-and-act.
+
+        Raises
+        ------
+        EndpointError
+            From the attach wiring, exactly as :meth:`fleet`.
+        HeartbeatError
+            When the spec file cannot be parsed or its rules are invalid.
         """
         from repro.adapt.spec import AdaptSpec
 

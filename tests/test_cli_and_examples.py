@@ -280,6 +280,23 @@ class TestEndpointCLI:
         assert cli.main(["collect", "tcp://127.0.0.1:0", "--bind", "127.0.0.1:0"]) == 2
         assert "not both" in capsys.readouterr().err
 
+    def test_collect_reports_bind_failure_in_one_line(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            rc = cli.main(["collect", f"tcp://127.0.0.1:{port}", "--duration", "0.1"])
+        finally:
+            blocker.close()
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "cannot bind" in err and str(port) in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
     def test_watch_positional_file_endpoint(self, tmp_path, capsys):
         log = tmp_path / "svc.hblog"
         hb = Heartbeat(window=5, backend=FileBackend(log))
@@ -378,6 +395,7 @@ class TestExamples:
             "fleet_aggregator.py",
             "remote_fleet.py",
             "adaptation_engine.py",
+            "collector_federation.py",
         } <= names
 
     def test_adaptation_engine_example_runs_green(self):
@@ -399,6 +417,22 @@ class TestExamples:
         assert result.returncode == 0, f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
         assert "adaptation engine demo OK" in result.stdout
         assert "converged" in result.stdout
+
+    def test_collector_federation_example_runs_green(self):
+        """Two edges -> one root: delivery, relay stats, STALLED two hops up."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+        env.update(FEDERATION_TICKS="6", FEDERATION_BATCH="8", FEDERATION_PRODUCERS="2")
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "collector_federation.py")],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+        assert "collector federation demo OK" in result.stdout
+        assert "two hops from the death" in result.stdout
 
     def test_remote_fleet_example_runs_green(self):
         """The acceptance demo: subprocess producers → collector → aggregator.

@@ -232,3 +232,30 @@ class TestFactories:
             collector.close()
         with pytest.raises(EndpointError, match="tcp"):
             open_collector("shm://x")
+
+
+class TestUpstreamParameter:
+    """tcp://?upstream= — the collector-side federation parameter."""
+
+    def test_round_trips_and_parses(self):
+        ep = TcpEndpoint(host="0.0.0.0", port=7717, upstream="root.example:7717")
+        parsed = Endpoint.parse(str(ep))
+        assert parsed == ep
+        assert parsed.upstream == "root.example:7717"
+
+    def test_rejects_malformed_upstream(self):
+        with pytest.raises(EndpointError, match="upstream"):
+            Endpoint.parse("tcp://127.0.0.1:0?upstream=nocolon")
+        with pytest.raises(EndpointError, match="upstream"):
+            TcpEndpoint(host="h", port=1, upstream="host:notaport")
+
+    def test_open_backend_rejects_upstream(self):
+        with pytest.raises(EndpointError, match="collector-side"):
+            open_backend("tcp://127.0.0.1:1?upstream=127.0.0.1:2")
+
+    def test_open_collector_with_upstream_binds_edge(self):
+        with open_collector("tcp://127.0.0.1:0") as root:
+            with open_collector(f"tcp://127.0.0.1:0?upstream={root.endpoint}") as edge:
+                assert edge.is_edge
+                assert edge.upstream_address == root.address
+            assert not root.is_edge
