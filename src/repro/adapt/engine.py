@@ -25,6 +25,7 @@ from typing import Callable, Iterator, Mapping, Union
 from repro.adapt.loop import ControlLoop, DecisionTrace
 from repro.core.aggregator import FleetSample, HeartbeatAggregator
 from repro.core.monitor import HealthStatus, MonitorReading
+from repro.obs.registry import MetricsRegistry
 
 __all__ = ["AdaptationEngine", "EngineTick", "LoopFactory"]
 
@@ -84,6 +85,10 @@ class AdaptationEngine:
         Step loops even when their stream is classified STALLED.  Off by
         default: a stalled stream's rate is stale, and acting on it usually
         does harm.
+    metrics:
+        The :class:`~repro.obs.registry.MetricsRegistry` holding the
+        engine's tick/decision counters.  A private registry is created
+        when omitted.
     """
 
     def __init__(
@@ -93,6 +98,7 @@ class AdaptationEngine:
         *,
         min_beats: int = 2,
         step_stalled: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if min_beats < 0:
             raise ValueError(f"min_beats must be >= 0, got {min_beats}")
@@ -111,6 +117,25 @@ class AdaptationEngine:
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
         self._tick_lock = threading.Lock()
+        self._listeners: list[Callable[[EngineTick], None]] = []
+
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_ticks = self.metrics.counter(
+            "engine_ticks_total", help="engine rounds run"
+        )
+        self._m_decisions = self.metrics.counter(
+            "engine_decisions_total", help="control decisions taken"
+        )
+        self._m_changes = self.metrics.counter(
+            "engine_changes_total", help="decisions that moved an actuator"
+        )
+        self._m_stream_errors = self.metrics.counter(
+            "engine_stream_errors_total", help="per-stream factory/step failures"
+        )
+        self.metrics.gauge(
+            "engine_loops", help="streams under active management",
+            fn=lambda: float(len(self.loops)),
+        )
 
     # ------------------------------------------------------------------ #
     # Observation plumbing
@@ -134,6 +159,29 @@ class AdaptationEngine:
 
     def __iter__(self) -> Iterator[ControlLoop]:
         return iter(list(self.loops.values()))
+
+    def subscribe(self, listener: Callable[[EngineTick], None]) -> Callable[[], None]:
+        """Call ``listener`` with every :class:`EngineTick`, as it happens.
+
+        Listeners run on the ticking thread, in subscription order, after
+        the tick's state is committed (``last_tick`` already updated); a
+        listener that raises is skipped for that tick, never unsubscribed,
+        and never breaks the tick itself.  Returns an idempotent
+        unsubscribe callable.
+
+        This is the engine's export hook: a
+        :class:`~repro.obs.tracing.DecisionTraceLog` streams decisions to
+        JSONL through it, and the dashboard streams them over SSE.
+        """
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+        return unsubscribe
 
     # ------------------------------------------------------------------ #
     # The engine step
@@ -211,6 +259,15 @@ class AdaptationEngine:
             errors=errors,
         )
         self.last_tick = tick
+        self._m_ticks.inc()
+        self._m_decisions.inc(tick.decisions)
+        self._m_changes.inc(tick.changes)
+        self._m_stream_errors.inc(len(errors))
+        for listener in list(self._listeners):
+            try:
+                listener(tick)
+            except Exception:  # noqa: BLE001 - a bad exporter must not stop ticking
+                pass
         return tick
 
     def run(
@@ -322,6 +379,7 @@ class AdaptationEngine:
             loop.stop()
         self.loops.clear()
         self._declined.clear()
+        self._listeners.clear()
         if close_aggregator:
             self._aggregator.close()
 

@@ -19,7 +19,9 @@ library APIs accept::
     Render a live fleet table over any mix of endpoints: ``tcp://`` runs a
     collector and watches whatever producers dial in, ``shm://`` and
     ``file://`` attach local streams, so one table can mix remote and
-    same-host streams.
+    same-host streams.  With ``--serve`` the same fleet is also published
+    as a live HTTP/SSE dashboard (:mod:`repro.obs.serve`) with a
+    ``/metrics`` scrape endpoint.
 
 ``adapt``
     Drive a declarative :class:`repro.adapt.AdaptSpec` over the observed
@@ -110,6 +112,14 @@ def _build_parser() -> argparse.ArgumentParser:
     collect.add_argument(
         "--quiet", action="store_true", help="no periodic summaries, just collect"
     )
+    collect.add_argument(
+        "--stats-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="print a one-line registry stats summary (conns, streams, relay "
+        "frames/dupes, errors) every N seconds; independent of --quiet",
+    )
 
     watch = sub.add_parser("watch", help="live fleet table from any mix of endpoints")
     watch.add_argument(
@@ -146,6 +156,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     watch.add_argument("--window", type=int, default=0, help="rate window (0: producer default)")
     watch.add_argument("--once", action="store_true", help="print one table and exit")
+    watch.add_argument(
+        "--serve",
+        action="store_true",
+        help="also serve the live dashboard over HTTP (SSE /events, scrape /metrics)",
+    )
+    watch.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="dashboard port for --serve (default 0: an ephemeral port)",
+    )
 
     adapt = sub.add_parser(
         "adapt",
@@ -297,8 +318,12 @@ def _fleet_table(sample: FleetSample) -> str:
     return "\n".join(lines)
 
 
-def _run_loop(duration: float | None, interval: float, tick) -> None:
-    """Call ``tick()`` every ``interval`` seconds until duration/Ctrl-C."""
+def _run_loop(duration: float | None, interval: float, tick) -> bool:
+    """Call ``tick()`` every ``interval`` seconds until duration/Ctrl-C.
+
+    Returns ``True`` when the loop ended on Ctrl-C (so callers can label
+    their final summary line) and ``False`` when the duration ran out.
+    """
     deadline = None if duration is None else time.monotonic() + duration
     try:
         while True:
@@ -306,12 +331,12 @@ def _run_loop(duration: float | None, interval: float, tick) -> None:
             if deadline is not None:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
-                    return
+                    return False
                 time.sleep(min(interval, remaining))
             else:
                 time.sleep(interval)
     except KeyboardInterrupt:
-        return
+        return True
 
 
 def _write_port_file(path: str, port: int) -> None:
@@ -333,6 +358,30 @@ def _write_port_file(path: str, port: int) -> None:
         except OSError:
             pass
         raise
+
+
+def _stats_line(collector: HeartbeatCollector) -> str:
+    """One-line registry summary for ``collect --stats-interval``.
+
+    Reads the same counters :meth:`HeartbeatCollector.stats` exposes (now
+    views over the collector's metrics registry), plus the upstream relay
+    counters when the collector runs in edge mode.
+    """
+    stats = collector.stats()
+    parts = [
+        f"conns={stats['open_connections']}/{stats['connections_accepted']}",
+        f"streams={stats['streams']}",
+        f"frames={stats['frames']}",
+        f"records={stats['records']}",
+        f"relay_frames={stats['relay_frames']}",
+        f"relay_dupes={stats['relay_duplicates']}",
+        f"protocol_errors={stats['protocol_errors']}",
+    ]
+    relay = collector.relay_stats()
+    if relay:
+        parts.append(f"relay_sent={relay['frames_sent']}")
+        parts.append(f"relay_send_errors={relay['send_errors']}")
+    return "stats: " + " ".join(parts)
 
 
 def _collect_endpoint(args: argparse.Namespace) -> Endpoint:
@@ -374,19 +423,37 @@ def _cmd_collect(args: argparse.Namespace) -> int:
             )
             aggregator.attach_collector(collector)
 
-            def tick() -> None:
-                if args.quiet:
-                    return
-                summary = aggregator.summary()
-                stats = collector.stats()
-                _emit(
-                    f"streams={summary.streams} beats={stats['records']} "
-                    f"mean={summary.mean:.2f} p99={summary.percentiles[99.0]:.2f} "
-                    f"lagging={summary.lagging} stalled={summary.stalled} "
-                    f"protocol_errors={stats['protocol_errors']}"
-                )
+            # The summary and the stats line tick on independent cadences;
+            # one loop runs at the faster of the two and each tick emits
+            # whichever lines are due (time.sleep never wakes early, so a
+            # due deadline is always reached).
+            now = time.monotonic()
+            next_summary = now
+            next_stats = None if args.stats_interval is None else now + args.stats_interval
 
-            _run_loop(args.duration, args.interval, tick)
+            def tick() -> None:
+                nonlocal next_summary, next_stats
+                now = time.monotonic()
+                if not args.quiet and now >= next_summary:
+                    summary = aggregator.summary()
+                    stats = collector.stats()
+                    _emit(
+                        f"streams={summary.streams} beats={stats['records']} "
+                        f"mean={summary.mean:.2f} p99={summary.percentiles[99.0]:.2f} "
+                        f"lagging={summary.lagging} stalled={summary.stalled} "
+                        f"protocol_errors={stats['protocol_errors']}"
+                    )
+                    next_summary = now + args.interval
+                if next_stats is not None and now >= next_stats:
+                    _emit(_stats_line(collector))
+                    next_stats = now + args.stats_interval
+
+            loop_interval = (
+                args.interval
+                if args.stats_interval is None
+                else min(args.interval, args.stats_interval)
+            )
+            _run_loop(args.duration, loop_interval, tick)
             aggregator.close()
     finally:
         # Never leave a stale port file: scripts poll it for discovery.
@@ -410,6 +477,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         clock=WallClock(rebase=False), window=args.window, liveness_timeout=args.liveness
     )
     collectors: list[HeartbeatCollector] = []
+    server = None
     try:
         rc = _attach_endpoints(
             aggregator,
@@ -419,6 +487,18 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         )
         if rc:
             return rc
+        if args.serve:
+            # Deferred import: the dashboard pulls in the adaptation layer,
+            # which plain table watching does not need.
+            from repro.obs.serve import TelemetryServer
+
+            server = TelemetryServer(
+                aggregator,
+                collectors=collectors,
+                port=args.port,
+                interval=args.interval,
+            )
+            _emit(f"dashboard at {server.url} (SSE /events, scrape /metrics)")
 
         def tick() -> None:
             _emit(_fleet_table(aggregator.poll()))
@@ -426,8 +506,17 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         if args.once:
             tick()
         else:
-            _run_loop(args.duration, args.interval, tick)
+            interrupted = _run_loop(args.duration, args.interval, tick)
+            summary = aggregator.summary()
+            _emit(
+                f"-- watch {'interrupted' if interrupted else 'done'}: "
+                f"{summary.streams} streams, mean {summary.mean:.2f} "
+                f"p99 {summary.percentiles[99.0]:.2f}, "
+                f"{summary.lagging} lagging, {summary.stalled} stalled"
+            )
     finally:
+        if server is not None:
+            server.close()
         aggregator.close()
         for collector in collectors:
             collector.close()
@@ -528,6 +617,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     except EndpointError as exc:
         _emit(f"{args.command}: {exc}", stream=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Ctrl-C outside the steady-state loop (during bind, attach or
+        # teardown): exit with the conventional SIGINT status, no traceback.
+        _emit(f"{args.command}: interrupted", stream=sys.stderr)
+        return 130
     except BrokenPipeError:
         # Downstream pipe closed (e.g. `repro collect | head`): exit quietly
         # the way any well-behaved CLI does, with stdout pointed at devnull

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping, Protocol, Sequence
@@ -57,6 +58,7 @@ from repro.core.monitor import (
     reading_from_snapshot,
 )
 from repro.core.registry import HeartbeatRegistry
+from repro.obs.registry import MetricsRegistry
 
 __all__ = [
     "HeartbeatAggregator",
@@ -438,6 +440,10 @@ class HeartbeatAggregator:
         When True (default) :meth:`poll` consumes cursored deltas and skips
         idle streams; ``False`` restores the full-snapshot-per-stream poll
         (the benchmark baseline arm, and a refuge for exotic sources).
+    metrics:
+        The :class:`~repro.obs.registry.MetricsRegistry` holding poll
+        counters and the poll-duration histogram.  A private registry is
+        created when omitted.
     """
 
     def __init__(
@@ -448,6 +454,7 @@ class HeartbeatAggregator:
         liveness_timeout: float | None = None,
         num_shards: int = 1,
         incremental: bool = True,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if num_shards < 0:
             raise ValueError(f"num_shards must be >= 0, got {num_shards}")
@@ -474,6 +481,21 @@ class HeartbeatAggregator:
         self._membership = 0
         self._columns_membership = -1
         self._names_cache: tuple[str, ...] = ()
+
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_polls = self.metrics.counter(
+            "aggregator_polls_total", help="fleet polls run"
+        )
+        self._m_stream_errors = self.metrics.counter(
+            "aggregator_stream_errors_total", help="per-stream read failures across polls"
+        )
+        self._m_poll_duration = self.metrics.histogram(
+            "aggregator_poll_duration_seconds", help="wall time of one fleet poll"
+        )
+        self.metrics.gauge(
+            "aggregator_streams", help="attached streams",
+            fn=lambda: float(len(self._streams)),
+        )
 
     # ------------------------------------------------------------------ #
     # Attachment
@@ -705,7 +727,12 @@ class HeartbeatAggregator:
         parallel.
         """
         with self._poll_lock:
-            return self._poll_locked()
+            start = time.perf_counter()
+            sample = self._poll_locked()
+            self._m_poll_duration.observe(time.perf_counter() - start)
+        self._m_polls.inc()
+        self._m_stream_errors.inc(len(sample.errors))
+        return sample
 
     def _poll_locked(self) -> FleetSample:
         if self._collectors:

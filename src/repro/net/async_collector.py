@@ -55,6 +55,7 @@ from repro.core.backends.base import BackendSnapshot, DeltaSnapshot, SnapshotCur
 from repro.core.backends.memory import MemoryBackend
 from repro.core.errors import MonitorAttachError, ProtocolError
 from repro.net import protocol
+from repro.obs.registry import Histogram, MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.relay import RelayForwarder
@@ -162,9 +163,9 @@ class _CollectorStream:
 class _Connection:
     """Per-socket state owned exclusively by the event-loop thread."""
 
-    __slots__ = ("sock", "decoder", "stream", "gen", "is_relay", "relay_streams")
+    __slots__ = ("sock", "decoder", "stream", "gen", "is_relay", "relay_streams", "peer", "latency")
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(self, sock: socket.socket, peer: str = "?") -> None:
         self.sock = sock
         self.decoder = protocol.FrameDecoder()
         #: Producer-link state: the HELLO-registered stream and its
@@ -174,6 +175,10 @@ class _Connection:
         #: Relay-link state: edge-local stream id → (stream, generation).
         self.is_relay = False
         self.relay_streams: dict[str, tuple[_CollectorStream, int]] = {}
+        #: Peer address ("ip:port") and, for annotated relay links, the
+        #: per-link delivery-latency histogram (created on first sample).
+        self.peer = peer
+        self.latency: Histogram | None = None
 
 
 class AsyncHeartbeatCollector:
@@ -202,6 +207,11 @@ class AsyncHeartbeatCollector:
     relay_interval:
         Edge mode only: seconds between forwarding sweeps (the relay
         analogue of the exporter's ``flush_interval``).
+    metrics:
+        The :class:`~repro.obs.registry.MetricsRegistry` holding this
+        collector's counters (and, in edge mode, its forwarder's).  A
+        private registry is created when omitted; pass a shared one to
+        scrape several subsystems from one page.
 
     Raises
     ------
@@ -225,6 +235,7 @@ class AsyncHeartbeatCollector:
         poll_timeout: float = 0.25,
         upstream: str | tuple[str, int] | None = None,
         relay_interval: float = 0.05,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._default_capacity = int(default_capacity)
         self._poll_timeout = float(poll_timeout)
@@ -234,17 +245,44 @@ class AsyncHeartbeatCollector:
         self._stopping = False
         self._closed = False
 
-        self._accepted = 0
-        self._frames = 0
-        self._records = 0
-        self._protocol_errors = 0
-        self._relay_frames = 0
-        self._relay_records = 0
-        self._relay_duplicates = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._accepted = self.metrics.counter(
+            "collector_connections_accepted_total", help="connections accepted over the lifetime"
+        )
+        self._frames = self.metrics.counter(
+            "collector_frames_total", help="protocol frames ingested"
+        )
+        self._records = self.metrics.counter(
+            "collector_records_total", help="heartbeat records ingested (producer + relay)"
+        )
+        self._protocol_errors = self.metrics.counter(
+            "collector_protocol_errors_total", help="connections dropped for malformed input"
+        )
+        self._relay_frames = self.metrics.counter(
+            "collector_relay_frames_total", help="RELAY frames ingested"
+        )
+        self._relay_records = self.metrics.counter(
+            "collector_relay_records_total", help="records ingested over relay links"
+        )
+        self._relay_duplicates = self.metrics.counter(
+            "collector_relay_duplicates_total", help="replayed records discarded by dedup"
+        )
+        self.metrics.gauge(
+            "collector_open_connections",
+            help="currently open connections",
+            fn=lambda: float(len(self._connections)),
+        )
+        self.metrics.gauge(
+            "collector_streams",
+            help="registered streams",
+            fn=lambda: float(len(self._streams)),
+        )
+        #: peer address → per-link delivery-latency histogram (annotated
+        #: relay links only), for :meth:`link_latencies`.
+        self._link_latency: dict[str, Histogram] = {}
 
         #: fd → connection; touched only by the event-loop thread.
         self._connections: dict[int, _Connection] = {}
-        self._open_connections = 0  # mirrored under _lock for stats()
 
         self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         try:
@@ -269,7 +307,7 @@ class AsyncHeartbeatCollector:
             from repro.net.relay import RelayForwarder
 
             self._relay = RelayForwarder(
-                self, upstream, interval=float(relay_interval)
+                self, upstream, interval=float(relay_interval), metrics=self.metrics
             )
 
         self._loop_thread = threading.Thread(
@@ -369,23 +407,42 @@ class AsyncHeartbeatCollector:
             input; ``streams`` — registered streams; ``relay_frames`` /
             ``relay_records`` / ``relay_duplicates`` — RELAY-link ingest and
             the replayed records deduplication discarded.
+
+        This is a view over the collector's :attr:`metrics` registry; the
+        keys predate the registry and stay stable.
         """
         with self._lock:
-            return {
-                "connections_accepted": self._accepted,
-                "open_connections": self._open_connections,
-                "frames": self._frames,
-                "records": self._records,
-                "protocol_errors": self._protocol_errors,
-                "streams": len(self._streams),
-                "relay_frames": self._relay_frames,
-                "relay_records": self._relay_records,
-                "relay_duplicates": self._relay_duplicates,
-            }
+            streams = len(self._streams)
+        return {
+            "connections_accepted": int(self._accepted.value),
+            "open_connections": len(self._connections),
+            "frames": int(self._frames.value),
+            "records": int(self._records.value),
+            "protocol_errors": int(self._protocol_errors.value),
+            "streams": streams,
+            "relay_frames": int(self._relay_frames.value),
+            "relay_records": int(self._relay_records.value),
+            "relay_duplicates": int(self._relay_duplicates.value),
+        }
 
     def relay_stats(self) -> dict[str, int]:
         """Edge-mode forwarding counters (empty dict at a root collector)."""
         return {} if self._relay is None else self._relay.stats()
+
+    def link_latencies(self) -> dict[str, dict[str, float]]:
+        """Per-link delivery latency roll-ups, keyed by downstream peer.
+
+        Each value is a histogram summary (``count`` / ``mean`` / ``min`` /
+        ``max`` / ``p50`` / ``p99``, seconds) of edge→here RELAY delivery
+        latency, measured from the hop timestamp annotated on v2 RELAY
+        frames.  Empty at a leaf collector, and for links whose sender does
+        not annotate (v1 edges).  Hop timestamps are monotonic-clock
+        readings, so the numbers are meaningful when sender and receiver
+        share a host clock (the in-tree federation and loopback cases).
+        """
+        with self._lock:
+            links = dict(self._link_latency)
+        return {peer: hist.summary() for peer, hist in links.items()}
 
     def wait_for_streams(self, count: int, timeout: float = 5.0) -> bool:
         """Block until at least ``count`` streams registered (True) or timeout."""
@@ -491,12 +548,14 @@ class AsyncHeartbeatCollector:
                 sock.close()
                 return
             sock.setblocking(False)
-            conn = _Connection(sock)
+            try:
+                peer = f"{_peer[0]}:{_peer[1]}"
+            except (IndexError, TypeError):  # pragma: no cover - non-INET family
+                peer = str(_peer)
+            conn = _Connection(sock, peer)
             self._connections[sock.fileno()] = conn
             self._selector.register(sock, selectors.EVENT_READ, conn)
-            with self._lock:
-                self._accepted += 1
-                self._open_connections = len(self._connections)
+            self._accepted.inc()
 
     def _service(self, sock: socket.socket) -> None:
         conn = self._connections.get(sock.fileno())
@@ -517,8 +576,7 @@ class AsyncHeartbeatCollector:
                 for frame in conn.decoder.feed(data):
                     self._handle_frame(conn, frame)
             except ProtocolError:
-                with self._lock:
-                    self._protocol_errors += 1
+                self._protocol_errors.inc()
                 self._drop_connection(conn)
                 return
             if len(data) < _RECV_SIZE:
@@ -545,20 +603,20 @@ class AsyncHeartbeatCollector:
                 if stream.conn_gen == gen:
                     stream.connected = False
         conn.relay_streams.clear()
-        with self._lock:
-            self._open_connections = len(self._connections)
 
     # ------------------------------------------------------------------ #
     # Frame handling (event-loop thread only)
     # ------------------------------------------------------------------ #
     def _handle_frame(self, conn: _Connection, frame: protocol.Frame) -> None:
-        with self._lock:
-            self._frames += 1
+        self._frames.inc()
         if frame.type == protocol.FRAME_RELAY:
             if conn.stream is not None:
                 raise ProtocolError("RELAY frame on a producer connection")
             conn.is_relay = True
-            self._ingest_relay(conn, protocol.decode_relay(frame.payload))
+            relay = protocol.decode_relay_frame(frame.payload)
+            if relay.hop_timestamp is not None:
+                self._observe_link_latency(conn, time.perf_counter() - relay.hop_timestamp)
+            self._ingest_relay(conn, relay.entries)
             return
         if conn.is_relay:
             raise ProtocolError("producer frame on a relay connection")
@@ -574,8 +632,7 @@ class AsyncHeartbeatCollector:
             records = protocol.decode_batch(frame.payload)
             with stream.lock:
                 stream.backend.append_many(records)
-            with self._lock:
-                self._records += int(records.shape[0])
+            self._records.inc(int(records.shape[0]))
         elif frame.type == protocol.FRAME_TARGETS:
             tmin, tmax = protocol.decode_targets(frame.payload)
             with stream.lock:
@@ -637,11 +694,26 @@ class AsyncHeartbeatCollector:
                     if entry.closed:
                         stream.closed = True
                         stream.reported_total = entry.reported_total
-        with self._lock:
-            self._relay_frames += 1
-            self._relay_records += appended
-            self._relay_duplicates += duplicates
-            self._records += appended
+        self._relay_frames.inc()
+        self._relay_records.inc(appended)
+        self._relay_duplicates.inc(duplicates)
+        self._records.inc(appended)
+
+    def _observe_link_latency(self, conn: _Connection, latency: float) -> None:
+        """Record one hop's delivery latency in the link's histogram."""
+        hist = conn.latency
+        if hist is None:
+            hist = self.metrics.histogram(
+                "relay_link_latency_seconds",
+                help="edge-to-here RELAY delivery latency per downstream link",
+                labels={"peer": conn.peer},
+            )
+            conn.latency = hist
+            with self._lock:
+                self._link_latency[conn.peer] = hist
+        # Sender and receiver sample the same monotonic clock only when they
+        # share a host; clamp the tiny negative skews scheduling can produce.
+        hist.observe(latency if latency > 0.0 else 0.0)
 
     def _register(self, hello: protocol.Hello) -> tuple[_CollectorStream, int]:
         capacity = hello.capacity if hello.capacity > 0 else self._default_capacity

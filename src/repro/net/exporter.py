@@ -36,6 +36,7 @@ from repro.core.buffer import CircularBuffer
 from repro.core.errors import BackendError
 from repro.core.record import RECORD_DTYPE
 from repro.net import protocol
+from repro.obs.registry import MetricsRegistry
 
 __all__ = ["NetworkBackend"]
 
@@ -74,6 +75,10 @@ class NetworkBackend(Backend):
         per failed attempt up to ``backoff_max``.
     close_deadline:
         Longest :meth:`close` waits for the pending queue to flush.
+    metrics:
+        The :class:`~repro.obs.registry.MetricsRegistry` holding the
+        exporter's transmission counters (labelled by stream name).  A
+        private registry is created when omitted.
 
     Raises
     ------
@@ -105,6 +110,7 @@ class NetworkBackend(Backend):
         backoff_initial: float = 0.05,
         backoff_max: float = 2.0,
         close_deadline: float = 2.0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if capacity <= 0:
             raise BackendError(f"capacity must be positive, got {capacity}")
@@ -137,12 +143,34 @@ class NetworkBackend(Backend):
         self._closing = False
         self._closed = False
 
-        # Transmission statistics (reads are advisory; plain ints suffice).
-        self._sent_batches = 0
-        self._sent_records = 0
-        self._dropped_records = 0
-        self._connects = 0
-        self._connect_failures = 0
+        # Transmission statistics, registered so one scrape covers every
+        # exporter sharing a registry.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        labels = {"stream": self.stream}
+        self._sent_batches = self.metrics.counter(
+            "exporter_sent_batches_total", help="BATCH frames shipped", labels=labels
+        )
+        self._sent_records = self.metrics.counter(
+            "exporter_sent_records_total", help="records shipped", labels=labels
+        )
+        self._dropped_records = self.metrics.counter(
+            "exporter_dropped_records_total",
+            help="records shed by drop-oldest backpressure", labels=labels,
+        )
+        self._connects = self.metrics.counter(
+            "exporter_connects_total", help="collector connections established", labels=labels
+        )
+        self._connect_failures = self.metrics.counter(
+            "exporter_connect_failures_total", help="failed collector dials", labels=labels
+        )
+        self.metrics.gauge(
+            "exporter_pending_records", help="records queued for transmission",
+            labels=labels, fn=lambda: float(self._pending_records),
+        )
+        self.metrics.gauge(
+            "exporter_connected", help="1 while the collector link is up",
+            labels=labels, fn=lambda: 1.0 if self._sock is not None else 0.0,
+        )
 
         self._sock: socket.socket | None = None
         self._sender = threading.Thread(
@@ -223,7 +251,7 @@ class NetworkBackend(Backend):
                 self._pending_records = 0
                 self._queue.clear()
                 if undelivered:
-                    self._dropped_records += undelivered
+                    self._dropped_records.inc(undelivered)
         if self._sender.is_alive():
             # The sender is wedged on a slow or dead peer; abort its socket.
             # Setting _closed above makes its loop exit on the next pass, so
@@ -234,17 +262,23 @@ class NetworkBackend(Backend):
     # Introspection
     # ------------------------------------------------------------------ #
     def stats(self) -> dict[str, int | bool]:
-        """Transmission counters (sent / dropped / reconnects / queue depth)."""
+        """Transmission counters (sent / dropped / reconnects / queue depth).
+
+        A view over the backend's :attr:`metrics` registry; the keys predate
+        the registry and stay stable.
+        """
         with self._lock:
-            return {
-                "sent_batches": self._sent_batches,
-                "sent_records": self._sent_records,
-                "dropped_records": self._dropped_records,
-                "pending_records": self._pending_records,
-                "connects": self._connects,
-                "connect_failures": self._connect_failures,
-                "connected": self._sock is not None,
-            }
+            pending = self._pending_records
+            connected = self._sock is not None
+        return {
+            "sent_batches": int(self._sent_batches.value),
+            "sent_records": int(self._sent_records.value),
+            "dropped_records": int(self._dropped_records.value),
+            "pending_records": pending,
+            "connects": int(self._connects.value),
+            "connect_failures": int(self._connect_failures.value),
+            "connected": connected,
+        }
 
     @property
     def closed(self) -> bool:
@@ -262,7 +296,7 @@ class NetworkBackend(Backend):
         with self._lock:
             if n > self._max_pending:
                 # A batch larger than the whole queue keeps its newest tail.
-                self._dropped_records += n - self._max_pending
+                self._dropped_records.inc(n - self._max_pending)
                 records = records[n - self._max_pending :]
                 n = self._max_pending
             self._queue.append(records)
@@ -278,11 +312,11 @@ class NetworkBackend(Backend):
             if oldest.shape[0] <= overflow:
                 self._queue.popleft()
                 self._pending_records -= oldest.shape[0]
-                self._dropped_records += oldest.shape[0]
+                self._dropped_records.inc(oldest.shape[0])
             else:
                 self._queue[0] = oldest[overflow:]
                 self._pending_records -= overflow
-                self._dropped_records += overflow
+                self._dropped_records.inc(overflow)
 
     # ------------------------------------------------------------------ #
     # Sender thread
@@ -336,12 +370,11 @@ class NetworkBackend(Backend):
                 self._targets_dirty = False
             sock.sendall(hello)
         except OSError:
-            with self._lock:
-                self._connect_failures += 1
+            self._connect_failures.inc()
             return False
         with self._lock:
             self._sock = sock
-            self._connects += 1
+        self._connects.inc()
         return True
 
     def _drain_once(self) -> bool:
@@ -366,9 +399,8 @@ class NetworkBackend(Backend):
             self._drop_connection(requeue=batch, targets_dirty=targets is not None)
             return False
         if batch is not None:
-            with self._lock:
-                self._sent_batches += 1
-                self._sent_records += int(batch.shape[0])
+            self._sent_batches.inc()
+            self._sent_records.inc(int(batch.shape[0]))
             if self._queue:
                 self._wake.set()  # more pending; come straight back
         return True
@@ -402,7 +434,7 @@ class NetworkBackend(Backend):
                 # counted as dropped); the in-flight batch joins the dropped
                 # tally instead of resurrecting pending on a closed backend.
                 if requeue is not None:
-                    self._dropped_records += int(requeue.shape[0])
+                    self._dropped_records.inc(int(requeue.shape[0]))
                 return
             if targets_dirty:
                 self._targets_dirty = True

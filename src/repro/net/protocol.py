@@ -86,11 +86,13 @@ __all__ = [
     "FRAME_CLOSE",
     "FRAME_RELAY",
     "RELAY_VERSION",
+    "RELAY_MIN_VERSION",
     "MAX_RELAY_ENTRIES",
     "Frame",
     "FrameDecoder",
     "Hello",
     "RelayEntry",
+    "RelayFrame",
     "ProtocolError",
     "encode_frame",
     "frame_buffers",
@@ -104,6 +106,7 @@ __all__ = [
     "decode_close",
     "encode_relay",
     "decode_relay",
+    "decode_relay_frame",
     "relay_entry_size",
     "strip_header",
     "parse_address",
@@ -131,7 +134,16 @@ _KNOWN_FRAMES = frozenset((FRAME_HELLO, FRAME_BATCH, FRAME_TARGETS, FRAME_CLOSE,
 #: Version byte of the RELAY payload itself.  Relay links are
 #: collector↔collector, so their layout can evolve (new flags, compression)
 #: without bumping :data:`PROTOCOL_VERSION` and breaking every producer.
-RELAY_VERSION = 1
+#: Version 2 widened the payload header with a hop-timestamp field so a
+#: parent can measure per-link delivery latency; senders always emit the
+#: current version, receivers accept every version down to
+#: :data:`RELAY_MIN_VERSION`.
+RELAY_VERSION = 2
+
+#: Oldest RELAY payload version a receiver still decodes.  Version 1 frames
+#: (no hop timestamp) decode as unannotated, so a new root keeps accepting
+#: old edges during a rolling upgrade.
+RELAY_MIN_VERSION = 1
 
 #: Upper bound on stream entries in one RELAY frame (the count field is u16).
 MAX_RELAY_ENTRIES = 0xFFFF
@@ -149,8 +161,11 @@ _HELLO = struct.Struct("!qqqqqddH")
 _TARGETS = struct.Struct("!dd")
 _CLOSE = struct.Struct("!q")
 
-#: RELAY payload header: relay version, record itemsize, entry count.
-_RELAY_HEADER = struct.Struct("!BHH")
+#: RELAY v1 payload header: relay version, record itemsize, entry count.
+_RELAY_HEADER_V1 = struct.Struct("!BHH")
+#: RELAY v2 payload header: v1 fields plus the sender's hop timestamp (an
+#: f64 ``time.perf_counter()`` reading; 0.0 means "not annotated").
+_RELAY_HEADER_V2 = struct.Struct("!BHHd")
 #: One RELAY entry header: pid, nonce, default window, target min/max,
 #: reported total (-1: none), flags, stream-id byte length, record count.
 _RELAY_ENTRY = struct.Struct("!qqqddqBHI")
@@ -367,6 +382,23 @@ class RelayEntry:
             object.__setattr__(self, "records", np.empty(0, dtype=RECORD_DTYPE))
 
 
+@dataclass(frozen=True, slots=True)
+class RelayFrame:
+    """One decoded RELAY payload: its entries plus the hop annotation.
+
+    ``hop_timestamp`` is the sending collector's ``time.perf_counter()``
+    reading at the moment the frame was encoded, or ``None`` for a v1 frame
+    (or a v2 frame whose sender chose not to annotate).  It is only
+    meaningful to a receiver on the *same host* time base or one measuring
+    latency against its own clock via round-trip-free estimation; the
+    collector uses it for same-process federation trees and loopback hops,
+    where sender and receiver share one monotonic clock.
+    """
+
+    entries: list[RelayEntry]
+    hop_timestamp: float | None = None
+
+
 def relay_entry_size(stream_id: str, record_count: int) -> int:
     """Encoded size of one entry, for chunking frames under :data:`MAX_PAYLOAD`."""
     return (
@@ -376,16 +408,23 @@ def relay_entry_size(stream_id: str, record_count: int) -> int:
     )
 
 
-def encode_relay(entries: "list[RelayEntry] | tuple[RelayEntry, ...]") -> bytes:
+def encode_relay(
+    entries: "list[RelayEntry] | tuple[RelayEntry, ...]",
+    *,
+    hop_timestamp: float | None = None,
+) -> bytes:
     """Encode one RELAY frame carrying ``entries``.
 
+    ``hop_timestamp`` stamps the frame with the sender's monotonic send
+    time (v2 annotation); ``None`` encodes the "not annotated" sentinel.
     The caller is responsible for keeping the total payload under
     :data:`MAX_PAYLOAD` (use :func:`relay_entry_size` to chunk); an
     oversized payload raises :class:`ProtocolError` like any other frame.
     """
     if len(entries) > MAX_RELAY_ENTRIES:
         raise ProtocolError(f"{len(entries)} entries exceed the {MAX_RELAY_ENTRIES} per-frame limit")
-    parts = [_RELAY_HEADER.pack(RELAY_VERSION, RECORD_DTYPE.itemsize, len(entries))]
+    stamp = 0.0 if hop_timestamp is None else float(hop_timestamp)
+    parts = [_RELAY_HEADER_V2.pack(RELAY_VERSION, RECORD_DTYPE.itemsize, len(entries), stamp)]
     for entry in entries:
         raw_id = entry.stream_id.encode("utf-8")
         if not raw_id:
@@ -422,20 +461,41 @@ def encode_relay(entries: "list[RelayEntry] | tuple[RelayEntry, ...]") -> bytes:
 def decode_relay(payload: bytes) -> list[RelayEntry]:
     """Decode a RELAY payload into its stream entries.
 
-    Rejects unknown relay versions and mismatched record layouts up front —
-    a relay link negotiates nothing, so the first frame already proves (or
+    A convenience wrapper over :func:`decode_relay_frame` for callers that
+    do not care about the hop annotation.
+    """
+    return decode_relay_frame(payload).entries
+
+
+def decode_relay_frame(payload: bytes) -> RelayFrame:
+    """Decode a RELAY payload into entries plus its hop annotation.
+
+    Accepts payload versions :data:`RELAY_MIN_VERSION` through
+    :data:`RELAY_VERSION` (v1 frames decode with ``hop_timestamp=None``);
+    rejects anything else and mismatched record layouts up front — a relay
+    link negotiates nothing, so the first frame already proves (or
     disproves) compatibility.
     """
-    if len(payload) < _RELAY_HEADER.size:
+    if len(payload) < _RELAY_HEADER_V1.size:
         raise ProtocolError(f"relay payload truncated: {len(payload)} bytes")
-    version, itemsize, count = _RELAY_HEADER.unpack_from(payload)
-    if version != RELAY_VERSION:
+    version = payload[0]
+    if not RELAY_MIN_VERSION <= version <= RELAY_VERSION:
         raise ProtocolError(f"unsupported relay version {version}")
+    hop_timestamp: float | None = None
+    if version >= 2:
+        if len(payload) < _RELAY_HEADER_V2.size:
+            raise ProtocolError(f"relay payload truncated: {len(payload)} bytes")
+        version, itemsize, count, stamp = _RELAY_HEADER_V2.unpack_from(payload)
+        if stamp > 0.0:
+            hop_timestamp = float(stamp)
+        offset = _RELAY_HEADER_V2.size
+    else:
+        version, itemsize, count = _RELAY_HEADER_V1.unpack_from(payload)
+        offset = _RELAY_HEADER_V1.size
     if itemsize != RECORD_DTYPE.itemsize:
         raise ProtocolError(
             f"relay records are {itemsize} bytes per record, expected {RECORD_DTYPE.itemsize}"
         )
-    offset = _RELAY_HEADER.size
     entries: list[RelayEntry] = []
     for _ in range(count):
         if len(payload) - offset < _RELAY_ENTRY.size:
@@ -480,7 +540,7 @@ def decode_relay(payload: bytes) -> list[RelayEntry]:
         raise ProtocolError(
             f"relay payload has {len(payload) - offset} trailing bytes after its entries"
         )
-    return entries
+    return RelayFrame(entries=entries, hop_timestamp=hop_timestamp)
 
 
 def strip_header(frame: bytes) -> bytes:

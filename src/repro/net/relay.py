@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.core.backends.base import SnapshotCursor
 from repro.net import protocol
+from repro.obs.registry import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.async_collector import AsyncHeartbeatCollector, _CollectorStream
@@ -81,6 +82,11 @@ class RelayForwarder:
         Socket timeouts for dialling and for one ``sendall``.
     backoff_initial, backoff_max:
         Reconnect backoff window (doubles on each failure).
+    metrics:
+        The :class:`~repro.obs.registry.MetricsRegistry` to register
+        forwarding counters into (labelled by upstream address); the owning
+        collector passes its own registry so one scrape covers both tiers.
+        A private registry is created when omitted.
 
     Raises
     ------
@@ -101,6 +107,7 @@ class RelayForwarder:
         send_timeout: float = 5.0,
         backoff_initial: float = 0.05,
         backoff_max: float = 2.0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._collector = collector
         self.address = self.parse_upstream(upstream)
@@ -116,12 +123,26 @@ class RelayForwarder:
         self._sock: socket.socket | None = None
         self._states: dict[str, _StreamState] = {}
 
-        self._connects = 0
-        self._connect_failures = 0
-        self._frames_sent = 0
-        self._entries_sent = 0
-        self._records_sent = 0
-        self._send_errors = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        labels = {"upstream": f"{self.address[0]}:{self.address[1]}"}
+        self._connects = self.metrics.counter(
+            "relay_connects_total", help="upstream connections established", labels=labels
+        )
+        self._connect_failures = self.metrics.counter(
+            "relay_connect_failures_total", help="failed upstream dials", labels=labels
+        )
+        self._frames_sent = self.metrics.counter(
+            "relay_frames_sent_total", help="RELAY frames shipped upstream", labels=labels
+        )
+        self._entries_sent = self.metrics.counter(
+            "relay_entries_sent_total", help="stream entries shipped upstream", labels=labels
+        )
+        self._records_sent = self.metrics.counter(
+            "relay_records_sent_total", help="records shipped upstream", labels=labels
+        )
+        self._send_errors = self.metrics.counter(
+            "relay_send_errors_total", help="connections lost mid-send", labels=labels
+        )
 
         self._thread = threading.Thread(
             target=self._run, name=f"hb-relay-{self.address[1]}", daemon=True
@@ -181,16 +202,18 @@ class RelayForwarder:
             ``frames_sent`` / ``entries_sent`` / ``records_sent`` — shipped
             volume; ``send_errors`` — connections lost mid-send (the unsent
             tail is replayed from committed cursors).
+
+        This is a view over the forwarder's :attr:`metrics` registry
+        counters; the keys predate the registry and stay stable.
         """
-        with self._lock:
-            return {
-                "connects": self._connects,
-                "connect_failures": self._connect_failures,
-                "frames_sent": self._frames_sent,
-                "entries_sent": self._entries_sent,
-                "records_sent": self._records_sent,
-                "send_errors": self._send_errors,
-            }
+        return {
+            "connects": int(self._connects.value),
+            "connect_failures": int(self._connect_failures.value),
+            "frames_sent": int(self._frames_sent.value),
+            "entries_sent": int(self._entries_sent.value),
+            "records_sent": int(self._records_sent.value),
+            "send_errors": int(self._send_errors.value),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(upstream={self.address[0]}:{self.address[1]})"
@@ -251,12 +274,11 @@ class RelayForwarder:
             sock.settimeout(self._send_timeout)
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:
-            with self._lock:
-                self._connect_failures += 1
+            self._connect_failures.inc()
             return False
         with self._lock:
             self._sock = sock
-            self._connects += 1
+        self._connects.inc()
         # A fresh connection replays everything: discarding the cursors makes
         # the next sweep re-send each stream's retained history, which a
         # restarted root needs and a surviving root deduplicates.
@@ -349,21 +371,21 @@ class RelayForwarder:
         if sock is None:  # pragma: no cover - only racing a close
             return False
         try:
-            frame = protocol.encode_relay(entries)
+            # Stamp the frame with this hop's monotonic send time so the
+            # parent can histogram edge→root delivery latency per link.
+            frame = protocol.encode_relay(entries, hop_timestamp=time.perf_counter())
             sock.sendall(frame)
         except OSError:
-            with self._lock:
-                self._send_errors += 1
+            self._send_errors.inc()
             self._shutdown_socket()
             return False
         records = sum(int(e.records.shape[0]) for e in entries)
         for state, cursor, meta in commits:
             state.cursor = cursor
             state.sent_meta = meta
-        with self._lock:
-            self._frames_sent += 1
-            self._entries_sent += len(entries)
-            self._records_sent += records
+        self._frames_sent.inc()
+        self._entries_sent.inc(len(entries))
+        self._records_sent.inc(records)
         return True
 
     def _shutdown_socket(self) -> None:

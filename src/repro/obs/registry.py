@@ -1,0 +1,497 @@
+"""Unified metrics registry: counters, gauges and fixed-bucket histograms.
+
+Every subsystem in the telemetry pipeline keeps operational counters — the
+exporter's sent/dropped records, the collector's frames and protocol errors,
+the relay's forwarding volume, the aggregator's poll cost, the adaptation
+engine's decisions.  Before this module each kept a private dict behind an
+ad-hoc ``stats()`` method; :class:`MetricsRegistry` gives them one shared
+shape, so a dashboard, the ``/metrics`` scrape endpoint and the historic
+``stats()`` views all read the *same* instruments.
+
+Design points:
+
+* **lock-cheap** — the registry lock is taken only when a metric is created
+  or the registry is enumerated; the hot path (``Counter.inc`` on a beat or
+  frame) takes one leaf per-metric lock around a single add, and live
+  gauges cost nothing until read (they wrap a callable);
+* **get-or-create identity** — asking for the same ``(name, labels)`` twice
+  returns the same instrument, so wiring code never has to thread metric
+  objects around; asking with a different *kind* raises;
+* **fixed-bucket histograms** — latency distributions are recorded into a
+  fixed set of upper bounds (Prometheus-style ``le`` buckets), so
+  :meth:`Histogram.quantile` answers p50/p99 in O(buckets) with bounded
+  memory no matter how many observations arrive;
+* **one text exposition** — :meth:`MetricsRegistry.render_text` emits the
+  plain-text format scrapers expect (``# TYPE``/``# HELP`` plus
+  ``name{label="value"} number`` samples).
+
+>>> registry = MetricsRegistry()
+>>> frames = registry.counter("frames_total", help="ingested frames")
+>>> frames.inc(3)
+>>> registry.counter("frames_total") is frames
+True
+>>> int(registry.as_dict()["frames_total"])
+3
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Callable, Iterable, Mapping, Sequence, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "render_registries",
+]
+
+#: Latency histogram upper bounds, in seconds (a decade-spanning ladder —
+#: sub-millisecond loopback hops through multi-second WAN stalls).
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+
+#: Normalised label set: sorted tuple of (label name, label value) pairs.
+LabelSet = tuple[tuple[str, str], ...]
+_MetricKey = tuple[str, LabelSet]
+
+
+def _normalize_labels(labels: Mapping[str, str] | None) -> LabelSet:
+    if not labels:
+        return ()
+    items = []
+    for key, value in labels.items():
+        if not _LABEL_NAME_RE.match(key):
+            raise ValueError(f"invalid label name {key!r}")
+        items.append((key, str(value)))
+    return tuple(sorted(items))
+
+
+def _format_labels(labels: LabelSet) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{key}="{_escape(value)}"' for key, value in labels)
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_number(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """Shared identity of one instrument: name, labels, help text."""
+
+    kind = "untyped"
+    __slots__ = ("name", "labels", "help")
+
+    def __init__(self, name: str, labels: LabelSet, help: str) -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+
+    @property
+    def key(self) -> _MetricKey:
+        return (self.name, self.labels)
+
+    def samples(self) -> list[tuple[str, LabelSet, float]]:
+        """``(sample name, labels, value)`` rows for the text exposition."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name}{_format_labels(self.labels)})"
+
+
+class Counter(_Metric):
+    """A monotonically increasing count.
+
+    >>> c = Counter("beats_total", (), "")
+    >>> c.inc(); c.inc(4); c.value
+    5.0
+    """
+
+    kind = "counter"
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, name: str, labels: LabelSet = (), help: str = "") -> None:
+        super().__init__(name, labels, help)
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def samples(self) -> list[tuple[str, LabelSet, float]]:
+        return [(self.name, self.labels, self.value)]
+
+
+class Gauge(_Metric):
+    """A value that goes up and down — set directly, or live via a callable.
+
+    A live gauge (``fn=...``) is read at scrape time, so wiring one costs
+    nothing on the hot path; the callable must be cheap and must not take
+    locks that scrapers could deadlock against.
+
+    >>> g = Gauge("depth", (), "")
+    >>> g.set(7.0); g.value
+    7.0
+    """
+
+    kind = "gauge"
+    __slots__ = ("_lock", "_value", "_fn")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet = (),
+        help: str = "",
+        fn: Callable[[], float] | None = None,
+    ) -> None:
+        super().__init__(name, labels, help)
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._fn = None
+            self._value = float(value)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Make this a live gauge: ``fn()`` is called on every read."""
+        with self._lock:
+            self._fn = fn
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            fn = self._fn
+            if fn is None:
+                return self._value
+        try:
+            return float(fn())
+        except Exception:
+            return math.nan
+
+    def samples(self) -> list[tuple[str, LabelSet, float]]:
+        return [(self.name, self.labels, self.value)]
+
+
+class Histogram(_Metric):
+    """Fixed-bucket distribution with O(buckets) quantile estimates.
+
+    Observations land in the first bucket whose upper bound contains them
+    (plus an implicit ``+Inf`` overflow bucket); :meth:`quantile`
+    interpolates linearly inside the winning bucket and clamps to the
+    observed min/max, so estimates stay sane even for spiky distributions.
+
+    >>> h = Histogram("lat", (), "", buckets=(0.01, 0.1, 1.0))
+    >>> for v in (0.02, 0.04, 0.06, 0.08):
+    ...     h.observe(v)
+    >>> h.count, round(h.quantile(50.0), 3) <= 0.1
+    (4, True)
+    """
+
+    kind = "histogram"
+    __slots__ = ("_lock", "_bounds", "_counts", "_count", "_sum", "_min", "_max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet = (),
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, labels, help)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError("bucket bounds must be finite (+Inf is implicit)")
+        self._lock = threading.Lock()
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot: +Inf overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            return  # a torn timestamp must not poison the distribution
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (``0 <= q <= 100``); nan if empty."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return math.nan
+            target = (q / 100.0) * self._count
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                cumulative += bucket_count
+                if cumulative >= target and bucket_count:
+                    lower = self._bounds[index - 1] if index > 0 else min(self._min, self._bounds[0])
+                    upper = self._bounds[index] if index < len(self._bounds) else self._max
+                    within = (target - (cumulative - bucket_count)) / bucket_count
+                    estimate = lower + (upper - lower) * min(max(within, 0.0), 1.0)
+                    return min(max(estimate, self._min), self._max)
+            return self._max  # pragma: no cover - cumulative always reaches count
+
+    def quantiles(self, qs: Iterable[float] = (50.0, 90.0, 99.0)) -> dict[float, float]:
+        """Several percentile estimates in one call."""
+        return {float(q): self.quantile(q) for q in qs}
+
+    def summary(self) -> dict[str, float]:
+        """Compact roll-up: count, sum, mean, min, max, p50, p99."""
+        with self._lock:
+            count, total = self._count, self._sum
+            observed_min, observed_max = self._min, self._max
+        if count == 0:
+            return {"count": 0.0, "sum": 0.0, "mean": math.nan,
+                    "min": math.nan, "max": math.nan, "p50": math.nan, "p99": math.nan}
+        return {
+            "count": float(count),
+            "sum": total,
+            "mean": total / count,
+            "min": observed_min,
+            "max": observed_max,
+            "p50": self.quantile(50.0),
+            "p99": self.quantile(99.0),
+        }
+
+    def samples(self) -> list[tuple[str, LabelSet, float]]:
+        with self._lock:
+            counts = list(self._counts)
+            count, total = self._count, self._sum
+        rows: list[tuple[str, LabelSet, float]] = []
+        cumulative = 0
+        for bound, bucket_count in zip((*self._bounds, math.inf), counts):
+            cumulative += bucket_count
+            rows.append(
+                (f"{self.name}_bucket", (*self.labels, ("le", _format_number(bound))), float(cumulative))
+            )
+        rows.append((f"{self.name}_sum", self.labels, total))
+        rows.append((f"{self.name}_count", self.labels, float(count)))
+        return rows
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A thread-safe, get-or-create collection of instruments.
+
+    The registry lock guards only creation and enumeration; returned
+    instruments are updated through their own leaf locks, so a registry
+    shared by a collector's event loop, a relay thread and a scrape handler
+    never serialises their hot paths against each other.
+
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("a_total").inc()
+    >>> registry.gauge("depth").set(2)
+    >>> sorted(registry.as_dict())
+    ['a_total', 'depth']
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[_MetricKey, Metric] = {}
+
+    # ------------------------------------------------------------------ #
+    # Get-or-create instruments
+    # ------------------------------------------------------------------ #
+    def counter(
+        self, name: str, *, help: str = "", labels: Mapping[str, str] | None = None
+    ) -> Counter:
+        """The counter named ``(name, labels)``, created on first use."""
+        metric = self._get_or_create(Counter, name, labels, help)
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(
+        self,
+        name: str,
+        *,
+        help: str = "",
+        labels: Mapping[str, str] | None = None,
+        fn: Callable[[], float] | None = None,
+    ) -> Gauge:
+        """The gauge named ``(name, labels)``; ``fn`` makes it a live gauge."""
+        metric = self._get_or_create(Gauge, name, labels, help)
+        assert isinstance(metric, Gauge)
+        if fn is not None:
+            metric.set_function(fn)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        help: str = "",
+        labels: Mapping[str, str] | None = None,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """The histogram named ``(name, labels)``, created on first use.
+
+        The bucket layout is fixed by the *first* creation; later calls
+        return the existing instrument regardless of ``buckets``.
+        """
+        key = (name, _normalize_labels(labels))
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, Histogram):
+                    raise ValueError(
+                        f"metric {name!r} already registered as a {existing.kind}"
+                    )
+                return existing
+            self._check_name(name)
+            metric = Histogram(name, key[1], help, buckets=buckets)
+            self._metrics[key] = metric
+            return metric
+
+    def _get_or_create(
+        self,
+        cls: type,
+        name: str,
+        labels: Mapping[str, str] | None,
+        help: str,
+    ) -> Metric:
+        key = (name, _normalize_labels(labels))
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as a {existing.kind}"
+                    )
+                return existing
+            self._check_name(name)
+            metric = cls(name, key[1], help)
+            self._metrics[key] = metric
+            return metric  # type: ignore[no-any-return]
+
+    @staticmethod
+    def _check_name(name: str) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+
+    # ------------------------------------------------------------------ #
+    # Enumeration and exposition
+    # ------------------------------------------------------------------ #
+    def metrics(self) -> list[Metric]:
+        """Every registered instrument, in registration order."""
+        with self._lock:
+            return list(self._metrics.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat ``{"name{labels}": value}`` snapshot.
+
+        Counters and gauges appear under their qualified name; histograms
+        contribute ``_count`` / ``_sum`` / ``_p50`` / ``_p99`` entries (the
+        roll-up a one-line status summary wants, without the bucket rows).
+        """
+        out: dict[str, float] = {}
+        for metric in self.metrics():
+            qualified = f"{metric.name}{_format_labels(metric.labels)}"
+            if isinstance(metric, Histogram):
+                roll = metric.summary()
+                out[f"{qualified}_count"] = roll["count"]
+                out[f"{qualified}_sum"] = roll["sum"]
+                out[f"{qualified}_p50"] = roll["p50"]
+                out[f"{qualified}_p99"] = roll["p99"]
+            else:
+                out[qualified] = metric.value
+        return out
+
+    def render_text(self) -> str:
+        """Plain-text exposition (the ``/metrics`` scrape format)."""
+        return render_registries([self])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricsRegistry(metrics={len(self)})"
+
+
+def render_registries(registries: Iterable[MetricsRegistry]) -> str:
+    """Merge several registries into one text exposition.
+
+    Subsystems keep their own registries (a collector, its relay forwarder,
+    an aggregator, an engine); a scrape endpoint serves them all as one
+    page.  ``# HELP``/``# TYPE`` headers are emitted once per metric name,
+    first-writer-wins.
+    """
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for registry in registries:
+        for metric in registry.metrics():
+            if metric.name not in seen_headers:
+                seen_headers.add(metric.name)
+                if metric.help:
+                    lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for sample_name, labels, value in metric.samples():
+                lines.append(
+                    f"{sample_name}{_format_labels(labels)} {_format_number(value)}"
+                )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,184 @@
+"""Structured decision tracing: adaptation decisions as JSONL streams.
+
+The engine's :class:`~repro.adapt.loop.DecisionTrace` records are the
+reproduction's ground truth for *why* the fleet moved — every
+observe-decide-act round, with the rate the controller saw and the actuator
+value it landed on.  This module gives them a durable, analyzable form:
+
+* :func:`trace_to_dict` / :func:`trace_from_dict` — a lossless JSON shape
+  (round-trips field for field, including the nested
+  :class:`~repro.control.base.ControlDecision`);
+* :class:`DecisionTraceLog` — an engine subscriber that appends one JSON
+  line per decision to a file as ticks happen, keeps a bounded in-memory
+  ring of recent decisions for live consumers (the SSE dashboard), and
+  flushes on every tick so a crashed run loses at most the current tick;
+* :func:`iter_traces` — read a JSONL file back into trace objects.
+
+>>> from repro.adapt.loop import DecisionTrace
+>>> from repro.control.base import ControlDecision
+>>> trace = DecisionTrace(loop="svc", beat=3, observed_rate=8.5,
+...                       decision=ControlDecision(delta=1), before=2.0, after=3.0)
+>>> trace_from_dict(trace_to_dict(trace)) == trace
+True
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import IO, TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.adapt.loop import DecisionTrace
+from repro.control.base import ControlDecision
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.adapt.engine import AdaptationEngine, EngineTick
+
+__all__ = [
+    "trace_to_dict",
+    "trace_from_dict",
+    "trace_to_json",
+    "trace_from_json",
+    "iter_traces",
+    "DecisionTraceLog",
+]
+
+
+def trace_to_dict(trace: DecisionTrace, *, tick: int | None = None) -> dict[str, Any]:
+    """One trace as a flat JSON-safe dict.
+
+    The nested :class:`~repro.control.base.ControlDecision` is flattened
+    into ``delta`` / ``value`` keys; ``tick`` optionally stamps the engine
+    tick the decision belongs to (``beat`` already carries the loop's own
+    step index).
+    """
+    out: dict[str, Any] = {
+        "loop": trace.loop,
+        "beat": int(trace.beat),
+        "observed_rate": float(trace.observed_rate),
+        "delta": trace.decision.delta,
+        "value": trace.decision.value,
+        "before": float(trace.before),
+        "after": float(trace.after),
+    }
+    if tick is not None:
+        out["tick"] = int(tick)
+    return out
+
+
+def trace_from_dict(data: dict[str, Any]) -> DecisionTrace:
+    """Rebuild a :class:`~repro.adapt.loop.DecisionTrace` from its dict form."""
+    delta = data.get("delta")
+    value = data.get("value")
+    return DecisionTrace(
+        loop=str(data["loop"]),
+        beat=int(data["beat"]),
+        observed_rate=float(data["observed_rate"]),
+        decision=ControlDecision(
+            delta=None if delta is None else int(delta),
+            value=None if value is None else float(value),
+        ),
+        before=float(data["before"]),
+        after=float(data["after"]),
+    )
+
+
+def trace_to_json(trace: DecisionTrace, *, tick: int | None = None) -> str:
+    """One trace as a single JSON line (no trailing newline)."""
+    return json.dumps(trace_to_dict(trace, tick=tick), separators=(",", ":"))
+
+
+def trace_from_json(line: str) -> DecisionTrace:
+    """Parse one JSONL line back into a trace."""
+    return trace_from_dict(json.loads(line))
+
+
+def iter_traces(path: str) -> Iterator[DecisionTrace]:
+    """Yield every trace in a JSONL file, skipping blank lines."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield trace_from_json(line)
+
+
+class DecisionTraceLog:
+    """Stream an engine's decisions to JSONL, with a live tail for the UI.
+
+    Attach it to an :class:`~repro.adapt.engine.AdaptationEngine` and every
+    tick's traces are appended — one JSON object per line, stamped with the
+    tick index — and flushed, so the file is a valid JSONL stream at any
+    moment.  ``recent()`` returns the last ``ring`` decision dicts for
+    consumers that want the live tail without re-reading the file (the SSE
+    dashboard's decision feed).
+
+    Parameters
+    ----------
+    path:
+        JSONL file to append to, or ``None`` for an in-memory-only log
+        (ring buffer, no file).
+    ring:
+        How many recent decision dicts to retain in memory.
+
+    >>> log = DecisionTraceLog()   # in-memory only
+    >>> log.recent()
+    []
+    """
+
+    def __init__(self, path: str | None = None, *, ring: int = 256) -> None:
+        self._lock = threading.Lock()
+        self._handle: IO[str] | None = None
+        if path is not None:
+            self._handle = open(path, "a", encoding="utf-8")
+        self._ring: deque[dict[str, Any]] = deque(maxlen=int(ring))
+        self._written = 0
+        self._unsubscribes: list[Callable[[], None]] = []
+
+    @property
+    def written(self) -> int:
+        """Decisions recorded so far (file lines plus ring-only entries)."""
+        with self._lock:
+            return self._written
+
+    def attach(self, engine: "AdaptationEngine") -> Callable[[], None]:
+        """Subscribe to ``engine``; returns the unsubscribe callable."""
+        unsubscribe = engine.subscribe(self.record_tick)
+        self._unsubscribes.append(unsubscribe)
+        return unsubscribe
+
+    def record_tick(self, tick: "EngineTick") -> None:
+        """Record every trace of one tick (the engine-subscriber entry point)."""
+        if not tick.traces:
+            return
+        rows = [trace_to_dict(trace, tick=tick.index) for trace in tick.traces]
+        with self._lock:
+            for row in rows:
+                self._ring.append(row)
+                if self._handle is not None:
+                    self._handle.write(json.dumps(row, separators=(",", ":")) + "\n")
+            self._written += len(rows)
+            if self._handle is not None:
+                self._handle.flush()
+
+    def recent(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """The newest decision dicts, oldest first (at most ``limit``)."""
+        with self._lock:
+            rows = list(self._ring)
+        return rows if limit is None else rows[-int(limit):]
+
+    def close(self) -> None:
+        """Unsubscribe from every engine and close the file.  Idempotent."""
+        for unsubscribe in self._unsubscribes:
+            unsubscribe()
+        self._unsubscribes.clear()
+        with self._lock:
+            handle, self._handle = self._handle, None
+        if handle is not None:
+            handle.close()
+
+    def __enter__(self) -> "DecisionTraceLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -57,6 +57,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.adapt.engine import AdaptationEngine
     from repro.adapt.spec import ActuatorFactory, AdaptSpec
     from repro.net.collector import HeartbeatCollector
+    from repro.obs.serve import TelemetryServer
 
 __all__ = ["TelemetrySession"]
 
@@ -334,6 +335,60 @@ class TelemetrySession:
         self._register(f"collect:tcp://{collector.endpoint}", collector.close)
         return collector
 
+    def watch(
+        self,
+        *endpoints: "str | Endpoint | object",
+        serve: bool | int = True,
+        host: str = "127.0.0.1",
+        interval: float = 1.0,
+        window: int | None = None,
+        liveness_timeout: float | None = None,
+        engine: "AdaptationEngine | None" = None,
+        max_streams: int = 200,
+    ) -> "TelemetryServer":
+        """Open a live dashboard server over a fleet of endpoints.
+
+        Builds a session-owned fleet observer over ``endpoints`` (the same
+        wiring rules as :meth:`fleet` — ``tcp://`` binds collectors,
+        ``mem://``/``file://``/``shm://`` attach streams, collector-like
+        objects attach without ownership) and mounts a
+        :class:`~repro.obs.serve.TelemetryServer` over it: an HTML dashboard
+        at ``/``, SSE fleet snapshots at ``/events``, and the merged metric
+        registries at ``/metrics``.  Collectors bound (or passed) here also
+        contribute their relay-link latency histograms to the page.
+
+        ``serve`` picks the port: ``True`` binds an ephemeral one (read
+        ``.url``), an integer binds that port.  ``engine`` optionally feeds
+        the live decision stream.  The server is session-owned: leaving the
+        ``with`` block closes it along with the fleet it watches.
+
+        >>> with TelemetrySession() as session:
+        ...     hb = session.produce("mem://svc")
+        ...     server = session.watch("mem://svc", interval=0.05)
+        ...     server.url.startswith("http://127.0.0.1:")
+        True
+        """
+        from repro.obs.serve import TelemetryServer
+
+        aggregator = self.fleet(window=window, liveness_timeout=liveness_timeout)
+        collectors: list[object] = []
+        for entry in endpoints:
+            attached = self._attach_fleet_entry(aggregator, entry)
+            if attached is not None:
+                collectors.append(attached)
+        port = 0 if serve is True else int(serve)
+        server = TelemetryServer(
+            aggregator,
+            collectors=collectors,
+            engine=engine,
+            host=host,
+            port=port,
+            interval=interval,
+            max_streams=max_streams,
+        )
+        self._register(f"watch:{server.url}", server.close)
+        return server
+
     # ------------------------------------------------------------------ #
     # Adaptation
     # ------------------------------------------------------------------ #
@@ -469,12 +524,17 @@ class TelemetrySession:
 
     def _attach_fleet_entry(
         self, aggregator: HeartbeatAggregator, entry: "str | Endpoint | object"
-    ) -> None:
-        """Attach one fleet entry: an endpoint URL or a collector-like object."""
+    ) -> object | None:
+        """Attach one fleet entry: an endpoint URL or a collector-like object.
+
+        Returns the collector involved (bound here or passed in) so callers
+        like :meth:`watch` can surface collector-level telemetry; ``None``
+        for single-stream attachments.
+        """
         if not isinstance(entry, (str, Endpoint)):
             if callable(getattr(entry, "stream_ids", None)):
                 aggregator.attach_collector(entry)  # type: ignore[arg-type]
-                return
+                return entry
             raise EndpointError(
                 f"fleet entries are endpoint URLs or collector-like objects, "
                 f"got {type(entry).__name__}"
@@ -483,8 +543,10 @@ class TelemetrySession:
         if isinstance(ep, TcpEndpoint):
             collector = self.collect(ep)
             aggregator.attach_collector(collector)
-        elif isinstance(ep, MemEndpoint):
+            return collector
+        if isinstance(ep, MemEndpoint):
             heartbeat = self._lookup(ep)
             aggregator.attach(heartbeat.name, heartbeat)
         else:
             aggregator.attach_endpoint(ep)
+        return None

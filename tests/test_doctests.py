@@ -23,6 +23,10 @@ DOCUMENTED_MODULES = [
     "repro.net.collector",
     "repro.net.async_collector",
     "repro.net.relay",
+    "repro.obs",
+    "repro.obs.registry",
+    "repro.obs.tracing",
+    "repro.obs.serve",
 ]
 
 

@@ -1,0 +1,173 @@
+"""CLI observability surfaces: ``watch --serve``, stats lines, Ctrl-C exits.
+
+Subprocess tests send a real ``SIGINT`` so the no-traceback guarantee is
+checked against the genuine signal path, not a simulated exception; every
+subprocess carries a hard timeout so a hung CLI fails the test instead of
+the suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro import cli
+from repro.core.heartbeat import Heartbeat
+from repro.net import NetworkBackend
+
+SRC_DIR = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+
+def subprocess_env() -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class TestCollectStatsInterval:
+    def test_stats_lines_emitted_even_when_quiet(self, capsys):
+        assert (
+            cli.main(
+                ["collect", "--quiet", "--stats-interval", "0.1",
+                 "--duration", "0.35", "--interval", "5.0"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        stats_lines = [line for line in out.splitlines() if line.startswith("stats: ")]
+        assert len(stats_lines) >= 2
+        first = stats_lines[0]
+        for field in ("conns=", "streams=", "frames=", "records=",
+                      "relay_frames=", "relay_dupes=", "protocol_errors="):
+            assert field in first
+        # --quiet still suppresses the fleet summary lines.
+        assert "mean=" not in out
+
+    def test_stats_lines_reflect_ingest(self, capsys):
+        done = threading.Event()
+
+        def run() -> None:
+            cli.main(
+                ["collect", "tcp://127.0.0.1:0", "--quiet", "--stats-interval", "0.1",
+                 "--duration", "3.0", "--port-file", str(port_file)]
+            )
+            done.set()
+
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            port_file = pathlib.Path(tmp) / "port"
+            thread = threading.Thread(target=run, daemon=True)
+            thread.start()
+            deadline = time.monotonic() + 5.0
+            while not port_file.exists() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert port_file.exists()
+            port = int(port_file.read_text().strip())
+            backend = NetworkBackend(("127.0.0.1", port), stream="svc", flush_interval=0.01)
+            hb = Heartbeat(window=5, backend=backend)
+            for _ in range(20):
+                hb.heartbeat()
+                time.sleep(0.005)
+            hb.finalize()
+            assert done.wait(timeout=10.0)
+        out = capsys.readouterr().out
+        stats_lines = [line for line in out.splitlines() if line.startswith("stats: ")]
+        assert stats_lines
+        assert any("records=20" in line for line in stats_lines)
+
+    def test_default_collect_has_no_stats_lines(self, capsys):
+        assert cli.main(["collect", "--duration", "0.2", "--interval", "0.1"]) == 0
+        assert "stats: " not in capsys.readouterr().out
+
+
+class TestWatchServe:
+    def test_watch_serve_exposes_dashboard_and_metrics(self, capsys):
+        result: dict[str, int] = {}
+
+        def run() -> None:
+            result["rc"] = cli.main(
+                ["watch", "tcp://127.0.0.1:0", "--serve", "--duration", "2.0",
+                 "--interval", "0.2"]
+            )
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 5.0
+        url = None
+        while url is None and time.monotonic() < deadline:
+            out = capsys.readouterr().out
+            for line in out.splitlines():
+                if line.startswith("dashboard at "):
+                    url = line.split()[2]
+            time.sleep(0.05)
+        assert url, "watch --serve never announced its dashboard URL"
+        metrics = urllib.request.urlopen(f"{url}/metrics", timeout=5).read().decode()
+        assert "collector_frames_total" in metrics
+        snapshot = json.load(urllib.request.urlopen(f"{url}/api/snapshot", timeout=5))
+        assert "summary" in snapshot
+        thread.join(timeout=10.0)
+        assert result.get("rc") == 0
+
+    def test_final_summary_line_after_duration(self, capsys):
+        assert (
+            cli.main(["watch", "tcp://127.0.0.1:0", "--duration", "0.2",
+                      "--interval", "0.1"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "-- watch done:" in out
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX signal semantics")
+class TestCtrlC:
+    def test_watch_sigint_prints_summary_without_traceback(self):
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "watch", "tcp://127.0.0.1:0",
+             "--interval", "0.2"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=subprocess_env(),
+        )
+        try:
+            time.sleep(1.5)
+            process.send_signal(signal.SIGINT)
+            out, err = process.communicate(timeout=15)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate(timeout=15)
+        assert "Traceback" not in err
+        assert "KeyboardInterrupt" not in err
+        assert "-- watch interrupted:" in out
+        assert process.returncode == 0
+
+    def test_collect_sigint_exits_cleanly(self):
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "collect", "--interval", "0.2"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=subprocess_env(),
+        )
+        try:
+            time.sleep(1.5)
+            process.send_signal(signal.SIGINT)
+            out, err = process.communicate(timeout=15)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate(timeout=15)
+        assert "Traceback" not in err
+        assert "collector listening on" in out
+        assert process.returncode == 0
