@@ -55,7 +55,9 @@ from repro.endpoints import (
     Endpoint,
     EndpointError,
     FileEndpoint,
+    MemArenaEndpoint,
     MemEndpoint,
+    ShmArenaEndpoint,
     ShmEndpoint,
     TcpEndpoint,
     open_collector,
@@ -67,7 +69,8 @@ __all__ = ["main"]
 
 _ENDPOINT_HELP = (
     "telemetry endpoint URL: tcp://host:port (collector; port 0 for ephemeral), "
-    "shm://segment, file:///path/to/log.hblog (repeatable)"
+    "shm://segment, shm-arena://name (whole columnar fleet slab), "
+    "file:///path/to/log.hblog (repeatable)"
 )
 
 
@@ -119,6 +122,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="print a one-line registry stats summary (conns, streams, relay "
         "frames/dupes, errors) every N seconds; independent of --quiet",
+    )
+    collect.add_argument(
+        "--arena",
+        default=None,
+        metavar="URL",
+        help="back registered streams with one columnar arena slab "
+        "(mem-arena://name?streams=N&depth=D, or shm-arena:// to let other "
+        "processes observe the slab) instead of per-stream buffers",
     )
 
     watch = sub.add_parser("watch", help="live fleet table from any mix of endpoints")
@@ -269,12 +280,21 @@ def _attach_endpoints(
             _emit(f"collector listening on {collector.endpoint}")
             _emit(f"producers dial {collector.endpoint_url}")
             attach_collector(collector)
-        elif isinstance(ep, MemEndpoint):
+        elif isinstance(ep, (MemEndpoint, MemArenaEndpoint)):
             _emit(
-                f"cannot observe {ep}: mem:// endpoints are process-local",
+                f"cannot observe {ep}: {ep.scheme}:// endpoints are process-local",
                 stream=sys.stderr,
             )
             return 2
+        elif isinstance(ep, ShmArenaEndpoint):
+            try:
+                aggregator.attach_endpoint(ep)
+            except HeartbeatError as exc:
+                _emit(
+                    f"cannot attach arena slab {ep.name!r}: {exc}",
+                    stream=sys.stderr,
+                )
+                return 1
         elif isinstance(ep, ShmEndpoint):
             try:
                 aggregator.attach_endpoint(ep)
@@ -403,16 +423,26 @@ def _cmd_collect(args: argparse.Namespace) -> int:
         _emit(f"collect: collectors bind tcp:// endpoints, not {endpoint}", stream=sys.stderr)
         return 2
     try:
-        collector = open_collector(endpoint)
+        collector = open_collector(endpoint, arena=args.arena)
     except OSError as exc:
         # The traceback would bury the one fact that matters (address in
         # use / unresolvable host); say it in one line and exit non-zero.
         _emit(f"collect: cannot bind {endpoint}: {exc}", stream=sys.stderr)
         return 1
+    except HeartbeatError as exc:
+        _emit(f"collect: cannot open arena {args.arena!r}: {exc}", stream=sys.stderr)
+        return 1
     try:
         with collector:
             _emit(f"collector listening on {collector.endpoint}")
             _emit(f"producers dial {collector.endpoint_url}")
+            if collector.arena is not None:
+                arena = collector.arena
+                _emit(
+                    f"arena slab: {args.arena} "
+                    f"({arena.streams} rows x {arena.depth} records, "
+                    f"{arena.nbytes / 1e6:.1f} MB)"
+                )
             if collector.is_edge:
                 up_host, up_port = collector.upstream_address or ("", 0)
                 _emit(f"forwarding upstream to {up_host}:{up_port}")

@@ -46,6 +46,7 @@ from typing import Callable, Iterator, Mapping, Protocol, Sequence
 import numpy as np
 
 from repro.clock import Clock, WallClock
+from repro.core.backends.arena import Arena
 from repro.core.backends.base import BackendSnapshot, delta_from_snapshot
 from repro.core.errors import HeartbeatError, MonitorAttachError
 from repro.core.heartbeat import Heartbeat
@@ -380,6 +381,41 @@ class _Stream:
         self.state: StreamDeltaState | None = None
 
 
+class _ArenaShard:
+    """One attached arena slab, polled whole via the vectorized slab path.
+
+    Unlike :class:`_Stream` (one Python object, one ``snapshot_since`` call
+    per poll), an arena shard covers *every* allocated row of the slab with a
+    single :meth:`Arena.snapshot_since_all` pass — the aggregator never
+    touches the rows individually.  ``cursors`` is the fleet cursor vector
+    carried between polls; ``names`` caches the prefixed row names and is
+    refreshed only when the slab allocates new rows.
+    """
+
+    __slots__ = ("label", "arena", "prefix", "cursors", "names", "close")
+
+    def __init__(
+        self,
+        label: str,
+        arena: Arena,
+        prefix: str,
+        close: Callable[[], None] | None,
+    ) -> None:
+        self.label = label
+        self.arena = arena
+        self.prefix = prefix
+        self.cursors: np.ndarray | None = None
+        self.names: tuple[str, ...] = ()
+        self.close = close
+
+    def refresh_names(self) -> None:
+        """Re-derive the prefixed row-name tuple from the slab header table."""
+        self.names = tuple(
+            self.prefix + (name if name else f"{self.label}[{i}]")
+            for i, name in enumerate(self.arena.row_names())
+        )
+
+
 class _Columns:
     """Preallocated, reusable per-stream column arrays for :meth:`poll`.
 
@@ -472,6 +508,10 @@ class HeartbeatAggregator:
         #: external contract as the stateless full-snapshot poll had.
         self._poll_lock = threading.Lock()
         self._streams: dict[str, _Stream] = {}
+        self._arenas: list[_ArenaShard] = []
+        #: Wall seconds the current poll spent in the arena slab path;
+        #: reset by :meth:`poll`, accumulated by :meth:`_poll_arenas`.
+        self._arena_seconds = 0.0
         self._collectors: list[tuple[str, CollectorLike]] = []
         self._pool: ThreadPoolExecutor | None = None
         self._closed = False
@@ -491,6 +531,16 @@ class HeartbeatAggregator:
         )
         self._m_poll_duration = self.metrics.histogram(
             "aggregator_poll_duration_seconds", help="wall time of one fleet poll"
+        )
+        self._m_poll_arena = self.metrics.histogram(
+            "aggregator_poll_duration_seconds",
+            help="wall time of one fleet poll",
+            labels={"path": "arena"},
+        )
+        self._m_poll_per_object = self.metrics.histogram(
+            "aggregator_poll_duration_seconds",
+            help="wall time of one fleet poll",
+            labels={"path": "per_object"},
         )
         self.metrics.gauge(
             "aggregator_streams", help="attached streams",
@@ -527,21 +577,83 @@ class HeartbeatAggregator:
             raise
 
     def attach_endpoint(self, endpoint: object, *, name: str | None = None) -> str:
-        """Attach the stream named by an endpoint URL; returns the stream name.
+        """Attach the stream(s) named by an endpoint URL; returns the stream name.
 
         ``file://`` and ``shm://`` endpoints attach one observed stream
         (named ``file:<basename>`` / ``shm:<segment>`` unless ``name`` is
-        given), owned by the aggregator.  ``tcp://`` endpoints are whole
-        fleets — bind a collector (:func:`repro.endpoints.open_collector` or
+        given), owned by the aggregator.  A fleet-shaped arena endpoint
+        (``mem-arena://`` / ``shm-arena://`` without ``?stream=``) attaches
+        the *whole slab* as one vectorized shard via :meth:`attach_arena`
+        (``name`` becomes the row-name prefix) and returns that prefix; with
+        ``?stream=`` it attaches just that row like any single stream.
+        ``tcp://`` endpoints are whole fleets — bind a collector
+        (:func:`repro.endpoints.open_collector` or
         :meth:`TelemetrySession.fleet <repro.session.TelemetrySession.fleet>`)
         and use :meth:`attach_collector`.
         """
-        from repro.endpoints import Endpoint, open_source, stream_name_for
+        from repro.endpoints import (
+            Endpoint,
+            _ArenaEndpoint,
+            open_arena,
+            open_source,
+            stream_name_for,
+        )
 
         ep = Endpoint.parse(endpoint)  # type: ignore[arg-type]
+        if isinstance(ep, _ArenaEndpoint) and ep.stream is None:
+            prefix = name if name is not None else ""
+            self.attach_arena(open_arena(ep), prefix=prefix)
+            return prefix
         stream_name = name if name is not None else stream_name_for(ep)
         self.attach_stream(stream_name, open_source(ep), own=True)
         return stream_name
+
+    def attach_arena(
+        self, arena: Arena, *, prefix: str = "", own: bool = False
+    ) -> None:
+        """Attach every row of an arena slab as one vectorized shard.
+
+        The slab is polled through :meth:`Arena.snapshot_since_all` — one
+        masked numpy pass over all allocated rows, zero per-stream Python
+        dispatch — and its rows join the fleet sample named
+        ``prefix + row_name``.  Rows allocated *after* this call appear
+        automatically on the next poll (the slab header is the membership).
+        ``own=True`` hands the arena's ``close`` to :meth:`close`.
+
+        Attaching also registers live slab gauges
+        (``aggregator_arena_streams`` / ``_bytes`` / ``_occupancy``) labelled
+        with the slab name, so dashboards see the arena fill up.
+        """
+        with self._lock:
+            if self._closed:
+                raise MonitorAttachError("aggregator is closed")
+            label = arena.name if arena.name else f"arena-{len(self._arenas)}"
+            shard = _ArenaShard(label, arena, prefix, arena.close if own else None)
+            self._arenas.append(shard)
+            self._membership += 1
+        labels = {"arena": label}
+
+        def _safe(fn: Callable[[], float]) -> Callable[[], float]:
+            def call() -> float:
+                try:
+                    return float(fn())
+                except HeartbeatError:
+                    return 0.0  # slab closed under the gauge; report empty
+
+            return call
+
+        self.metrics.gauge(
+            "aggregator_arena_streams", help="allocated rows in the arena slab",
+            labels=labels, fn=_safe(lambda: arena.rows_in_use),
+        )
+        self.metrics.gauge(
+            "aggregator_arena_bytes", help="arena slab size in bytes",
+            labels=labels, fn=_safe(lambda: arena.nbytes),
+        )
+        self.metrics.gauge(
+            "aggregator_arena_occupancy", help="fraction of arena rows allocated",
+            labels=labels, fn=_safe(lambda: arena.occupancy),
+        )
 
     def attach(self, name: str, heartbeat: Heartbeat) -> None:
         """Attach an in-process heartbeat object as stream ``name``."""
@@ -613,11 +725,19 @@ class HeartbeatAggregator:
         The producers and this aggregator must share a time base for
         liveness ages to mean anything — remote producers normally stamp
         beats with ``WallClock(rebase=False)``, so pass the same here.
+
+        Collectors running in arena mode (an ``arena=`` slab backing their
+        streams) are attached through the slab fast path: the whole arena
+        becomes one vectorized shard via :meth:`attach_arena`, and only the
+        overflow streams the slab could not hold are attached per-object.
         """
+        arena = getattr(collector, "arena", None)
         with self._lock:
             if self._closed:
                 raise MonitorAttachError("aggregator is closed")
             self._collectors.append((str(prefix), collector))
+        if arena is not None:
+            self.attach_arena(arena, prefix=str(prefix))
         return self._sync_collectors()
 
     def _sync_collectors(self) -> list[str]:
@@ -629,10 +749,14 @@ class HeartbeatAggregator:
         for prefix, collector in collectors:
             # One lock acquisition per collector with news, not one per
             # stream id: the steady state (thousands of long-lived streams,
-            # nothing new) stays a lock-free set scan.
+            # nothing new) stays a lock-free set scan.  Arena-mode
+            # collectors expose only their slab-overflow streams here — the
+            # slab rows are already covered by the arena shard.
+            ids_fn = getattr(collector, "unpooled_stream_ids", None)
+            stream_ids = ids_fn() if ids_fn is not None else collector.stream_ids()
             missing = [
                 (prefix + stream_id, stream_id)
-                for stream_id in collector.stream_ids()
+                for stream_id in stream_ids
                 if prefix + stream_id not in existing
             ]
             if not missing:
@@ -686,9 +810,19 @@ class HeartbeatAggregator:
 
     @property
     def names(self) -> list[str]:
-        """Names of the attached streams, in attachment order."""
+        """Names of the attached streams, in attachment order.
+
+        Arena shard rows follow the per-object streams; their names reflect
+        the slab's *current* allocation table.
+        """
         with self._lock:
-            return list(self._streams)
+            names = list(self._streams)
+            shards = list(self._arenas)
+        for shard in shards:
+            if shard.arena.rows_in_use != len(shard.names):
+                shard.refresh_names()
+            names.extend(shard.names)
+        return names
 
     @property
     def num_shards(self) -> int:
@@ -700,7 +834,9 @@ class HeartbeatAggregator:
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._streams)
+            return len(self._streams) + sum(
+                shard.arena.rows_in_use for shard in self._arenas
+            )
 
     def __contains__(self, name: str) -> bool:
         with self._lock:
@@ -727,9 +863,17 @@ class HeartbeatAggregator:
         parallel.
         """
         with self._poll_lock:
+            self._arena_seconds = 0.0
             start = time.perf_counter()
             sample = self._poll_locked()
-            self._m_poll_duration.observe(time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            self._m_poll_duration.observe(elapsed)
+            # Split the poll wall time by shard kind so the dashboard can
+            # show what the slab path saves over per-object dispatch.
+            if self._arenas:
+                self._m_poll_arena.observe(self._arena_seconds)
+            if self._streams:
+                self._m_poll_per_object.observe(elapsed - self._arena_seconds)
         self._m_polls.inc()
         self._m_stream_errors.inc(len(sample.errors))
         return sample
@@ -825,6 +969,17 @@ class HeartbeatAggregator:
             last_ts = columns.last_ts[:n].copy()
             retained = columns.retained[:n].copy()
 
+        arena = self._poll_arenas(errors)
+        if arena is not None:
+            a_names, a_cols = arena
+            names = names + a_names
+            rate = np.concatenate([rate, a_cols[0]])
+            total = np.concatenate([total, a_cols[1]])
+            tmin = np.concatenate([tmin, a_cols[2]])
+            tmax = np.concatenate([tmax, a_cols[3]])
+            last_ts = np.concatenate([last_ts, a_cols[4]])
+            retained = np.concatenate([retained, a_cols[5]])
+
         age = now - last_ts  # nan where no beat has been observed
         codes = classify_codes(rate, retained, tmin, tmax, age, self._liveness_timeout)
         return FleetSample(
@@ -838,6 +993,63 @@ class HeartbeatAggregator:
             last_ts=last_ts,
             age=age,
             codes=codes,
+        )
+
+    def _poll_arenas(
+        self, errors: dict[str, str]
+    ) -> tuple[tuple[str, ...], tuple[np.ndarray, ...]] | None:
+        """Poll every arena shard through the slab path; concatenated columns.
+
+        Returns ``(names, (rate, total, tmin, tmax, last_ts, retained))``
+        covering all allocated rows of all attached arenas, or ``None`` when
+        no arena is attached.  One ``snapshot_since_all`` call per slab —
+        the per-row work is numpy's, not the interpreter's.  A slab that
+        fails to answer (e.g. its creator unlinked it mid-poll) lands in
+        ``errors`` under ``arena:<label>`` and drops out of this sample,
+        mirroring how dead per-object streams are handled.
+        """
+        with self._lock:
+            shards = list(self._arenas)
+        if not shards:
+            return None
+        t0 = time.perf_counter()
+        names: tuple[str, ...] = ()
+        cols: list[tuple[np.ndarray, ...]] = []
+        for shard in shards:
+            try:
+                fleet = shard.arena.snapshot_since_all(
+                    shard.cursors, window=self._window, include_records=False
+                )
+            except HeartbeatError as exc:
+                errors[f"arena:{shard.label}"] = str(exc)
+                continue
+            shard.cursors = fleet.cursors
+            if fleet.rows != len(shard.names):
+                shard.refresh_names()
+            names = names + shard.names
+            cols.append(
+                (
+                    fleet.rate,
+                    fleet.totals,
+                    fleet.target_min,
+                    fleet.target_max,
+                    fleet.last_timestamp,
+                    fleet.retained,
+                )
+            )
+        self._arena_seconds += time.perf_counter() - t0
+        if not cols:
+            return names, tuple(
+                np.zeros(0, dtype=dtype)
+                for dtype in (
+                    np.float64, np.int64, np.float64,
+                    np.float64, np.float64, np.int64,
+                )
+            )
+        if len(cols) == 1:
+            return names, cols[0]
+        return names, tuple(
+            np.concatenate([c[k] for c in cols]) for k in range(6)
         )
 
     def _poll_full(self, streams: list[_Stream], now: float) -> FleetSample:
@@ -866,9 +1078,31 @@ class HeartbeatAggregator:
 
         self._run_sharded(list(enumerate(streams)), _drain)
         kept = [entry for entry in results if entry is not None]
+        names = tuple(name for name, _ in kept)
+        readings = [reading for _, reading in kept]
+        arena = self._poll_arenas(errors)
+        if arena is not None:
+            a_names, (rate, total, tmin, tmax, last_ts, retained) = arena
+            age = now - last_ts
+            codes = classify_codes(
+                rate, retained, tmin, tmax, age, self._liveness_timeout
+            )
+            names = names + a_names
+            readings.extend(
+                MonitorReading(
+                    rate=float(rate[i]),
+                    total_beats=int(total[i]),
+                    target_min=float(tmin[i]),
+                    target_max=float(tmax[i]),
+                    last_timestamp=None if np.isnan(last_ts[i]) else float(last_ts[i]),
+                    age=None if np.isnan(age[i]) else float(age[i]),
+                    status=_STATUS_BY_CODE[codes[i]],
+                )
+                for i in range(len(a_names))
+            )
         return FleetSample.from_readings(
-            names=tuple(name for name, _ in kept),
-            readings=[reading for _, reading in kept],
+            names=names,
+            readings=readings,
             errors=errors,
             taken_at=now,
         )
@@ -917,12 +1151,17 @@ class HeartbeatAggregator:
             self._closed = True
             streams = list(self._streams.values())
             self._streams.clear()
+            shards = list(self._arenas)
+            self._arenas.clear()
             self._collectors.clear()
             self._membership += 1
             pool, self._pool = self._pool, None
         for stream in streams:
             if stream.close is not None:
                 stream.close()
+        for shard in shards:
+            if shard.close is not None:
+                shard.close()
         if pool is not None:
             pool.shutdown(wait=True)
 

@@ -12,6 +12,11 @@ and defines how (and whether) external observers can read them:
 * :class:`SharedMemoryBackend` — a ``multiprocessing.shared_memory`` segment
   with a fixed binary layout (header + circular record array), the Python
   analogue of the memory layout the paper proposes for hardware observers.
+* :class:`Arena` / :class:`ArenaRowView` — one columnar slab (anonymous or
+  shared-memory) holding N streams as rows of a single records matrix, so a
+  fleet observer reads *all* of them in one vectorized pass
+  (:meth:`Arena.snapshot_since_all`) while each row still speaks the full
+  per-stream :class:`Backend` interface.
 
 All backends expose the same :class:`Backend` interface so
 :class:`repro.core.heartbeat.Heartbeat` is backend-agnostic.  Every backend
@@ -20,6 +25,7 @@ the monotonically increasing beat sequence — so observers can poll at a cost
 proportional to *new* beats instead of the whole retained history.
 """
 
+from repro.core.backends.arena import Arena, ArenaFleetDelta, ArenaRowView
 from repro.core.backends.base import (
     Backend,
     BackendSnapshot,
@@ -38,4 +44,7 @@ __all__ = [
     "MemoryBackend",
     "FileBackend",
     "SharedMemoryBackend",
+    "Arena",
+    "ArenaRowView",
+    "ArenaFleetDelta",
 ]

@@ -1,0 +1,907 @@
+"""Single-arena columnar heartbeat history: one slab, N streams.
+
+Every other backend gives each stream its own object — its own numpy ring,
+its own file, its own shared-memory segment (and hosts cap POSIX shm around
+~512 segments).  Observing a 100k-stream fleet through per-stream objects
+therefore costs 100k Python-level ``snapshot_since`` calls per poll no matter
+how cheap each one is.  This module keeps the paper's "universally accessible
+location such as coherent shared memory" discipline but puts the *whole
+fleet* in one mmap-able slab:
+
+* a single ``(streams, depth)`` records matrix in
+  :data:`repro.core.record.RECORD_DTYPE` — stream *i*'s circular history is
+  row *i*;
+* a per-stream header table with one fixed 128-byte row per stream carrying
+  the beat total, target range, default window and a per-row seqlock
+  sequence counter (the same odd-while-writing discipline
+  :mod:`repro.core.backends.shared_memory` uses per segment);
+* one arena header naming the geometry.
+
+Producers write through :class:`ArenaRowView` — a full
+:class:`~repro.core.backends.base.Backend` over one row, so ``Heartbeat``,
+``HeartbeatMonitor`` and the delta-cursor contract all work unchanged — and
+stay lock-free with respect to every observer.  Observers get the fast path
+that is the point of the layout: :meth:`Arena.snapshot_since_all` reads the
+*entire fleet* — totals, targets, last timestamps, windowed rates and the
+new records since a cursor vector — as a handful of vectorized numpy passes
+with zero per-stream Python dispatch.
+
+The slab is anonymous process memory for ``mem-arena://`` endpoints and a
+``multiprocessing.shared_memory`` segment for ``shm-arena://``, so one
+segment (not ~512) serves an arbitrarily large fleet across processes.
+
+Slab layout (little-endian, 8-byte aligned)
+-------------------------------------------
+=====================  ========  =============================================
+offset                 type      field
+=====================  ========  =============================================
+0                      header    one :data:`ARENA_HEADER_SIZE`-byte arena
+                                 header (magic ``"HBARENA1"``, layout
+                                 version, streams, depth, writer PID,
+                                 rows-in-use publication word)
+128                    table     ``streams`` row headers of
+                                 :data:`ROW_HEADER_SIZE` bytes each (see
+                                 ``docs/arena.md`` for the byte-level spec)
+128 + streams * 128    records   ``(streams, depth)`` records of dtype
+                                 :data:`~repro.core.record.RECORD_DTYPE`
+=====================  ========  =============================================
+
+>>> from repro.core.backends.arena import Arena
+>>> with Arena(streams=2, depth=8) as arena:
+...     row = arena.allocate("worker-0")
+...     row.append(1, 0.5, 0, 0)
+...     row.append(2, 1.0, 0, 0)
+...     fleet = arena.snapshot_since_all()
+...     (int(fleet.totals[0]), int(fleet.new[0]), bool(fleet.resync[0]))
+(2, 2, True)
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+import time
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from repro.core.backends.base import (
+    Backend,
+    BackendSnapshot,
+    DeltaSnapshot,
+    SnapshotCursor,
+    delta_bounds,
+)
+from repro.core.backends.shared_memory import _attach_untracked, _copy_last, _untrack_segment
+from repro.core.buffer import circular_batch_slices
+from repro.core.errors import BackendError, BackendFormatError, InvalidWindowError
+from repro.core.record import RECORD_DTYPE
+
+__all__ = [
+    "Arena",
+    "ArenaRowView",
+    "ArenaFleetDelta",
+    "arena_size",
+    "arena_for",
+    "ARENA_HEADER_SIZE",
+    "ROW_HEADER_SIZE",
+    "MAGIC",
+]
+
+MAGIC = 0x48424152454E4131  # "HBARENA1"
+LAYOUT_VERSION = 1
+ARENA_HEADER_SIZE = 128
+ROW_HEADER_SIZE = 128
+#: Maximum bytes of a row's UTF-8 stream name stored in the slab.
+NAME_SIZE = 64
+
+#: Default geometry applied by the endpoint layer when a URL names neither.
+DEFAULT_STREAMS = 1024
+DEFAULT_DEPTH = 1024
+
+_ARENA_HEADER_DTYPE = np.dtype(
+    [
+        ("magic", np.int64),
+        ("version", np.int64),
+        ("streams", np.int64),
+        ("depth", np.int64),
+        ("writer_pid", np.int64),
+        ("rows_in_use", np.int64),
+        ("reserved", np.int64, 10),
+    ]
+)
+assert _ARENA_HEADER_DTYPE.itemsize == ARENA_HEADER_SIZE
+
+_ROW_HEADER_DTYPE = np.dtype(
+    [
+        ("total", np.int64),
+        ("sequence", np.int64),
+        ("default_window", np.int64),
+        ("target_min", np.float64),
+        ("target_max", np.float64),
+        ("state", np.int64),
+        ("name", f"S{NAME_SIZE}"),
+        ("reserved", np.int64, 2),
+    ]
+)
+assert _ROW_HEADER_DTYPE.itemsize == ROW_HEADER_SIZE
+
+#: Row ``state`` values.
+_ROW_FREE, _ROW_IN_USE = 0, 1
+
+
+def arena_size(streams: int, depth: int) -> int:
+    """Total slab size in bytes for an ``(streams, depth)`` arena."""
+    return ARENA_HEADER_SIZE + streams * ROW_HEADER_SIZE + streams * depth * RECORD_DTYPE.itemsize
+
+
+def _validate_geometry(streams: int, depth: int) -> tuple[int, int]:
+    if streams <= 0:
+        raise BackendError(f"arena streams must be positive, got {streams}")
+    if depth <= 0:
+        raise BackendError(f"arena depth must be positive, got {depth}")
+    return int(streams), int(depth)
+
+
+@dataclass(frozen=True)
+class ArenaFleetDelta:
+    """One consistent fleet-wide read of an arena (see ``snapshot_since_all``).
+
+    All arrays have one entry per allocated row, in allocation order.  The
+    per-row delta semantics are exactly those of
+    :class:`~repro.core.backends.base.DeltaSnapshot` /
+    :func:`~repro.core.backends.base.delta_bounds`: ``new[i]`` records of row
+    *i* are carried in ``records[offsets[i]:offsets[i+1]]``; ``resync[i]``
+    means they are the full retained history, not an increment; ``gap[i]``
+    counts beats overwritten before this read.  ``cursors`` is the cursor
+    vector to hand back to the next ``snapshot_since_all`` call.
+    """
+
+    totals: np.ndarray
+    retained: np.ndarray
+    new: np.ndarray
+    gap: np.ndarray
+    resync: np.ndarray
+    target_min: np.ndarray
+    target_max: np.ndarray
+    default_window: np.ndarray
+    last_timestamp: np.ndarray
+    rate: np.ndarray
+    cursors: np.ndarray
+    records: np.ndarray
+    offsets: np.ndarray
+
+    @property
+    def rows(self) -> int:
+        """Number of allocated rows this read covers."""
+        return int(self.totals.shape[0])
+
+    def records_for(self, index: int) -> np.ndarray:
+        """The new records of row ``index`` (production order)."""
+        return self.records[int(self.offsets[index]) : int(self.offsets[index + 1])]
+
+    def delta_for(self, index: int) -> tuple[DeltaSnapshot, SnapshotCursor]:
+        """Row ``index``'s slice as a per-stream :class:`DeltaSnapshot`."""
+        delta = DeltaSnapshot(
+            records=self.records_for(index),
+            total_beats=int(self.totals[index]),
+            retained=int(self.retained[index]),
+            target_min=float(self.target_min[index]),
+            target_max=float(self.target_max[index]),
+            default_window=int(self.default_window[index]),
+            gap=int(self.gap[index]),
+            resync=bool(self.resync[index]),
+        )
+        return delta, SnapshotCursor(total=int(self.totals[index]))
+
+
+class Arena:
+    """One columnar slab holding the circular history of N heartbeat streams.
+
+    Parameters
+    ----------
+    streams:
+        Number of stream rows the slab holds (fixed at creation).
+    depth:
+        Records retained per stream (each row is a ``depth``-slot ring).
+
+    The plain constructor builds an *anonymous* in-process slab (the
+    ``mem-arena://`` flavour).  :meth:`create` / :meth:`attach` build the
+    ``shm-arena://`` flavour on a ``multiprocessing.shared_memory`` segment
+    any process on the host can map — one segment for the whole fleet, so
+    the ~512-segments-per-host POSIX ceiling no longer bounds fleet size.
+
+    Rows are handed out by :meth:`allocate` (append-only, guarded by an
+    in-process lock: allocate from one process per arena — observers in
+    other processes only read).  Producers write through the returned
+    :class:`ArenaRowView`; observers either treat rows as ordinary backends
+    or read the whole fleet at once with :meth:`snapshot_since_all`.
+    """
+
+    def __init__(self, streams: int = DEFAULT_STREAMS, depth: int = DEFAULT_DEPTH) -> None:
+        streams, depth = _validate_geometry(streams, depth)
+        self._mem: bytearray | None = bytearray(arena_size(streams, depth))
+        self._shm: Any = None
+        self._owner = True
+        self.name: str | None = None
+        self._init_views(memoryview(self._mem), streams, depth)
+        self._format_header()
+
+    @classmethod
+    def create(
+        cls, name: str | None = None, *, streams: int = DEFAULT_STREAMS, depth: int = DEFAULT_DEPTH
+    ) -> "Arena":
+        """Create a shared-memory arena (the ``shm-arena://`` flavour).
+
+        The creator owns the segment's lifetime: :meth:`close` unlinks it.
+        ``name=None`` lets the OS assign a unique segment name (exposed as
+        :attr:`name`).
+        """
+        streams, depth = _validate_geometry(streams, depth)
+        self = object.__new__(cls)
+        try:
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=arena_size(streams, depth)
+            )
+        except OSError as exc:
+            raise BackendError(f"cannot create arena segment: {exc}") from exc
+        self._mem = None
+        self._shm = shm
+        self._owner = True
+        self.name = shm.name
+        self._init_views(shm.buf, streams, depth)
+        self._format_header()
+        return self
+
+    @classmethod
+    def attach(cls, name: str) -> "Arena":
+        """Attach to an existing shared-memory arena by segment name.
+
+        Attachments never unlink the segment on :meth:`close`; only the
+        creator owns its lifetime.  The mapping is read/write, so a
+        cooperating producer process may append to rows the creator handed
+        it (by index) — but only the creating process should :meth:`allocate`.
+        """
+        self = object.__new__(cls)
+        try:
+            shm = _attach_untracked(name)
+        except (OSError, ValueError) as exc:
+            raise BackendFormatError(f"cannot attach to arena segment {name!r}: {exc}") from exc
+        probe = np.ndarray(shape=(), dtype=_ARENA_HEADER_DTYPE, buffer=shm.buf[:ARENA_HEADER_SIZE])
+        if int(probe["magic"]) != MAGIC:
+            shm.close()
+            raise BackendFormatError(f"segment {name!r} is not a heartbeat arena")
+        if int(probe["version"]) != LAYOUT_VERSION:
+            shm.close()
+            raise BackendFormatError(f"unsupported arena layout version {int(probe['version'])}")
+        streams, depth = int(probe["streams"]), int(probe["depth"])
+        del probe  # drop the view before any close() can be reached
+        self._mem = None
+        self._shm = shm
+        self._owner = False
+        self.name = name
+        self._init_views(shm.buf, streams, depth)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Construction internals
+    # ------------------------------------------------------------------ #
+    def _init_views(self, buf: memoryview, streams: int, depth: int) -> None:
+        self.streams = streams
+        self.depth = depth
+        table_end = ARENA_HEADER_SIZE + streams * ROW_HEADER_SIZE
+        self._header = np.ndarray(
+            shape=(), dtype=_ARENA_HEADER_DTYPE, buffer=buf[:ARENA_HEADER_SIZE]
+        )
+        self._rows = np.ndarray(
+            shape=(streams,), dtype=_ROW_HEADER_DTYPE, buffer=buf[ARENA_HEADER_SIZE:table_end]
+        )
+        self._records = np.ndarray(
+            shape=(streams, depth),
+            dtype=RECORD_DTYPE,
+            buffer=buf[table_end : table_end + streams * depth * RECORD_DTYPE.itemsize],
+        )
+        self._alloc_lock = threading.Lock()
+        self._closed = False
+
+    def _format_header(self) -> None:
+        header = self._header
+        header["magic"] = MAGIC
+        header["version"] = LAYOUT_VERSION
+        header["streams"] = self.streams
+        header["depth"] = self.depth
+        header["writer_pid"] = os.getpid()
+        header["rows_in_use"] = 0
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise BackendError("arena is closed")
+
+    # ------------------------------------------------------------------ #
+    # Row management
+    # ------------------------------------------------------------------ #
+    @property
+    def rows_in_use(self) -> int:
+        """Number of rows handed out so far (allocation is append-only)."""
+        self._check_open()
+        return int(self._header["rows_in_use"])
+
+    @property
+    def nbytes(self) -> int:
+        """Total slab size in bytes."""
+        return arena_size(self.streams, self.depth)
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of rows allocated, in ``[0, 1]``."""
+        return self.rows_in_use / self.streams
+
+    def writer_pid(self) -> int:
+        """PID of the creating process (useful for liveness checks)."""
+        self._check_open()
+        return int(self._header["writer_pid"])
+
+    def allocate(self, name: str = "") -> "ArenaRowView":
+        """Claim the next free row and return its writer/backend view.
+
+        Raises :class:`~repro.core.errors.BackendError` when the arena is
+        full.  Allocation is append-only (closed rows are not recycled) and
+        must happen in the process that owns the arena; the in-process lock
+        makes it thread-safe there.
+        """
+        self._check_open()
+        with self._alloc_lock:
+            index = int(self._header["rows_in_use"])
+            if index >= self.streams:
+                raise BackendError(
+                    f"arena is full ({self.streams} rows allocated); "
+                    "create a larger arena (?streams=N)"
+                )
+            rows = self._rows
+            rows["total"][index] = 0
+            rows["sequence"][index] = 0
+            rows["default_window"][index] = 0
+            rows["target_min"][index] = 0.0
+            rows["target_max"][index] = 0.0
+            rows["name"][index] = name.encode("utf-8", "replace")[:NAME_SIZE]
+            rows["state"][index] = _ROW_IN_USE
+            # Publication word last: observers scanning [0, rows_in_use)
+            # never see a half-initialised row header.
+            self._header["rows_in_use"] = index + 1
+        return ArenaRowView(self, index)
+
+    def row(self, index: int) -> "ArenaRowView":
+        """A view of row ``index`` (which must already be allocated)."""
+        self._check_open()
+        if not 0 <= index < self.rows_in_use:
+            raise BackendError(
+                f"row {index} is not allocated (rows in use: {self.rows_in_use})"
+            )
+        return ArenaRowView(self, index)
+
+    def row_name(self, index: int) -> str:
+        """The stream name recorded for row ``index`` at allocation time."""
+        self._check_open()
+        return bytes(self._rows["name"][index]).decode("utf-8", "replace")
+
+    def row_names(self) -> list[str]:
+        """Names of all allocated rows, in allocation order."""
+        count = self.rows_in_use
+        raw = self._rows["name"][:count]
+        return [bytes(entry).decode("utf-8", "replace") for entry in raw]
+
+    # ------------------------------------------------------------------ #
+    # The fleet fast path
+    # ------------------------------------------------------------------ #
+    def snapshot_since_all(
+        self,
+        cursors: np.ndarray | None = None,
+        *,
+        window: int = 0,
+        include_records: bool = True,
+    ) -> ArenaFleetDelta:
+        """Read the whole fleet's state — and new beats — in one masked pass.
+
+        ``cursors`` is the ``cursors`` vector returned by the previous call
+        (``None`` or shorter-than-the-fleet entries mean "never read": those
+        rows resync in full, exactly like a per-stream ``snapshot_since``
+        with no cursor).  ``window`` is the observer's requested rate window
+        (``0``: each producer's published default), resolved per row by the
+        same rule :func:`repro.core.window.resolve_window` applies to single
+        streams.  ``include_records=False`` skips gathering the new record
+        payloads and returns columns only — the aggregator's classification
+        pass needs nothing more.
+
+        Consistency: header columns are captured under a vectorized seqlock
+        check (rows whose writer raced the read are retried as a shrinking
+        subset); the record gather is then validated against the captured
+        sequences and any row a writer lapped mid-gather is repaired through
+        the scalar per-row seqlock read.  Cost is a handful of O(rows) numpy
+        passes — no per-stream Python dispatch.
+        """
+        self._check_open()
+        if isinstance(window, bool) or not isinstance(window, int):
+            raise InvalidWindowError(f"window must be an int, got {window!r}")
+        if window < 0:
+            raise InvalidWindowError(f"window must be >= 0, got {window}")
+        requested = int(window)
+        count = self.rows_in_use
+        depth = self.depth
+
+        cur = np.zeros(count, dtype=np.int64)
+        explicit = np.zeros(count, dtype=bool)
+        if cursors is not None:
+            arr = np.asarray(cursors, dtype=np.int64).reshape(-1)
+            k = min(int(arr.shape[0]), count)
+            cur[:k] = arr[:k]
+            explicit[:k] = True
+
+        rows = self._rows
+        ts2d = self._records["timestamp"]
+
+        out_seq = np.zeros(count, dtype=np.int64)
+        out_total = np.zeros(count, dtype=np.int64)
+        out_dw = np.zeros(count, dtype=np.int64)
+        out_tmin = np.zeros(count, dtype=np.float64)
+        out_tmax = np.zeros(count, dtype=np.float64)
+        out_last = np.full(count, np.nan, dtype=np.float64)
+        out_rate = np.zeros(count, dtype=np.float64)
+
+        pending = np.arange(count, dtype=np.int64)
+        for attempt in range(256):
+            if attempt:
+                # Yield so writers mid-batch (possibly sharing our GIL) can
+                # publish; escalate to a real sleep if they keep winning.
+                time.sleep(0.0001 if attempt % 32 == 31 else 0)
+            idx = pending
+            # The first pass covers every row: contiguous slice copies beat
+            # fancy indexing there, and when no writer raced us the whole
+            # capture is adopted without a per-row scatter.
+            full_pass = attempt == 0
+            if full_pass:
+                seq0 = rows["sequence"][:count].copy()
+                totals = rows["total"][:count].copy()
+                dw = rows["default_window"][:count].copy()
+                tmin = rows["target_min"][:count].copy()
+                tmax = rows["target_max"][:count].copy()
+            else:
+                seq0 = rows["sequence"][idx].copy()
+                totals = rows["total"][idx].copy()
+                dw = rows["default_window"][idx].copy()
+                tmin = rows["target_min"][idx].copy()
+                tmax = rows["target_max"][idx].copy()
+            retained = np.minimum(totals, depth)
+            has = retained > 0
+            safe_total = np.maximum(totals, 1)
+            last_ts = ts2d[idx, (safe_total - 1) % depth]
+            # Effective window per row: resolve_window(requested, dw, retained)
+            # with the same dw<=0 fallback reading_from_snapshot applies.
+            dw_eff = np.where(dw > 0, dw, max(requested, 1))
+            base = dw_eff if requested == 0 else np.minimum(requested, dw_eff)
+            effective = np.minimum(base, retained)
+            first_ts = ts2d[idx, (safe_total - np.maximum(effective, 1)) % depth]
+            span = last_ts - first_ts
+            measurable = (effective >= 2) & (span > 0)
+            rate = np.where(
+                measurable,
+                (np.maximum(effective, 2) - 1) / np.where(span > 0, span, 1.0),
+                0.0,
+            )
+            seq1 = rows["sequence"][:count] if full_pass else rows["sequence"][idx]
+            ok = (seq0 % 2 == 0) & (seq1 == seq0)
+            if full_pass and bool(ok.all()):
+                out_seq, out_total, out_dw = seq0, totals, dw
+                out_tmin, out_tmax = tmin, tmax
+                out_last = np.where(has, last_ts, np.nan)
+                out_rate = rate
+                pending = idx[:0]
+                break
+            good = idx[ok]
+            out_seq[good] = seq0[ok]
+            out_total[good] = totals[ok]
+            out_dw[good] = dw[ok]
+            out_tmin[good] = tmin[ok]
+            out_tmax[good] = tmax[ok]
+            out_last[good] = np.where(has[ok], last_ts[ok], np.nan)
+            out_rate[good] = rate[ok]
+            pending = idx[~ok]
+            if pending.size == 0:
+                break
+        else:  # pragma: no cover - requires a pathologically hot writer
+            raise BackendError("could not obtain a consistent arena read")
+
+        out_retained = np.minimum(out_total, depth)
+        produced = out_total - cur
+        behind = (~explicit) | (produced < 0)
+        included = np.where(behind, out_retained, np.minimum(produced, out_retained))
+        gap = np.where(behind, 0, produced - included)
+        resync = behind | (gap > 0)
+
+        offsets = np.zeros(count + 1, dtype=np.int64)
+        if include_records and count:
+            counts = included.astype(np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            flat, bad = self._gather(counts, offsets, out_total, out_seq)
+            if bad is not None and bad.any():
+                flat, offsets = self._repair(
+                    bad, cur, explicit, requested, flat, offsets,
+                    out_total, out_dw, out_tmin, out_tmax, out_last, out_rate,
+                )
+                out_retained = np.minimum(out_total, depth)
+                produced = out_total - cur
+                included = np.where(behind, out_retained, np.minimum(produced, out_retained))
+                gap = np.where(behind, 0, produced - included)
+                resync = behind | (gap > 0)
+            records = flat
+        else:
+            records = np.empty(0, dtype=RECORD_DTYPE)
+
+        return ArenaFleetDelta(
+            totals=out_total,
+            retained=out_retained,
+            new=included,
+            gap=gap,
+            resync=resync,
+            target_min=out_tmin,
+            target_max=out_tmax,
+            default_window=out_dw,
+            last_timestamp=out_last,
+            rate=out_rate,
+            cursors=out_total.copy(),
+            records=records,
+            offsets=offsets,
+        )
+
+    def _gather(
+        self,
+        counts: np.ndarray,
+        offsets: np.ndarray,
+        totals: np.ndarray,
+        seqs: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """One vectorized gather of every row's newest ``counts`` records.
+
+        Returns ``(flat, bad)`` where ``bad`` flags rows whose writer moved
+        between the header capture and the gather (``None`` when the gather
+        was empty) — those rows' slices in ``flat`` may be torn.
+        """
+        total_new = int(offsets[-1])
+        if total_new == 0:
+            return np.empty(0, dtype=RECORD_DTYPE), None
+        count = counts.shape[0]
+        reps = np.repeat(np.arange(count, dtype=np.int64), counts)
+        starts = totals - counts
+        positions = np.arange(total_new, dtype=np.int64) - np.repeat(offsets[:-1], counts)
+        slots = (np.repeat(starts, counts) + positions) % self.depth
+        flat = self._records[reps, slots]
+        seq_after = self._rows["sequence"][:count]
+        bad = seq_after != seqs
+        return flat, bad
+
+    def _repair(
+        self,
+        bad: np.ndarray,
+        cur: np.ndarray,
+        explicit: np.ndarray,
+        requested: int,
+        flat: np.ndarray,
+        offsets: np.ndarray,
+        out_total: np.ndarray,
+        out_dw: np.ndarray,
+        out_tmin: np.ndarray,
+        out_tmax: np.ndarray,
+        out_last: np.ndarray,
+        out_rate: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Re-read the (rare) rows a writer lapped mid-gather, scalar-ly.
+
+        Splits the flat gather back into per-row segments, replaces the torn
+        ones with consistent per-row seqlock reads, and reassembles.  Only
+        rows with an actively racing writer pay this path.
+        """
+        count = bad.shape[0]
+        parts: list[np.ndarray] = np.split(flat, offsets[1:-1]) if count else []
+        for i in np.nonzero(bad)[0]:
+            i = int(i)
+            row_cursor = SnapshotCursor(total=int(cur[i])) if explicit[i] else None
+
+            def copy(
+                total: int, dw: int, tmin: float, tmax: float, retained: int
+            ) -> tuple[int, int, float, float, float, float, np.ndarray]:
+                inc, _gap, _resync = delta_bounds(row_cursor, total, retained)
+                recs = _copy_last(self._records[i], total, self.depth, inc)
+                dw_eff = dw if dw > 0 else max(requested, 1)
+                eff = min(dw_eff if requested == 0 else min(requested, dw_eff), retained)
+                last = float(self._records["timestamp"][i, (total - 1) % self.depth]) if retained else np.nan
+                rate = 0.0
+                if eff >= 2:
+                    first = float(self._records["timestamp"][i, (total - eff) % self.depth])
+                    span = last - first
+                    if span > 0:
+                        rate = (eff - 1) / span
+                return total, dw, tmin, tmax, last, rate, recs
+
+            total, dw, tmin, tmax, last, rate, recs = _row_seqlock_read(self, i, copy)
+            out_total[i] = total
+            out_dw[i] = dw
+            out_tmin[i] = tmin
+            out_tmax[i] = tmax
+            out_last[i] = last
+            out_rate[i] = rate
+            parts[i] = recs
+        new_offsets = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum([part.shape[0] for part in parts], out=new_offsets[1:])
+        merged = np.concatenate(parts) if parts else np.empty(0, dtype=RECORD_DTYPE)
+        return merged, new_offsets
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the slab.  The creating process also unlinks shm arenas."""
+        if self._closed:
+            return
+        self._closed = True
+        # Drop views before releasing the buffer, otherwise close() raises.
+        self._header = None  # type: ignore[assignment]
+        self._rows = None  # type: ignore[assignment]
+        self._records = None  # type: ignore[assignment]
+        if self._shm is not None:
+            self._shm.close()
+            if self._owner:
+                try:
+                    self._shm.unlink()
+                except FileNotFoundError:
+                    _untrack_segment(self._shm)
+        self._mem = None
+
+    def __enter__(self) -> "Arena":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "shm" if self._shm is not None else "mem"
+        return (
+            f"Arena({kind}, name={self.name!r}, streams={self.streams}, "
+            f"depth={self.depth}, in_use={0 if self._closed else self.rows_in_use})"
+        )
+
+
+def _row_seqlock_read(arena: Arena, index: int, copy: Callable[..., Any]) -> Any:
+    """One seqlock-consistent read of arena row ``index``.
+
+    The per-row analogue of the shared-memory segment's read scaffold:
+    ``copy(total, default_window, tmin, tmax, retained)`` runs against a
+    consistent header capture and is retried whenever the row's sequence
+    counter moved (or was odd) around it.
+    """
+    rows = arena._rows
+    for attempt in range(256):
+        if attempt:
+            time.sleep(0.0001 if attempt % 32 == 31 else 0)
+        seq_before = int(rows["sequence"][index])
+        if seq_before % 2 == 1:
+            continue  # write in progress; retry
+        total = int(rows["total"][index])
+        default_window = int(rows["default_window"][index])
+        tmin = float(rows["target_min"][index])
+        tmax = float(rows["target_max"][index])
+        retained = min(total, arena.depth)
+        result = copy(total, default_window, tmin, tmax, retained)
+        if int(rows["sequence"][index]) == seq_before:
+            return result
+    raise BackendError("could not obtain a consistent arena row read")
+
+
+class ArenaRowView(Backend):
+    """One arena row exposed as a full per-stream :class:`Backend`.
+
+    Everything that speaks the Backend ABC — ``Heartbeat``, monitors, the
+    aggregator's per-stream attachments, the delta-cursor contract — works
+    against a row view unchanged; writes use the row's seqlock so observers
+    (including :meth:`Arena.snapshot_since_all` in other processes) never
+    see a torn record.  Closing a row view is a no-op on the slab: the
+    arena owns the storage.
+    """
+
+    __slots__ = ("_arena", "index", "capacity", "_closed")
+
+    def __init__(self, arena: Arena, index: int) -> None:
+        self._arena = arena
+        self.index = int(index)
+        self.capacity = arena.depth
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        """The stream name recorded at allocation time."""
+        return self._arena.row_name(self.index)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise BackendError("arena row view is closed")
+        self._arena._check_open()
+
+    # ------------------------------------------------------------------ #
+    # Backend interface — writer side
+    # ------------------------------------------------------------------ #
+    def append(self, beat: int, timestamp: float, tag: int, thread_id: int) -> None:
+        self._check_open()
+        rows = self._arena._rows
+        i = self.index
+        total = int(rows["total"][i])
+        slot = total % self.capacity
+        rows["sequence"][i] = int(rows["sequence"][i]) + 1  # odd: write in progress
+        self._arena._records[i, slot] = (beat, timestamp, tag, thread_id)
+        rows["total"][i] = total + 1
+        rows["sequence"][i] = int(rows["sequence"][i]) + 1  # even: write published
+
+    def append_many(self, records: np.ndarray) -> None:
+        """Publish a whole batch under a single seqlock cycle (cf. shm)."""
+        self._check_open()
+        if records.dtype != RECORD_DTYPE:
+            raise ValueError(f"records dtype must be {RECORD_DTYPE}, got {records.dtype}")
+        n = int(records.shape[0])
+        if n == 0:
+            return
+        rows = self._arena._rows
+        i = self.index
+        total = int(rows["total"][i])
+        placement = circular_batch_slices(total, self.capacity, n)
+        row_records = self._arena._records[i]
+        rows["sequence"][i] = int(rows["sequence"][i]) + 1  # odd: write in progress
+        for destination, source in placement:
+            row_records[destination] = records[source]
+        rows["total"][i] = total + n
+        rows["sequence"][i] = int(rows["sequence"][i]) + 1  # even: write published
+
+    def set_targets(self, target_min: float, target_max: float) -> None:
+        self._check_open()
+        rows = self._arena._rows
+        i = self.index
+        rows["sequence"][i] = int(rows["sequence"][i]) + 1
+        rows["target_min"][i] = float(target_min)
+        rows["target_max"][i] = float(target_max)
+        rows["sequence"][i] = int(rows["sequence"][i]) + 1
+
+    def set_default_window(self, window: int) -> None:
+        self._check_open()
+        rows = self._arena._rows
+        i = self.index
+        rows["sequence"][i] = int(rows["sequence"][i]) + 1
+        rows["default_window"][i] = int(window)
+        rows["sequence"][i] = int(rows["sequence"][i]) + 1
+
+    # ------------------------------------------------------------------ #
+    # Backend interface — reader side
+    # ------------------------------------------------------------------ #
+    def snapshot(self, n: int | None = None) -> BackendSnapshot:
+        self._check_open()
+
+        def copy(
+            total: int, default_window: int, tmin: float, tmax: float, retained: int
+        ) -> BackendSnapshot:
+            records = _copy_last(self._arena._records[self.index], total, self.capacity, retained)
+            if n is not None and n < records.shape[0]:
+                records = records[records.shape[0] - n :]
+            return BackendSnapshot(
+                records=records,
+                total_beats=total,
+                target_min=tmin,
+                target_max=tmax,
+                default_window=default_window,
+            )
+
+        return _row_seqlock_read(self._arena, self.index, copy)
+
+    def snapshot_since(
+        self, cursor: SnapshotCursor | None = None
+    ) -> tuple[DeltaSnapshot, SnapshotCursor]:
+        """Seqlock-consistent delta of only this row's unseen ring region."""
+        self._check_open()
+
+        def copy(
+            total: int, default_window: int, tmin: float, tmax: float, retained: int
+        ) -> tuple[DeltaSnapshot, SnapshotCursor]:
+            included, gap, resync = delta_bounds(cursor, total, retained)
+            records = _copy_last(self._arena._records[self.index], total, self.capacity, included)
+            delta = DeltaSnapshot(
+                records=records,
+                total_beats=total,
+                retained=retained,
+                target_min=tmin,
+                target_max=tmax,
+                default_window=default_window,
+                gap=gap,
+                resync=resync,
+            )
+            return delta, SnapshotCursor(total=total)
+
+        return _row_seqlock_read(self._arena, self.index, copy)
+
+    def version(self) -> tuple[int, int]:
+        """Cheap change token: ``(total, sequence)``, same contract as shm."""
+        self._check_open()
+        rows = self._arena._rows
+        return (int(rows["total"][self.index]), int(rows["sequence"][self.index]))
+
+    def close(self) -> None:
+        """Mark this view closed.  The slab (and the row's history) remain."""
+        self._closed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArenaRowView(arena={self._arena.name!r}, index={self.index})"
+
+
+# --------------------------------------------------------------------- #
+# Process-level arena registry (the endpoint layer's get-or-create)
+# --------------------------------------------------------------------- #
+_REGISTRY: dict[tuple[str, str], Arena] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def arena_for(
+    kind: str, name: str, streams: int | None = None, depth: int | None = None
+) -> Arena:
+    """Get-or-create the process-shared arena behind an endpoint URL.
+
+    ``kind`` is ``"mem"`` or ``"shm"``.  Producers, observers and sessions
+    resolving the same URL in one process share one :class:`Arena` (and for
+    ``shm`` one mapping), mirroring how ``mem://`` streams share the process
+    registry.  The first resolver fixes the geometry; later callers passing
+    conflicting explicit ``streams``/``depth`` get a
+    :class:`~repro.core.errors.BackendError`.  Registry arenas live for the
+    process lifetime (``shm`` segments are unlinked by their creator's exit
+    hooks / resource tracker); close an arena you constructed directly when
+    you need deterministic teardown.
+    """
+    if kind not in ("mem", "shm"):
+        raise BackendError(f"unknown arena kind {kind!r}")
+    key = (kind, name)
+    with _REGISTRY_LOCK:
+        arena = _REGISTRY.get(key)
+        if arena is not None and not arena._closed:
+            for label, want, have in (
+                ("streams", streams, arena.streams),
+                ("depth", depth, arena.depth),
+            ):
+                if want is not None and int(want) != have:
+                    raise BackendError(
+                        f"arena {name!r} already open with {label}={have}, requested {want}"
+                    )
+            return arena
+        use_streams = int(streams) if streams is not None else DEFAULT_STREAMS
+        use_depth = int(depth) if depth is not None else DEFAULT_DEPTH
+        if kind == "mem":
+            arena = Arena(streams=use_streams, depth=use_depth)
+        else:
+            try:
+                arena = Arena.attach(name)
+            except BackendFormatError:
+                arena = Arena.create(name or None, streams=use_streams, depth=use_depth)
+        _REGISTRY[key] = arena
+        return arena
+
+
+def _close_registry_arenas() -> None:  # pragma: no cover - interpreter teardown
+    """Release registry-owned slabs at exit (creators unlink their segments)."""
+    with _REGISTRY_LOCK:
+        arenas = list(_REGISTRY.values())
+        _REGISTRY.clear()
+    for arena in arenas:
+        try:
+            arena.close()
+        except Exception:  # noqa: BLE001 - teardown must not raise
+            pass
+
+
+atexit.register(_close_registry_arenas)
+
+
+if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    _: Backend = ArenaRowView(Arena(1, 1), 0)

@@ -10,6 +10,8 @@ URL                                         meaning
 ``file:///var/log/svc.hblog``               heartbeat log file (absolute path)
 ``file://svc.hblog?buffered=0``             log file, write-through appends
 ``shm://svc?depth=65536``                   shared-memory segment, 65536 slots
+``mem-arena://fleet?streams=100000``        one row of an in-process arena slab
+``shm-arena://fleet?streams=100000``        one row of a shared-memory arena
 ``tcp://collector:7717?stream=svc``         ship beats to / collect from TCP
 ``tcp://0.0.0.0:7717?upstream=root:7717``   edge collector forwarding upstream
 ==========================================  =====================================
@@ -34,6 +36,13 @@ them into live objects:
   collector with :func:`open_collector`).
 * :func:`open_sink` — :func:`open_backend` typed as the protocol, for code
   written against :class:`~repro.core.stream.StreamSink` only.
+
+Arena endpoints (``mem-arena://`` / ``shm-arena://``) name *fleets*, not
+single streams: the whole fleet's history lives in one columnar slab (see
+:mod:`repro.core.backends.arena`), every ``open_backend`` call allocates one
+row of it, and observers attach the slab itself — :func:`open_arena`,
+``HeartbeatAggregator.attach_arena`` or ``session.fleet`` — to poll all N
+streams as one vectorized pass.
 """
 
 from __future__ import annotations
@@ -46,6 +55,7 @@ from urllib.parse import parse_qsl, quote, unquote, urlencode
 from repro.core.errors import HeartbeatError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.backends.arena import Arena
     from repro.core.backends.base import Backend
     from repro.core.stream import StreamSink, StreamSource
     from repro.net.collector import HeartbeatCollector
@@ -55,6 +65,8 @@ __all__ = [
     "MemEndpoint",
     "FileEndpoint",
     "ShmEndpoint",
+    "MemArenaEndpoint",
+    "ShmArenaEndpoint",
     "TcpEndpoint",
     "EndpointError",
     "SCHEMES",
@@ -62,6 +74,7 @@ __all__ = [
     "open_source",
     "open_sink",
     "open_collector",
+    "open_arena",
     "stream_name_for",
 ]
 
@@ -71,7 +84,7 @@ class EndpointError(HeartbeatError, ValueError):
 
 
 #: The canonical URL schemes, one per storage/transport backend.
-SCHEMES = ("mem", "file", "shm", "tcp")
+SCHEMES = ("mem", "file", "shm", "mem-arena", "shm-arena", "tcp")
 
 
 def _parse_bool(key: str, raw: str) -> bool:
@@ -276,6 +289,12 @@ class ShmEndpoint(Endpoint):
     ``depth`` is the number of record slots in the segment's circular
     history (the producer sizes the segment; observers ignore it).  An empty
     name lets the producer auto-generate a segment name.
+
+    Each ``shm://`` stream is its own POSIX segment, and hosts commonly cap
+    the number of mapped segments around ~512 — fine for hundreds of
+    producers, a hard ceiling for large fleets.  Point fleets past that at
+    ``shm-arena://`` (:class:`ShmArenaEndpoint`), which packs N streams into
+    *one* segment.
     """
 
     scheme: ClassVar[str] = "shm"
@@ -303,6 +322,88 @@ class ShmEndpoint(Endpoint):
         if self.depth is not None:
             pairs.append(("depth", self.depth))
         return f"shm://{quote(self.name, safe='')}{_format_query(pairs)}"
+
+
+@dataclass(frozen=True, slots=True)
+class _ArenaEndpoint(Endpoint):
+    """Shared shape of the two arena schemes (see the subclasses).
+
+    ``streams`` / ``depth`` fix the slab geometry when this URL is the first
+    in the process to open the arena (later opens inherit — and must not
+    conflict).  ``stream`` names the row a producer-side ``open_backend``
+    allocates (defaulting to the producing heartbeat's name).
+    """
+
+    name: str = ""
+    streams: int | None = None
+    depth: int | None = None
+    stream: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.streams is not None:
+            _positive("streams", self.streams)
+        if self.depth is not None:
+            _positive("depth", self.depth)
+
+    @classmethod
+    def _parse(cls, url: str, body: str, query: str) -> "_ArenaEndpoint":
+        params = _query_dict(url, query, ("streams", "depth", "stream"))
+        streams = params.get("streams")
+        depth = params.get("depth")
+        return cls(
+            name=unquote(body),
+            streams=None if streams is None else _parse_int("streams", streams),
+            depth=None if depth is None else _parse_int("depth", depth),
+            stream=params.get("stream"),
+        )
+
+    def url(self) -> str:
+        pairs: list[tuple[str, object]] = []
+        if self.streams is not None:
+            pairs.append(("streams", self.streams))
+        if self.depth is not None:
+            pairs.append(("depth", self.depth))
+        if self.stream is not None:
+            pairs.append(("stream", self.stream))
+        return f"{self.scheme}://{quote(self.name, safe='')}{_format_query(pairs)}"
+
+
+@dataclass(frozen=True, slots=True)
+class MemArenaEndpoint(_ArenaEndpoint):
+    """``mem-arena://[name][?streams=N&depth=D&stream=ROW]`` — an in-process arena.
+
+    One anonymous columnar slab holds up to ``streams`` heartbeat streams of
+    ``depth`` retained records each (:class:`repro.core.backends.arena.Arena`).
+    Producers resolving the same URL in one process share the slab — each
+    ``open_backend`` allocates one row — and ``session.fleet`` /
+    ``HeartbeatAggregator.attach_arena`` observe all of them as one
+    vectorized poll with zero per-stream dispatch.
+    """
+
+    scheme: ClassVar[str] = "mem-arena"
+
+
+@dataclass(frozen=True, slots=True)
+class ShmArenaEndpoint(_ArenaEndpoint):
+    """``shm-arena://NAME[?streams=N&depth=D&stream=ROW]`` — a shared-memory arena.
+
+    Like ``mem-arena://`` but the slab is a single
+    ``multiprocessing.shared_memory`` segment any process on the host can
+    attach, so a 100k-stream fleet needs *one* segment instead of one per
+    stream (POSIX hosts cap mapped segments around ~512 — the ceiling that
+    bounds large ``shm://`` fleets).  The first process to resolve the URL
+    creates the segment and owns its lifetime; every later resolver
+    attaches.
+    """
+
+    scheme: ClassVar[str] = "shm-arena"
+
+    def __post_init__(self) -> None:
+        # Explicit base call: dataclass(slots=True) recreates the class, so
+        # the zero-argument super() closure would point at the pre-slots one.
+        _ArenaEndpoint.__post_init__(self)
+        if not self.name:
+            raise EndpointError("shm-arena endpoint needs a segment name, got shm-arena://")
 
 
 @dataclass(frozen=True, slots=True)
@@ -402,6 +503,8 @@ _PARSERS: Mapping[str, Callable[[str, str, str], Endpoint]] = {
     "mem": MemEndpoint._parse,
     "file": FileEndpoint._parse,
     "shm": ShmEndpoint._parse,
+    "mem-arena": MemArenaEndpoint._parse,
+    "shm-arena": ShmArenaEndpoint._parse,
     "tcp": TcpEndpoint._parse,
 }
 
@@ -461,6 +564,11 @@ def open_backend(endpoint: "str | Endpoint", *, stream: str | None = None) -> "B
             name=ep.name or None,
             capacity=ep.depth if ep.depth is not None else 2048,
         )
+    if isinstance(ep, _ArenaEndpoint):
+        # One row of the (process-shared) arena slab; the row name defaults
+        # to the producing heartbeat's name so fleet observers see it.
+        row_name = ep.stream if ep.stream is not None else stream
+        return open_arena(ep).allocate(row_name if row_name is not None else "")
     if isinstance(ep, TcpEndpoint):
         from repro.net.exporter import NetworkBackend
 
@@ -536,6 +644,18 @@ through the TelemetrySession that produced it (session.observe)
             f"{ep} is process-local: observe it through the TelemetrySession "
             "that produced it (session.observe)"
         )
+    if isinstance(ep, _ArenaEndpoint):
+        if ep.stream is not None:
+            arena = open_arena(ep)
+            for index, row_name in enumerate(arena.row_names()):
+                if row_name == ep.stream:
+                    return arena.row(index)
+            raise EndpointError(f"arena {ep.name!r} has no row named {ep.stream!r}")
+        raise EndpointError(
+            f"{ep} is fleet-shaped: observe the whole slab through "
+            "TelemetrySession.fleet() / HeartbeatAggregator.attach_arena() "
+            "(or name one row with ?stream=)"
+        )
     if isinstance(ep, TcpEndpoint):
         raise EndpointError(
             f"{ep} is fleet-shaped: bind a collector with open_collector() or "
@@ -544,7 +664,11 @@ through the TelemetrySession that produced it (session.observe)
     raise EndpointError(f"cannot open {ep!r} as a source")  # pragma: no cover
 
 
-def open_collector(endpoint: "str | Endpoint" = "tcp://127.0.0.1:0") -> "HeartbeatCollector":
+def open_collector(
+    endpoint: "str | Endpoint" = "tcp://127.0.0.1:0",
+    *,
+    arena: "str | Arena | None" = None,
+) -> "HeartbeatCollector":
     """Bind a :class:`~repro.net.collector.HeartbeatCollector` at a ``tcp://`` endpoint.
 
     Port ``0`` resolves to an ephemeral port; the collector's ``endpoint_url``
@@ -552,6 +676,11 @@ def open_collector(endpoint: "str | Endpoint" = "tcp://127.0.0.1:0") -> "Heartbe
     ``?upstream=HOST:PORT`` parameter binds an *edge* collector that forwards
     every registered stream to the named parent collector, so collectors
     compose into a federation tree (producers → edges → root).
+
+    ``arena`` (an :class:`~repro.core.backends.arena.Arena` or a
+    ``mem-arena://`` / ``shm-arena://`` URL) puts the collector in arena
+    mode: registered streams demux into slab rows, so fleet observers poll
+    them through one vectorized pass instead of per-stream dispatch.
 
     Raises
     ------
@@ -586,7 +715,32 @@ def open_collector(endpoint: "str | Endpoint" = "tcp://127.0.0.1:0") -> "Heartbe
         )
     from repro.net.collector import HeartbeatCollector
 
-    return HeartbeatCollector(ep.host, ep.port, upstream=ep.upstream)
+    return HeartbeatCollector(ep.host, ep.port, upstream=ep.upstream, arena=arena)
+
+
+def open_arena(endpoint: "str | Endpoint") -> "Arena":
+    """Resolve an arena endpoint to its (process-shared) slab.
+
+    Producers, observers and sessions resolving the same
+    ``mem-arena://``/``shm-arena://`` URL in one process get the same
+    :class:`~repro.core.backends.arena.Arena`; for ``shm-arena://`` the
+    first process creates the segment and later processes attach.  The URL's
+    ``streams``/``depth`` fix the geometry on first open and must not
+    conflict afterwards.
+
+    >>> arena = open_arena("mem-arena://doc-fleet?streams=4&depth=16")
+    >>> arena.streams, arena.depth
+    (4, 16)
+    >>> open_arena("mem-arena://doc-fleet") is arena
+    True
+    """
+    from repro.core.backends.arena import arena_for
+
+    ep = Endpoint.parse(endpoint)
+    if not isinstance(ep, _ArenaEndpoint):
+        raise EndpointError(f"open_arena needs a mem-arena:// or shm-arena:// URL, not {ep}")
+    kind = "shm" if isinstance(ep, ShmArenaEndpoint) else "mem"
+    return arena_for(kind, ep.name, ep.streams, ep.depth)
 
 
 def stream_name_for(endpoint: "str | Endpoint") -> str:
@@ -601,6 +755,8 @@ def stream_name_for(endpoint: "str | Endpoint") -> str:
         return f"file:{os.path.basename(ep.path)}"
     if isinstance(ep, ShmEndpoint):
         return f"shm:{ep.name}"
+    if isinstance(ep, _ArenaEndpoint):
+        return ep.stream if ep.stream is not None else f"arena:{ep.name}"
     if isinstance(ep, MemEndpoint):
         return ep.name or "heartbeat"
     if isinstance(ep, TcpEndpoint):

@@ -51,9 +51,10 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.core.backends.base import BackendSnapshot, DeltaSnapshot, SnapshotCursor
+from repro.core.backends.arena import Arena
+from repro.core.backends.base import Backend, BackendSnapshot, DeltaSnapshot, SnapshotCursor
 from repro.core.backends.memory import MemoryBackend
-from repro.core.errors import MonitorAttachError, ProtocolError
+from repro.core.errors import BackendError, MonitorAttachError, ProtocolError
 from repro.net import protocol
 from repro.obs.registry import Histogram, MetricsRegistry
 
@@ -106,13 +107,19 @@ class _CollectorStream:
         "target_min", "target_max", "default_window", "last_beat", "via_relay",
     )
 
-    def __init__(self, stream_id: str, hello: protocol.Hello, capacity: int) -> None:
+    def __init__(
+        self,
+        stream_id: str,
+        hello: protocol.Hello,
+        capacity: int,
+        backend: Backend | None = None,
+    ) -> None:
         self.stream_id = stream_id
         self.name = hello.name
         self.pid = hello.pid
         self.nonce = hello.nonce
         self.lock = threading.Lock()
-        self.backend = MemoryBackend(capacity)
+        self.backend: Backend = backend if backend is not None else MemoryBackend(capacity)
         self.backend.set_default_window(hello.default_window)
         self.backend.set_targets(hello.target_min, hello.target_max)
         self.connected = True
@@ -207,6 +214,17 @@ class AsyncHeartbeatCollector:
     relay_interval:
         Edge mode only: seconds between forwarding sweeps (the relay
         analogue of the exporter's ``flush_interval``).
+    arena:
+        An :class:`~repro.core.backends.arena.Arena` (or a
+        ``mem-arena://`` / ``shm-arena://`` endpoint URL) that becomes the
+        backing store for registered streams: incoming BATCH and RELAY
+        frames demux straight into slab rows instead of per-stream
+        :class:`MemoryBackend` objects, so an aggregator attaching this
+        collector observes the whole fleet through one vectorized
+        ``snapshot_since_all`` pass.  Streams arriving after the slab is
+        full fall back to private in-memory backends (and are reported by
+        :meth:`unpooled_stream_ids`).  The arena's lifetime is the
+        caller's/registry's — the collector never closes it.
     metrics:
         The :class:`~repro.obs.registry.MetricsRegistry` holding this
         collector's counters (and, in edge mode, its forwarder's).  A
@@ -235,12 +253,27 @@ class AsyncHeartbeatCollector:
         poll_timeout: float = 0.25,
         upstream: str | tuple[str, int] | None = None,
         relay_interval: float = 0.05,
+        arena: "Arena | str | None" = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         self._default_capacity = int(default_capacity)
         self._poll_timeout = float(poll_timeout)
         self._lock = threading.Lock()
         self._streams: dict[str, _CollectorStream] = {}
+        if isinstance(arena, str):
+            from repro.endpoints import Endpoint, _ArenaEndpoint, open_arena
+
+            ep = Endpoint.parse(arena)
+            if not isinstance(ep, _ArenaEndpoint):
+                raise MonitorAttachError(
+                    f"collector arena must be a mem-arena:// or shm-arena:// "
+                    f"endpoint, got {arena!r}"
+                )
+            arena = open_arena(ep)
+        self._arena: Arena | None = arena
+        #: Arena mode only: stream ids that overflowed the slab and run on
+        #: private in-memory backends (insertion order preserved).
+        self._unpooled: dict[str, None] = {}
         self._streams_changed = threading.Condition(self._lock)
         self._stopping = False
         self._closed = False
@@ -359,6 +392,31 @@ class AsyncHeartbeatCollector:
         """Registered stream ids, in registration order."""
         with self._lock:
             return list(self._streams)
+
+    @property
+    def arena(self) -> Arena | None:
+        """The arena slab backing registered streams (``None``: per-object).
+
+        Observers use this for the slab fast path:
+        :meth:`HeartbeatAggregator.attach_collector
+        <repro.core.aggregator.HeartbeatAggregator.attach_collector>` sees
+        it and attaches the whole slab as one vectorized shard instead of
+        one source per stream.
+        """
+        return self._arena
+
+    def unpooled_stream_ids(self) -> list[str]:
+        """Stream ids *not* backed by the arena slab, in registration order.
+
+        Without an arena this is every stream (equal to :meth:`stream_ids`);
+        in arena mode it is only the overflow streams that arrived after the
+        slab filled up.  Observers that already watch the slab attach just
+        these the per-object way.
+        """
+        with self._lock:
+            if self._arena is None:
+                return list(self._streams)
+            return list(self._unpooled)
 
     def snapshot(self, stream_id: str) -> BackendSnapshot:
         """A consistent snapshot of one stream's retained history."""
@@ -744,7 +802,15 @@ class AsyncHeartbeatCollector:
                         return existing, existing.conn_gen
                 suffix += 1
                 stream_id = f"{hello.name}@{suffix}"
-            stream = _CollectorStream(stream_id, hello, capacity)
+            backend: Backend | None = None
+            if self._arena is not None:
+                try:
+                    backend = self._arena.allocate(stream_id)
+                except BackendError:
+                    # Slab full: this stream overflows onto a private
+                    # backend and stays observable the per-object way.
+                    self._unpooled[stream_id] = None
+            stream = _CollectorStream(stream_id, hello, capacity, backend)
             self._streams[stream_id] = stream
             self._streams_changed.notify_all()
             return stream, stream.conn_gen

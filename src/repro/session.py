@@ -263,9 +263,11 @@ class TelemetrySession:
         Each argument may be an endpoint URL/:class:`Endpoint` — ``tcp://``
         binds a session-owned collector and observes every producer that
         dials in (dynamically, as they appear); ``file://`` / ``shm://`` /
-        ``mem://NAME`` attach single streams — or an already-running
-        collector-like object (anything with ``stream_ids``), which is
-        observed without taking ownership.
+        ``mem://NAME`` attach single streams; ``mem-arena://`` /
+        ``shm-arena://`` attach a whole arena slab as one vectorized shard
+        (every allocated row, including rows allocated later) — or an
+        already-running collector-like object (anything with
+        ``stream_ids``), which is observed without taking ownership.
 
         Returns
         -------
@@ -304,7 +306,10 @@ class TelemetrySession:
         return aggregator
 
     def collect(
-        self, endpoint: str | Endpoint = "tcp://127.0.0.1:0"
+        self,
+        endpoint: str | Endpoint = "tcp://127.0.0.1:0",
+        *,
+        arena: str | None = None,
     ) -> "HeartbeatCollector":
         """Bind a session-owned TCP collector at a ``tcp://`` endpoint.
 
@@ -312,6 +317,12 @@ class TelemetrySession:
         forwards every stream to the named upstream collector, so a
         federation tree is built from URLs alone (see
         ``docs/architecture.md`` §3).
+
+        ``arena`` (a ``mem-arena://`` / ``shm-arena://`` URL) puts the
+        collector in arena mode: incoming streams demux into one columnar
+        slab, so a 100k-stream fleet neither allocates 100k backend objects
+        nor costs 100k Python calls per observer poll — fleet observers
+        attach the slab as a single vectorized shard.
 
         Returns
         -------
@@ -331,7 +342,7 @@ class TelemetrySession:
         ...     collector.stream_ids()
         []
         """
-        collector = open_collector(endpoint)
+        collector = open_collector(endpoint, arena=arena)
         self._register(f"collect:tcp://{collector.endpoint}", collector.close)
         return collector
 

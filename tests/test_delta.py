@@ -120,6 +120,27 @@ class _CollectorHarness:
         self.collector.close()
 
 
+class _ArenaRowHarness:
+    """One arena row under the contract, with the slab's lifetime attached.
+
+    ``ArenaRowView.close`` releases only the row (the slab outlives any one
+    stream), so the contract's ``backend.close()`` teardown needs this thin
+    owner that closes the whole arena.
+    """
+
+    def __init__(self) -> None:
+        from repro.core.backends import Arena
+
+        self.arena = Arena(streams=4, depth=16)
+        self.row = self.arena.allocate("contract")
+
+    def __getattr__(self, name):
+        return getattr(self.row, name)
+
+    def close(self) -> None:
+        self.arena.close()
+
+
 def _make_backend(kind, tmp_path):
     if kind == "memory":
         return MemoryBackend(16)
@@ -127,13 +148,17 @@ def _make_backend(kind, tmp_path):
         return FileBackend(tmp_path / "contract.log", capacity=16)
     if kind == "shared_memory":
         return SharedMemoryBackend(capacity=16)
+    if kind == "arena":
+        return _ArenaRowHarness()
     return _CollectorHarness()
 
 
 class TestDeltaContract:
-    """The shared contract, parametrized over all four backend kinds."""
+    """The shared contract, parametrized over all five backend kinds."""
 
-    @pytest.mark.parametrize("kind", ["memory", "file", "shared_memory", "collector"])
+    @pytest.mark.parametrize(
+        "kind", ["memory", "file", "shared_memory", "arena", "collector"]
+    )
     def test_replay_reconstructs_every_snapshot(self, kind, tmp_path):
         backend = _make_backend(kind, tmp_path)
         replay = _Replay()
@@ -166,7 +191,7 @@ class TestDeltaContract:
         finally:
             backend.close()
 
-    @pytest.mark.parametrize("kind", ["memory", "file", "shared_memory"])
+    @pytest.mark.parametrize("kind", ["memory", "file", "shared_memory", "arena"])
     def test_version_equality_means_no_news(self, kind, tmp_path):
         backend = _make_backend(kind, tmp_path)
         try:

@@ -136,7 +136,7 @@ class TestParsing:
             Endpoint.parse(url)
 
     def test_schemes_constant_matches_parsers(self):
-        assert set(SCHEMES) == {"mem", "file", "shm", "tcp"}
+        assert set(SCHEMES) == {"mem", "file", "shm", "mem-arena", "shm-arena", "tcp"}
 
     def test_stream_name_for(self, tmp_path):
         assert stream_name_for("file:///var/log/svc.hblog") == "file:svc.hblog"
