@@ -23,6 +23,13 @@ library APIs accept::
     as a live HTTP/SSE dashboard (:mod:`repro.obs.serve`) with a
     ``/metrics`` scrape endpoint.
 
+``scenario``
+    Run a chaos drill (:mod:`repro.scenario`): real subprocess producers
+    and collectors, a scripted timeline of partitions/kills/churn, and
+    invariant checks that must survive it.  ``repro scenario list`` shows
+    the built-in presets; ``repro scenario run NAME --report out.jsonl``
+    executes one and exits non-zero when an invariant is violated.
+
 ``adapt``
     Drive a declarative :class:`repro.adapt.AdaptSpec` over the observed
     streams.  Endpoints come from the spec's own ``[engine] attach`` list
@@ -226,6 +233,44 @@ def _build_parser() -> argparse.ArgumentParser:
         "--duration", type=float, default=None, help="stop after this many seconds"
     )
     adapt.add_argument("--once", action="store_true", help="run one tick and exit")
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="run chaos drills against real producer/collector topologies",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+    scenario_run = scenario_sub.add_parser(
+        "run", help="execute one scenario; exits non-zero on invariant violation"
+    )
+    scenario_run.add_argument(
+        "scenario",
+        metavar="SCENARIO",
+        help="preset name (see 'repro scenario list') or a .toml/.json spec file",
+    )
+    scenario_run.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL evidence trail (events, samples, verdicts) to PATH",
+    )
+    scenario_run.add_argument(
+        "--workdir",
+        default=None,
+        metavar="DIR",
+        help="keep journals/port files under DIR instead of a self-cleaning tempdir",
+    )
+    scenario_run.add_argument(
+        "--serve",
+        action="store_true",
+        help="publish the run's fleet as a live HTTP/SSE dashboard while it runs",
+    )
+    scenario_run.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="dashboard port for --serve (default 0: an ephemeral port)",
+    )
+    scenario_sub.add_parser("list", help="list the built-in scenario presets")
     return parser
 
 
@@ -635,6 +680,53 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    # Deferred import: the scenario harness pulls in the chaos proxy and
+    # subprocess machinery that collect/watch/adapt never need.
+    from repro.scenario import PRESETS, ScenarioError, ScenarioRunner, ScenarioSpec
+
+    if args.scenario_command == "list":
+        for name in sorted(PRESETS):
+            spec = ScenarioSpec.preset(name)
+            _emit(f"{name:<16} {spec.description}")
+        return 0
+    assert args.scenario_command == "run"
+    try:
+        if args.scenario in PRESETS:
+            spec = ScenarioSpec.preset(args.scenario)
+        else:
+            spec = ScenarioSpec.from_file(args.scenario)
+    except OSError as exc:
+        _emit(f"scenario: cannot load {args.scenario!r}: {exc}", stream=sys.stderr)
+        return 2
+    except ScenarioError as exc:
+        _emit(f"scenario: invalid spec {args.scenario!r}: {exc}", stream=sys.stderr)
+        return 2
+    _emit(
+        f"scenario {spec.name}: {spec.fleet.producers} producers x "
+        f"{spec.fleet.beats} beats, topology={spec.topology}"
+        f"{', proxied' if spec.proxy else ''}{', journaled' if spec.journal else ''}"
+    )
+    try:
+        result = ScenarioRunner(
+            spec,
+            report_path=args.report,
+            workdir=args.workdir,
+            serve=args.serve,
+            serve_port=args.port,
+        ).run()
+    except ScenarioError as exc:
+        _emit(f"scenario: {exc}", stream=sys.stderr)
+        return 1
+    for inv in result.invariants:
+        _emit(f"  {'PASS' if inv.passed else 'FAIL'} {inv.kind}: {inv.detail}")
+    verdict = "passed" if result.passed else "FAILED"
+    _emit(f"scenario {spec.name} {verdict} in {result.duration:.1f}s")
+    if args.report:
+        _emit(f"report: {args.report}")
+    return 0 if result.passed else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -644,6 +736,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_watch(args)
         if args.command == "adapt":
             return _cmd_adapt(args)
+        if args.command == "scenario":
+            return _cmd_scenario(args)
     except EndpointError as exc:
         _emit(f"{args.command}: {exc}", stream=sys.stderr)
         return 2

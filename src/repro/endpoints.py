@@ -408,16 +408,28 @@ class ShmArenaEndpoint(_ArenaEndpoint):
 
 @dataclass(frozen=True, slots=True)
 class TcpEndpoint(Endpoint):
-    """``tcp://HOST:PORT[?stream=NAME&capacity=N&upstream=H:P]`` — networked telemetry.
+    """``tcp://HOST:PORT[?stream=NAME&capacity=N&upstream=H:P&...]`` — networked telemetry.
 
     On the producer side the endpoint is the collector address beats are
     shipped to (``stream`` names the registered stream, ``capacity`` sizes
-    the local mirror buffer).  On the observer side it is the address a
+    the local mirror buffer, ``via=HOST:PORT`` dials the named intermediary
+    — typically a :class:`~repro.scenario.ChaosProxy` — instead of the
+    collector itself).  On the observer side it is the address a
     :class:`~repro.net.collector.HeartbeatCollector` binds; port ``0`` asks
-    the OS for an ephemeral port, and ``upstream=HOST:PORT`` binds an *edge*
+    the OS for an ephemeral port, ``upstream=HOST:PORT`` binds an *edge*
     collector that forwards every stream to the named parent collector
-    (federation — see :mod:`repro.net.relay`).  IPv6 literals use brackets:
-    ``tcp://[::1]:7717``.
+    (federation — see :mod:`repro.net.relay`), and ``journal=DIR`` enables
+    collector persistence (:mod:`repro.net.persistence`): streams are
+    journaled behind ingest and replayed when a collector rebinds over the
+    same directory.  IPv6 literals use brackets: ``tcp://[::1]:7717``.
+
+    Link-discipline tuning rides along: ``backoff_initial`` /
+    ``backoff_max`` set the reconnect backoff window of the endpoint's
+    outbound link (the exporter's when producing, the relay forwarder's
+    when collecting with ``upstream=``); ``relay_interval`` and
+    ``probe_interval`` set an edge collector's forwarding sweep cadence and
+    idle-EOF probe cadence.  Defaults are unchanged when the parameters are
+    absent.
 
     >>> ep = Endpoint.parse("tcp://0.0.0.0:7717?upstream=root.example:7717")
     >>> ep.upstream
@@ -434,6 +446,12 @@ class TcpEndpoint(Endpoint):
     capacity: int | None = None
     flush_interval: float | None = None
     upstream: str | None = None
+    via: str | None = None
+    backoff_initial: float | None = None
+    backoff_max: float | None = None
+    journal: str | None = None
+    relay_interval: float | None = None
+    probe_interval: float | None = None
 
     def __post_init__(self) -> None:
         if not self.host:
@@ -442,19 +460,30 @@ class TcpEndpoint(Endpoint):
             raise EndpointError(f"tcp port must be in [0, 65535], got {self.port}")
         if self.capacity is not None:
             _positive("capacity", self.capacity)
-        if self.flush_interval is not None and self.flush_interval <= 0:
-            raise EndpointError(
-                f"flush_interval must be positive, got {self.flush_interval}"
-            )
-        if self.upstream is not None:
-            from repro.net.protocol import parse_address
+        for key in ("flush_interval", "backoff_initial", "backoff_max",
+                    "relay_interval", "probe_interval"):
+            value = getattr(self, key)
+            if value is not None and value <= 0:
+                raise EndpointError(f"{key} must be positive, got {value}")
+        for key in ("upstream", "via"):
+            address = getattr(self, key)
+            if address is not None:
+                from repro.net.protocol import parse_address
 
-            try:
-                parse_address(self.upstream)
-            except ValueError as exc:
-                raise EndpointError(
-                    f"upstream must be host:port, got {self.upstream!r}: {exc}"
-                ) from exc
+                try:
+                    parse_address(address)
+                except ValueError as exc:
+                    raise EndpointError(
+                        f"{key} must be host:port, got {address!r}: {exc}"
+                    ) from exc
+        if self.journal is not None and not self.journal:
+            raise EndpointError("journal= needs a directory path")
+        if self.upstream is None:
+            for key in ("relay_interval", "probe_interval"):
+                if getattr(self, key) is not None:
+                    raise EndpointError(
+                        f"{key}= tunes the relay link and needs upstream= on {self.url()!r}"
+                    )
 
     @classmethod
     def _parse(cls, url: str, body: str, query: str) -> "TcpEndpoint":
@@ -462,22 +491,38 @@ class TcpEndpoint(Endpoint):
         # the wire protocol's address parser.
         from repro.net.protocol import parse_address
 
-        params = _query_dict(url, query, ("stream", "capacity", "flush_interval", "upstream"))
+        params = _query_dict(
+            url,
+            query,
+            ("stream", "capacity", "flush_interval", "upstream", "via",
+             "backoff_initial", "backoff_max", "journal",
+             "relay_interval", "probe_interval"),
+        )
         try:
             host, port = parse_address(unquote(body))
         except ValueError as exc:
             raise EndpointError(
                 f"tcp endpoint must be tcp://host:port, got {url!r}: {exc}"
             ) from exc
+
+        def opt_float(key: str) -> float | None:
+            raw = params.get(key)
+            return None if raw is None else _parse_float(key, raw)
+
         capacity = params.get("capacity")
-        flush = params.get("flush_interval")
         return cls(
             host=host,
             port=port,
             stream=params.get("stream"),
             capacity=None if capacity is None else _parse_int("capacity", capacity),
-            flush_interval=None if flush is None else _parse_float("flush_interval", flush),
+            flush_interval=opt_float("flush_interval"),
             upstream=params.get("upstream"),
+            via=params.get("via"),
+            backoff_initial=opt_float("backoff_initial"),
+            backoff_max=opt_float("backoff_max"),
+            journal=params.get("journal"),
+            relay_interval=opt_float("relay_interval"),
+            probe_interval=opt_float("probe_interval"),
         )
 
     @property
@@ -485,17 +530,28 @@ class TcpEndpoint(Endpoint):
         """The ``(host, port)`` pair for the socket layer."""
         return (self.host, self.port)
 
+    @property
+    def dial_address(self) -> tuple[str, int]:
+        """Where a producer actually connects: ``via`` if set, else the host.
+
+        The ``via=`` intermediary (a chaos proxy, a port forward) is a
+        producer-side concern; the endpoint still *names* the collector.
+        """
+        if self.via is None:
+            return self.address
+        from repro.net.protocol import parse_address
+
+        return parse_address(self.via)
+
     def url(self) -> str:
         host = f"[{self.host}]" if ":" in self.host else self.host
         pairs: list[tuple[str, object]] = []
-        if self.stream is not None:
-            pairs.append(("stream", self.stream))
-        if self.capacity is not None:
-            pairs.append(("capacity", self.capacity))
-        if self.flush_interval is not None:
-            pairs.append(("flush_interval", self.flush_interval))
-        if self.upstream is not None:
-            pairs.append(("upstream", self.upstream))
+        for key in ("stream", "capacity", "flush_interval", "upstream", "via",
+                    "backoff_initial", "backoff_max", "journal",
+                    "relay_interval", "probe_interval"):
+            value = getattr(self, key)
+            if value is not None:
+                pairs.append((key, value))
         return f"tcp://{quote(host, safe='[]:')}:{self.port}{_format_query(pairs)}"
 
 
@@ -572,20 +628,37 @@ def open_backend(endpoint: "str | Endpoint", *, stream: str | None = None) -> "B
     if isinstance(ep, TcpEndpoint):
         from repro.net.exporter import NetworkBackend
 
-        if ep.upstream is not None:
+        collector_only = [
+            key
+            for key, value in (
+                ("upstream", ep.upstream),
+                ("journal", ep.journal),
+                ("relay_interval", ep.relay_interval),
+                ("probe_interval", ep.probe_interval),
+            )
+            if value is not None
+        ]
+        if collector_only:
             raise EndpointError(
-                f"upstream= is a collector-side parameter and has no meaning "
-                f"when producing to {ep}; bind the edge with open_collector()"
+                f"{', '.join(collector_only)} are collector-side parameters "
+                f"and have no meaning when producing to {ep}; bind the "
+                f"collector with open_collector()"
             )
         net_kwargs: dict[str, Any] = {}
         if ep.capacity is not None:
             net_kwargs["capacity"] = ep.capacity
         if ep.flush_interval is not None:
             net_kwargs["flush_interval"] = ep.flush_interval
+        if ep.backoff_initial is not None:
+            net_kwargs["backoff_initial"] = ep.backoff_initial
+        if ep.backoff_max is not None:
+            net_kwargs["backoff_max"] = ep.backoff_max
         name = ep.stream if ep.stream is not None else stream
         if name is not None:
             net_kwargs["stream"] = name
-        return NetworkBackend(ep.address, **net_kwargs)
+        # via= routes the dial through an intermediary (chaos proxy, port
+        # forward) without renaming the collector the endpoint refers to.
+        return NetworkBackend(ep.dial_address, **net_kwargs)
     raise EndpointError(f"cannot open {ep!r} as a backend")  # pragma: no cover
 
 
@@ -682,11 +755,18 @@ def open_collector(
     mode: registered streams demux into slab rows, so fleet observers poll
     them through one vectorized pass instead of per-stream dispatch.
 
+    A ``?journal=DIR`` parameter makes the collector durable: every ingested
+    frame is appended to a per-stream journal under ``DIR`` and replayed if
+    a collector later rebinds over the same directory (failover recovery —
+    see :mod:`repro.net.persistence`).  ``relay_interval=``,
+    ``probe_interval=``, ``backoff_initial=`` and ``backoff_max=`` tune an
+    edge collector's forwarding link.
+
     Raises
     ------
     EndpointError
         When the endpoint is not ``tcp://`` or carries producer-side
-        parameters (``stream``, ``capacity``, ``flush_interval``).
+        parameters (``stream``, ``capacity``, ``flush_interval``, ``via``).
     OSError
         When the address cannot be bound (already in use, unresolvable).
 
@@ -703,6 +783,7 @@ def open_collector(
             ("stream", ep.stream),
             ("capacity", ep.capacity),
             ("flush_interval", ep.flush_interval),
+            ("via", ep.via),
         )
         if value is not None
     ]
@@ -713,9 +794,27 @@ def open_collector(
             f"{', '.join(producer_only)} are producer-side parameters and "
             f"have no meaning when binding a collector at {ep}"
         )
+    if ep.upstream is None and (ep.backoff_initial is not None or ep.backoff_max is not None):
+        raise EndpointError(
+            f"backoff_initial/backoff_max tune the relay link and need "
+            f"upstream= when binding a collector at {ep}"
+        )
     from repro.net.collector import HeartbeatCollector
 
-    return HeartbeatCollector(ep.host, ep.port, upstream=ep.upstream, arena=arena)
+    collector_kwargs: dict[str, Any] = {}
+    if ep.journal is not None:
+        collector_kwargs["journal"] = ep.journal
+    if ep.relay_interval is not None:
+        collector_kwargs["relay_interval"] = ep.relay_interval
+    if ep.probe_interval is not None:
+        collector_kwargs["relay_probe_interval"] = ep.probe_interval
+    if ep.backoff_initial is not None:
+        collector_kwargs["relay_backoff_initial"] = ep.backoff_initial
+    if ep.backoff_max is not None:
+        collector_kwargs["relay_backoff_max"] = ep.backoff_max
+    return HeartbeatCollector(
+        ep.host, ep.port, upstream=ep.upstream, arena=arena, **collector_kwargs
+    )
 
 
 def open_arena(endpoint: "str | Endpoint") -> "Arena":

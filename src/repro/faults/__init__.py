@@ -1,5 +1,12 @@
-"""Core-failure injection (paper Section 5.4, Figure 8)."""
+"""Fault injection: in-process core failures and shared event timelines.
+
+:class:`FaultInjector` reproduces the paper's core-failure experiment
+(Section 5.4, Figure 8) keyed on heartbeat indices; :class:`Timeline` /
+:class:`TimelineEvent` are the wall-clock analogue shared with the
+between-process chaos subsystem (:mod:`repro.scenario`).
+"""
 
 from repro.faults.injector import FailureEvent, FaultInjector, RepairEvent
+from repro.faults.timeline import Timeline, TimelineEvent
 
-__all__ = ["FailureEvent", "RepairEvent", "FaultInjector"]
+__all__ = ["FailureEvent", "RepairEvent", "FaultInjector", "Timeline", "TimelineEvent"]

@@ -1,0 +1,99 @@
+"""Shared event-timeline types for scripted failure schedules.
+
+The in-process :class:`~repro.faults.injector.FaultInjector` keys its events
+on heartbeat indices; everything *between* processes — chaos-proxy
+impairments, scenario kill/restart/churn schedules — keys on elapsed wall
+time instead.  :class:`TimelineEvent` / :class:`Timeline` are the common
+vocabulary both the :mod:`repro.scenario` runner and the chaos proxy consume:
+an ordered schedule of named actions, popped as their deadlines pass.
+
+>>> t = Timeline([TimelineEvent(at=2.0, action="heal"),
+...               TimelineEvent(at=1.0, action="partition")])
+>>> [e.action for e in t.pop_due(1.5)]
+['partition']
+>>> t.next_at()
+2.0
+>>> [e.action for e in t.pop_due(5.0)]
+['heal']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+__all__ = ["TimelineEvent", "Timeline"]
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One scheduled action: *do ``action`` once ``at`` seconds have elapsed*.
+
+    ``params`` carries the action's arguments (e.g. ``{"latency": 0.05}`` for
+    a proxy impairment, ``{"process": "edge"}`` for a scenario kill); the
+    consumer defines which actions and parameters it understands.
+    """
+
+    at: float
+    action: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"event time must be >= 0, got {self.at!r}")
+        if not self.action:
+            raise ValueError("event action must not be empty")
+
+    def param(self, key: str, default: Any = None) -> Any:
+        """One parameter of the event, with a default."""
+        return self.params.get(key, default)
+
+
+class Timeline:
+    """An ordered, consumable schedule of :class:`TimelineEvent`.
+
+    Events are sorted by deadline (stable for ties, so two events scheduled
+    at the same instant apply in the order given); :meth:`pop_due` removes
+    and returns every event whose deadline has passed.  :meth:`reset`
+    restores the full schedule for reuse across runs.
+    """
+
+    __slots__ = ("_events", "_cursor")
+
+    def __init__(self, events: Iterable[TimelineEvent] = ()) -> None:
+        self._events: tuple[TimelineEvent, ...] = tuple(
+            sorted(events, key=lambda e: e.at)
+        )
+        self._cursor = 0
+
+    def pop_due(self, elapsed: float) -> list[TimelineEvent]:
+        """Remove and return every event with ``at <= elapsed``, in order."""
+        due: list[TimelineEvent] = []
+        while self._cursor < len(self._events) and self._events[self._cursor].at <= elapsed:
+            due.append(self._events[self._cursor])
+            self._cursor += 1
+        return due
+
+    def next_at(self) -> float | None:
+        """Deadline of the next pending event, or ``None`` when exhausted."""
+        if self._cursor < len(self._events):
+            return self._events[self._cursor].at
+        return None
+
+    def pending(self) -> tuple[TimelineEvent, ...]:
+        """Events not yet popped, in deadline order."""
+        return self._events[self._cursor:]
+
+    def events(self) -> tuple[TimelineEvent, ...]:
+        """The full schedule (popped or not), in deadline order."""
+        return self._events
+
+    def reset(self) -> None:
+        """Restore every popped event (for reuse across runs)."""
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._events) - self._cursor
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeline(pending={len(self)}, total={len(self._events)})"

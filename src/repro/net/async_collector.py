@@ -56,6 +56,7 @@ from repro.core.backends.base import Backend, BackendSnapshot, DeltaSnapshot, Sn
 from repro.core.backends.memory import MemoryBackend
 from repro.core.errors import BackendError, MonitorAttachError, ProtocolError
 from repro.net import protocol
+from repro.net.persistence import JournalWriter, StreamJournal
 from repro.obs.registry import Histogram, MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -102,9 +103,10 @@ class _CollectorStream:
     """
 
     __slots__ = (
-        "stream_id", "name", "pid", "nonce", "lock", "backend",
+        "stream_id", "name", "pid", "nonce", "lock", "backend", "capacity",
         "connected", "closed", "reported_total", "conn_gen",
         "target_min", "target_max", "default_window", "last_beat", "via_relay",
+        "journal",
     )
 
     def __init__(
@@ -118,6 +120,7 @@ class _CollectorStream:
         self.name = hello.name
         self.pid = hello.pid
         self.nonce = hello.nonce
+        self.capacity = capacity
         self.lock = threading.Lock()
         self.backend: Backend = backend if backend is not None else MemoryBackend(capacity)
         self.backend.set_default_window(hello.default_window)
@@ -137,6 +140,8 @@ class _CollectorStream:
         #: relay replays are deduplicated against it.
         self.last_beat = -1
         self.via_relay = False
+        #: Persistence hook: the stream's journal writer, or ``None``.
+        self.journal: "JournalWriter | None" = None
 
     def snapshot(self) -> BackendSnapshot:
         with self.lock:
@@ -214,6 +219,27 @@ class AsyncHeartbeatCollector:
     relay_interval:
         Edge mode only: seconds between forwarding sweeps (the relay
         analogue of the exporter's ``flush_interval``).
+    relay_backoff_initial, relay_backoff_max:
+        Edge mode only: the forwarder's reconnect backoff window (delay
+        starts at the initial value and doubles per failed dial up to the
+        max).  Scenario runs tighten these so a healed partition reconnects
+        in milliseconds; the defaults match the forwarder's.
+    relay_probe_interval:
+        Edge mode only: seconds between idle-EOF probes of the upstream
+        link (``None``, the default, probes on every sweep — the historic
+        behaviour).
+    journal:
+        A :class:`~repro.net.persistence.StreamJournal` (or a directory
+        path) enabling collector persistence: every registered stream's
+        frames are appended to a per-stream journal behind the ingest path,
+        and on construction any journals already in the directory are
+        *replayed* — a killed-and-restarted collector resumes its streams'
+        retained histories, (pid, nonce) resumption identities, relay dedup
+        high-water marks and CLOSE state instead of starting empty.
+        Restored streams begin disconnected (their producers redial, their
+        relay links re-register) and their ``total_beats`` restarts from
+        the retained window.  Pass a path to let the collector own the
+        journal's lifetime (closed with the collector).
     arena:
         An :class:`~repro.core.backends.arena.Arena` (or a
         ``mem-arena://`` / ``shm-arena://`` endpoint URL) that becomes the
@@ -253,7 +279,11 @@ class AsyncHeartbeatCollector:
         poll_timeout: float = 0.25,
         upstream: str | tuple[str, int] | None = None,
         relay_interval: float = 0.05,
+        relay_backoff_initial: float = 0.05,
+        relay_backoff_max: float = 2.0,
+        relay_probe_interval: float | None = None,
         arena: "Arena | str | None" = None,
+        journal: "StreamJournal | str | None" = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         self._default_capacity = int(default_capacity)
@@ -317,6 +347,15 @@ class AsyncHeartbeatCollector:
         #: fd → connection; touched only by the event-loop thread.
         self._connections: dict[int, _Connection] = {}
 
+        if isinstance(journal, str):
+            journal = StreamJournal(journal, metrics=self.metrics)
+        self._journal: StreamJournal | None = journal
+        if self._journal is not None:
+            # Replay before the loop thread exists, so restored streams are
+            # visible to the very first connection (and to the relay's
+            # first sweep in edge mode).
+            self._restore_from_journal()
+
         self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         try:
             self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -340,7 +379,13 @@ class AsyncHeartbeatCollector:
             from repro.net.relay import RelayForwarder
 
             self._relay = RelayForwarder(
-                self, upstream, interval=float(relay_interval), metrics=self.metrics
+                self,
+                upstream,
+                interval=float(relay_interval),
+                backoff_initial=float(relay_backoff_initial),
+                backoff_max=float(relay_backoff_max),
+                probe_interval=relay_probe_interval,
+                metrics=self.metrics,
             )
 
         self._loop_thread = threading.Thread(
@@ -552,6 +597,8 @@ class AsyncHeartbeatCollector:
         self._loop_thread.join(timeout=5.0)
         self._server.close()
         self._wake_w.close()
+        if self._journal is not None:
+            self._journal.close()
 
     def __enter__(self) -> "AsyncHeartbeatCollector":
         return self
@@ -690,12 +737,19 @@ class AsyncHeartbeatCollector:
             records = protocol.decode_batch(frame.payload)
             with stream.lock:
                 stream.backend.append_many(records)
+                if stream.journal is not None:
+                    # The journal is the wire capture: the payload is
+                    # appended as received, one frame in, one frame out.
+                    stream.journal.append_frame(protocol.FRAME_BATCH, frame.payload)
             self._records.inc(int(records.shape[0]))
+            self._maybe_compact(stream)
         elif frame.type == protocol.FRAME_TARGETS:
             tmin, tmax = protocol.decode_targets(frame.payload)
             with stream.lock:
                 stream.backend.set_targets(tmin, tmax)
                 stream.target_min, stream.target_max = tmin, tmax
+                if stream.journal is not None:
+                    stream.journal.append_frame(protocol.FRAME_TARGETS, frame.payload)
         elif frame.type == protocol.FRAME_CLOSE:
             reported = protocol.decode_close(frame.payload)
             with stream.lock:
@@ -703,6 +757,8 @@ class AsyncHeartbeatCollector:
                     stream.closed = True
                     stream.connected = False
                     stream.reported_total = reported
+                    if stream.journal is not None:
+                        stream.journal.append_frame(protocol.FRAME_CLOSE, frame.payload)
 
     def _ingest_relay(self, conn: _Connection, entries: list[protocol.RelayEntry]) -> None:
         appended = 0
@@ -719,8 +775,7 @@ class AsyncHeartbeatCollector:
                     target_max=entry.target_max,
                     nonce=entry.nonce,
                 )
-                stream, gen = self._register(hello)
-                stream.via_relay = True
+                stream, gen = self._register(hello, via_relay=True)
                 conn.relay_streams[entry.stream_id] = (stream, gen)
             else:
                 stream, gen = known
@@ -738,20 +793,31 @@ class AsyncHeartbeatCollector:
                     stream.backend.append_many(records)
                     stream.last_beat = int(records["beat"][-1])
                     appended += int(records.shape[0])
+                    if stream.journal is not None:
+                        # Journal only what survived dedup, so a restart
+                        # replays exactly the records this collector holds.
+                        stream.journal.append_records(records)
                 if (entry.target_min, entry.target_max) != (
                     stream.target_min, stream.target_max,
                 ):
                     stream.backend.set_targets(entry.target_min, entry.target_max)
                     stream.target_min = entry.target_min
                     stream.target_max = entry.target_max
+                    if stream.journal is not None:
+                        stream.journal.append_targets(entry.target_min, entry.target_max)
                 if entry.default_window != stream.default_window:
                     stream.backend.set_default_window(entry.default_window)
                     stream.default_window = entry.default_window
                 if stream.conn_gen == gen:
                     stream.connected = entry.connected
-                    if entry.closed:
+                    if entry.closed and not stream.closed:
                         stream.closed = True
                         stream.reported_total = entry.reported_total
+                        if stream.journal is not None:
+                            stream.journal.append_close(
+                                -1 if entry.reported_total is None else entry.reported_total
+                            )
+            self._maybe_compact(stream)
         self._relay_frames.inc()
         self._relay_records.inc(appended)
         self._relay_duplicates.inc(duplicates)
@@ -773,7 +839,9 @@ class AsyncHeartbeatCollector:
         # share a host; clamp the tiny negative skews scheduling can produce.
         hist.observe(latency if latency > 0.0 else 0.0)
 
-    def _register(self, hello: protocol.Hello) -> tuple[_CollectorStream, int]:
+    def _register(
+        self, hello: protocol.Hello, *, via_relay: bool = False
+    ) -> tuple[_CollectorStream, int]:
         capacity = hello.capacity if hello.capacity > 0 else self._default_capacity
         capacity = min(max(capacity, _MIN_STREAM_CAPACITY), _MAX_STREAM_CAPACITY)
         with self._streams_changed:
@@ -799,6 +867,10 @@ class AsyncHeartbeatCollector:
                         existing.target_min = hello.target_min
                         existing.target_max = hello.target_max
                         existing.default_window = hello.default_window
+                        if existing.journal is not None:
+                            # Journal the re-registration: replay applies
+                            # the freshest metadata, later HELLOs winning.
+                            existing.journal.append_hello(hello)
                         return existing, existing.conn_gen
                 suffix += 1
                 stream_id = f"{hello.name}@{suffix}"
@@ -811,6 +883,71 @@ class AsyncHeartbeatCollector:
                     # backend and stays observable the per-object way.
                     self._unpooled[stream_id] = None
             stream = _CollectorStream(stream_id, hello, capacity, backend)
+            stream.via_relay = via_relay
+            if self._journal is not None:
+                stream.journal = self._journal.writer(
+                    stream_id, hello, via_relay=via_relay
+                )
             self._streams[stream_id] = stream
             self._streams_changed.notify_all()
             return stream, stream.conn_gen
+
+    def _restore_from_journal(self) -> None:
+        """Re-register every journaled stream (construction time only).
+
+        Restored streams start disconnected — their producers redial with
+        the same (pid, nonce) and resume, their relay links re-register and
+        are deduplicated against the restored ``last_beat`` high-water mark.
+        ``total_beats`` restarts from the retained window (the ring never
+        journaled what it had already shed).
+        """
+        assert self._journal is not None
+        for replayed in self._journal.replay():
+            hello = replayed.hello
+            capacity = hello.capacity if hello.capacity > 0 else self._default_capacity
+            capacity = min(max(capacity, _MIN_STREAM_CAPACITY), _MAX_STREAM_CAPACITY)
+            backend: Backend | None = None
+            if self._arena is not None:
+                try:
+                    backend = self._arena.allocate(replayed.stream_id)
+                except BackendError:
+                    self._unpooled[replayed.stream_id] = None
+            stream = _CollectorStream(replayed.stream_id, hello, capacity, backend)
+            stream.connected = False
+            stream.closed = replayed.closed
+            stream.reported_total = replayed.reported_total
+            stream.via_relay = replayed.via_relay
+            stream.last_beat = replayed.last_beat
+            if replayed.records.shape[0]:
+                stream.backend.append_many(replayed.records)
+            try:
+                stream.journal = self._journal.resume(replayed)
+            except OSError:
+                stream.journal = None  # restored read-only; ingest continues
+            with self._streams_changed:
+                self._streams[replayed.stream_id] = stream
+                self._streams_changed.notify_all()
+
+    def _maybe_compact(self, stream: _CollectorStream) -> None:
+        """Rewrite an oversized journal from the stream's retained window."""
+        writer = stream.journal
+        if writer is None or not writer.oversized:
+            return
+        with stream.lock:
+            snapshot = stream.backend.snapshot()
+            hello = protocol.Hello(
+                name=stream.name,
+                pid=stream.pid,
+                nonce=stream.nonce,
+                default_window=stream.default_window,
+                capacity=stream.capacity,
+                target_min=stream.target_min,
+                target_max=stream.target_max,
+            )
+            writer.rewrite(
+                hello,
+                snapshot.records,
+                via_relay=stream.via_relay,
+                closed=stream.closed,
+                reported_total=stream.reported_total,
+            )

@@ -82,6 +82,10 @@ class RelayForwarder:
         Socket timeouts for dialling and for one ``sendall``.
     backoff_initial, backoff_max:
         Reconnect backoff window (doubles on each failure).
+    probe_interval:
+        Seconds between idle-EOF probes of the upstream link.  ``None``
+        (the default) probes on every sweep — the historic cadence; a
+        positive value rate-limits the probe for high-frequency sweeps.
     metrics:
         The :class:`~repro.obs.registry.MetricsRegistry` to register
         forwarding counters into (labelled by upstream address); the owning
@@ -107,6 +111,7 @@ class RelayForwarder:
         send_timeout: float = 5.0,
         backoff_initial: float = 0.05,
         backoff_max: float = 2.0,
+        probe_interval: float | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         self._collector = collector
@@ -116,6 +121,7 @@ class RelayForwarder:
         self._send_timeout = float(send_timeout)
         self._backoff_initial = float(backoff_initial)
         self._backoff_max = float(backoff_max)
+        self._probe_interval = None if probe_interval is None else float(probe_interval)
 
         self._lock = threading.Lock()
         self._wake = threading.Event()
@@ -224,6 +230,7 @@ class RelayForwarder:
     def _run(self) -> None:
         backoff = self._backoff_initial
         next_attempt = 0.0
+        next_probe = 0.0
         while True:
             self._wake.wait(timeout=self._interval)
             self._wake.clear()
@@ -241,11 +248,17 @@ class RelayForwarder:
                     continue
                 backoff = self._backoff_initial
             sock = self._sock
-            if sock is not None and not self._link_alive(sock):
-                # The upstream went away quietly (FIN, no RST): without this
-                # probe an *idle* link would never error and never reconnect.
-                self._shutdown_socket()
-                continue
+            if sock is not None and (
+                self._probe_interval is None or time.monotonic() >= next_probe
+            ):
+                if self._probe_interval is not None:
+                    next_probe = time.monotonic() + self._probe_interval
+                if not self._link_alive(sock):
+                    # The upstream went away quietly (FIN, no RST): without
+                    # this probe an *idle* link would never error and never
+                    # reconnect.
+                    self._shutdown_socket()
+                    continue
             self._sweep()
             if closing:
                 return

@@ -1,0 +1,49 @@
+"""Scenario harness: scripted chaos against real heartbeat topologies.
+
+The subsystem has three layers, composable or separately usable:
+
+:class:`ChaosProxy` (:mod:`repro.scenario.proxy`)
+    A transparent TCP shim for the heartbeat wire protocol.  Insert it
+    between a producer and a collector (or between collectors on a relay
+    hop) and script latency, jitter, bandwidth caps, byte loss, link flaps
+    and full partitions — the network misbehaving on demand.
+
+:class:`ScenarioSpec` (:mod:`repro.scenario.spec`)
+    A declarative drill: producer fleet, topology, a
+    :class:`~repro.faults.Timeline` of chaos, and the invariants that must
+    survive it.  Loadable from TOML/JSON/dicts; canonical drills ship as
+    :data:`PRESETS` (churn storms, partitions, collector kill/restart over
+    a journal, clock skew).
+
+:class:`ScenarioRunner` (:mod:`repro.scenario.runner`)
+    Executes a spec against real subprocesses — producers, an optional
+    journaled edge collector, the proxy — while polling the root
+    aggregator, and renders a pass/fail verdict with a JSONL evidence
+    trail.  ``repro scenario run`` is the CLI front end.
+
+Collector durability itself (the journal a killed collector replays on
+restart) lives with the networking layer in :mod:`repro.net.persistence`;
+this package is what breaks things on purpose and checks the promises.
+"""
+
+from repro.scenario.proxy import ChaosProxy
+from repro.scenario.runner import InvariantResult, ScenarioResult, ScenarioRunner
+from repro.scenario.spec import (
+    PRESETS,
+    FleetSpec,
+    InvariantSpec,
+    ScenarioError,
+    ScenarioSpec,
+)
+
+__all__ = [
+    "ChaosProxy",
+    "FleetSpec",
+    "InvariantResult",
+    "InvariantSpec",
+    "PRESETS",
+    "ScenarioError",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
+]

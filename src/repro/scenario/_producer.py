@@ -1,0 +1,85 @@
+"""Subprocess heartbeat producer for scenario drills.
+
+``python -m repro.scenario._producer --address HOST:PORT --stream NAME
+--beats N --rate R [--skew S]`` beats at the requested rate into a
+:class:`~repro.net.exporter.NetworkBackend`, closes gracefully (CLOSE frame
+carrying the final total), and prints exactly one JSON line on stdout::
+
+    {"stream": "svc-0", "beats": 120, "skew": 0.0}
+
+The :class:`~repro.scenario.runner.ScenarioRunner` parses that line to
+learn what each producer acknowledged, and SIGKILLs the process instead
+when the drill calls for an abrupt death (no JSON line, no CLOSE — the
+corpse the observers must classify as STALLED).
+
+``--skew`` offsets the producer's clock: timestamps are
+``time.perf_counter() + skew``, emulating a host whose clock disagrees
+with the observer's.  The runner keeps presets within tens of
+milliseconds — enough to exercise the math, small enough that liveness
+classification stays meaningful.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-scenario-producer")
+    parser.add_argument("--address", required=True, help="collector HOST:PORT to dial")
+    parser.add_argument("--stream", required=True, help="stream name to register")
+    parser.add_argument("--beats", type=int, required=True, help="number of beats to emit")
+    parser.add_argument("--rate", type=float, required=True, help="beats per second")
+    parser.add_argument("--skew", type=float, default=0.0, help="clock offset in seconds")
+    parser.add_argument(
+        "--target",
+        type=float,
+        nargs=2,
+        default=None,
+        metavar=("MIN", "MAX"),
+        help="publish a target heart-rate window",
+    )
+    parser.add_argument(
+        "--flush-interval", type=float, default=0.01, help="exporter flush cadence"
+    )
+    parser.add_argument(
+        "--close-deadline",
+        type=float,
+        default=10.0,
+        help="longest close() waits to flush (scenario links heal slowly)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.net.exporter import NetworkBackend
+
+    backend = NetworkBackend(
+        args.address,
+        stream=args.stream,
+        flush_interval=args.flush_interval,
+        backoff_initial=0.02,
+        backoff_max=0.25,
+        close_deadline=args.close_deadline,
+    )
+    if args.target is not None:
+        backend.set_targets(args.target[0], args.target[1])
+    interval = 1.0 / args.rate
+    next_beat = time.perf_counter()
+    for beat in range(args.beats):
+        backend.append(beat, time.perf_counter() + args.skew, 0, 0)
+        next_beat += interval
+        delay = next_beat - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+    backend.close()
+    print(
+        json.dumps({"stream": args.stream, "beats": args.beats, "skew": args.skew}),
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

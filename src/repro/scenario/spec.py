@@ -1,0 +1,438 @@
+"""Declarative chaos scenarios: dict/TOML/JSON → :class:`ScenarioSpec`.
+
+A scenario names *what to break and what must still hold* — a producer
+fleet, a topology (direct fan-in or a journaled edge collector), an
+optional :class:`~repro.scenario.proxy.ChaosProxy` on the observed link, a
+:class:`~repro.faults.Timeline` of scripted chaos (partitions, kills,
+restarts, churn), and the invariants the run must satisfy:
+
+.. code-block:: toml
+
+    name = "partition-and-heal"
+    topology = "direct"
+    proxy = true
+
+    [fleet]
+    producers = 3
+    beats = 400
+    rate = 200.0
+
+    [[timeline]]
+    at = 0.4
+    action = "partition"
+    mode = "blackhole"
+
+    [[timeline]]
+    at = 1.2
+    action = "heal"
+
+    [[invariants]]
+    kind = "stalled_within"
+    deadline = 3.0
+
+    [[invariants]]
+    kind = "all_beats_delivered"
+
+:class:`~repro.scenario.runner.ScenarioRunner` executes the spec against
+real subprocess producers and collectors.  Presets for the canonical
+failure drills ship in :data:`PRESETS` (``repro scenario list``):
+
+>>> spec = ScenarioSpec.preset("churn-storm")
+>>> spec.fleet.producers >= 2
+True
+>>> sorted(i.kind for i in spec.invariants)[:2]
+['all_beats_delivered', 'closed_reported']
+
+TOML parsing uses :mod:`tomllib` and therefore Python 3.11+; on 3.10 use
+JSON files or build from a dict.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence, Union
+
+from repro.faults.timeline import Timeline, TimelineEvent
+
+__all__ = [
+    "FleetSpec",
+    "InvariantSpec",
+    "PRESETS",
+    "ScenarioError",
+    "ScenarioSpec",
+]
+
+
+class ScenarioError(ValueError):
+    """A declarative chaos scenario is malformed."""
+
+
+#: Timeline actions the runner understands.  The first group forwards to
+#: :meth:`ChaosProxy.apply`; the second manipulates the fleet/collectors.
+PROXY_ACTIONS = ("latency", "bandwidth", "drop", "partition", "heal", "flap")
+FLEET_ACTIONS = ("spawn", "kill_producers", "kill_collector", "restart_collector")
+
+#: Invariant kinds the runner can check (see :mod:`repro.scenario.runner`).
+INVARIANT_KINDS = (
+    "no_lost_acked",
+    "stalled_within",
+    "converged_within",
+    "all_beats_delivered",
+    "closed_reported",
+)
+
+TOPOLOGIES = ("direct", "edge")
+
+
+@dataclass(frozen=True, slots=True)
+class FleetSpec:
+    """The producer fleet: how many, how fast, for how long.
+
+    ``skew`` offsets every producer's clock by that many seconds —
+    heartbeat timestamps land in the future (positive) or past (negative)
+    relative to the observer, the way unsynchronized hosts do.
+    """
+
+    producers: int = 2
+    beats: int = 200
+    rate: float = 200.0
+    skew: float = 0.0
+    prefix: str = "svc"
+
+    def __post_init__(self) -> None:
+        if self.producers < 1:
+            raise ScenarioError(f"fleet needs >= 1 producer, got {self.producers}")
+        if self.beats < 1:
+            raise ScenarioError(f"fleet beats must be >= 1, got {self.beats}")
+        if self.rate <= 0:
+            raise ScenarioError(f"fleet rate must be positive, got {self.rate}")
+        if not self.prefix:
+            raise ScenarioError("fleet prefix must be non-empty")
+
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, Any]) -> "FleetSpec":
+        unknown = set(data) - {"producers", "beats", "rate", "skew", "prefix"}
+        if unknown:
+            raise ScenarioError(f"unknown fleet keys {sorted(unknown)}")
+        return cls(
+            producers=int(data.get("producers", 2)),
+            beats=int(data.get("beats", 200)),
+            rate=float(data.get("rate", 200.0)),
+            skew=float(data.get("skew", 0.0)),
+            prefix=str(data.get("prefix", "svc")),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class InvariantSpec:
+    """One property the run must satisfy (see :data:`INVARIANT_KINDS`).
+
+    ``deadline`` bounds the time-based checks (``stalled_within``: seconds
+    from the first disruptive event to a STALLED classification;
+    ``converged_within``: seconds from the end of the timeline to full
+    convergence).  ``count`` is the minimum number of streams
+    ``stalled_within`` must observe stalled.
+    """
+
+    kind: str
+    deadline: float = 10.0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in INVARIANT_KINDS:
+            raise ScenarioError(
+                f"unknown invariant kind {self.kind!r}; known: {list(INVARIANT_KINDS)}"
+            )
+        if self.deadline <= 0:
+            raise ScenarioError(f"invariant deadline must be positive, got {self.deadline}")
+        if self.count < 1:
+            raise ScenarioError(f"invariant count must be >= 1, got {self.count}")
+
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, Any]) -> "InvariantSpec":
+        unknown = set(data) - {"kind", "deadline", "count"}
+        if unknown:
+            raise ScenarioError(f"unknown invariant keys {sorted(unknown)}")
+        if "kind" not in data:
+            raise ScenarioError("invariant needs a 'kind'")
+        return cls(
+            kind=str(data["kind"]),
+            deadline=float(data.get("deadline", 10.0)),
+            count=int(data.get("count", 1)),
+        )
+
+
+def _parse_timeline(entries: Sequence[Mapping[str, Any]]) -> tuple[TimelineEvent, ...]:
+    events = []
+    for entry in entries:
+        if not isinstance(entry, Mapping):
+            raise ScenarioError(f"timeline entries must be tables, got {entry!r}")
+        if "at" not in entry or "action" not in entry:
+            raise ScenarioError(f"timeline entry needs 'at' and 'action': {dict(entry)!r}")
+        action = str(entry["action"])
+        if action not in PROXY_ACTIONS and action not in FLEET_ACTIONS:
+            raise ScenarioError(
+                f"unknown timeline action {action!r}; known: "
+                f"{list(PROXY_ACTIONS + FLEET_ACTIONS)}"
+            )
+        params = {k: v for k, v in entry.items() if k not in ("at", "action")}
+        events.append(TimelineEvent(at=float(entry["at"]), action=action, params=params))
+    return tuple(sorted(events, key=lambda e: e.at))
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioSpec:
+    """A complete chaos drill: fleet + topology + timeline + invariants."""
+
+    name: str
+    description: str = ""
+    fleet: FleetSpec = field(default_factory=FleetSpec)
+    #: ``direct``: producers dial the root collector (optionally through the
+    #: proxy).  ``edge``: producers dial an *edge* collector subprocess that
+    #: relays to the in-process root through the proxy — the topology where
+    #: collector kill/restart drills make sense.
+    topology: str = "direct"
+    #: Insert a :class:`ChaosProxy` on the observed link.  Implied by any
+    #: proxy-directed timeline action.
+    proxy: bool = False
+    #: Journal the killable collector (the edge in ``edge`` topology) so a
+    #: restart resumes from disk instead of starting empty.
+    journal: bool = False
+    #: Steady-state impairments applied to the proxy at start
+    #: (``latency`` / ``jitter`` / ``bandwidth`` / ``drop_probability``).
+    latency: float = 0.0
+    jitter: float = 0.0
+    bandwidth: float | None = None
+    drop_probability: float = 0.0
+    seed: int | None = None
+    timeline: tuple[TimelineEvent, ...] = ()
+    invariants: tuple[InvariantSpec, ...] = ()
+    #: Hard wall-clock budget for the whole run; blowing it fails the run.
+    deadline: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("scenario needs a name")
+        if self.topology not in TOPOLOGIES:
+            raise ScenarioError(
+                f"unknown topology {self.topology!r}; known: {list(TOPOLOGIES)}"
+            )
+        if self.deadline <= 0:
+            raise ScenarioError(f"deadline must be positive, got {self.deadline}")
+        needs_proxy = any(e.action in PROXY_ACTIONS for e in self.timeline)
+        if needs_proxy and not self.proxy:
+            # Scripting chaos against a link that does not exist is a spec
+            # bug; promote rather than silently ignore.
+            object.__setattr__(self, "proxy", True)
+        collector_events = any(
+            e.action in ("kill_collector", "restart_collector") for e in self.timeline
+        )
+        if collector_events and self.topology != "edge":
+            raise ScenarioError(
+                "kill_collector/restart_collector need topology = 'edge' "
+                "(the root collector hosts the invariant checks and cannot die)"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Parsing
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        known = {
+            "name", "description", "fleet", "topology", "proxy", "journal",
+            "latency", "jitter", "bandwidth", "drop_probability", "seed",
+            "timeline", "invariants", "deadline",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ScenarioError(f"unknown scenario keys {sorted(unknown)}; known: {sorted(known)}")
+        if "name" not in data:
+            raise ScenarioError("scenario needs a name")
+        fleet = data.get("fleet", {})
+        if not isinstance(fleet, Mapping):
+            raise ScenarioError(f"'fleet' must be a table, got {type(fleet).__name__}")
+        raw_timeline = data.get("timeline", ())
+        if isinstance(raw_timeline, (str, bytes)) or not isinstance(raw_timeline, Sequence):
+            raise ScenarioError("'timeline' must be an array of event tables")
+        raw_invariants = data.get("invariants", ())
+        if isinstance(raw_invariants, (str, bytes)) or not isinstance(raw_invariants, Sequence):
+            raise ScenarioError("'invariants' must be an array of invariant tables")
+        bandwidth = data.get("bandwidth")
+        seed = data.get("seed")
+        return cls(
+            name=str(data["name"]),
+            description=str(data.get("description", "")),
+            fleet=FleetSpec.from_mapping(fleet),
+            topology=str(data.get("topology", "direct")),
+            proxy=bool(data.get("proxy", False)),
+            journal=bool(data.get("journal", False)),
+            latency=float(data.get("latency", 0.0)),
+            jitter=float(data.get("jitter", 0.0)),
+            bandwidth=None if bandwidth is None else float(bandwidth),
+            drop_probability=float(data.get("drop_probability", 0.0)),
+            seed=None if seed is None else int(seed),
+            timeline=_parse_timeline(raw_timeline),
+            invariants=tuple(
+                InvariantSpec.from_mapping(entry) for entry in raw_invariants
+            ),
+            deadline=float(data.get("deadline", 60.0)),
+        )
+
+    @classmethod
+    def from_toml(cls, text: str) -> "ScenarioSpec":
+        """Parse a TOML scenario (requires Python 3.11+ for :mod:`tomllib`)."""
+        try:
+            import tomllib
+        except ModuleNotFoundError as exc:  # pragma: no cover - py3.10 only
+            raise ScenarioError(
+                "TOML scenarios need Python 3.11+ (tomllib); use JSON or "
+                "ScenarioSpec.from_dict"
+            ) from exc
+        try:
+            return cls.from_dict(tomllib.loads(text))
+        except tomllib.TOMLDecodeError as exc:
+            raise ScenarioError(f"invalid TOML: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            return cls.from_dict(json.loads(text))
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid JSON: {exc}") from exc
+
+    @classmethod
+    def from_file(cls, path: Union[str, os.PathLike[str]]) -> "ScenarioSpec":
+        """Load a scenario file: ``.toml`` via tomllib, anything else as JSON."""
+        path = os.fspath(path)
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        if path.endswith(".toml"):
+            return cls.from_toml(text)
+        return cls.from_json(text)
+
+    @classmethod
+    def preset(cls, name: str) -> "ScenarioSpec":
+        """One of the built-in drills (see :data:`PRESETS`)."""
+        try:
+            data = PRESETS[name]
+        except KeyError:
+            raise ScenarioError(
+                f"unknown preset {name!r}; known: {sorted(PRESETS)}"
+            ) from None
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    def build_timeline(self) -> Timeline:
+        """A fresh :class:`Timeline` over this spec's events."""
+        return Timeline(self.timeline)
+
+    def first_disruption(self) -> float | None:
+        """When the first chaos lands (anchor for ``stalled_within``)."""
+        for event in self.timeline:
+            if event.action in ("partition", "flap", "kill_producers", "kill_collector"):
+                return event.at
+        return None
+
+
+#: Built-in drills, data all the way down so ``repro scenario list`` can
+#: show them and users can fork them into files.
+PRESETS: dict[str, dict[str, Any]] = {
+    "churn-storm": {
+        "name": "churn-storm",
+        "description": (
+            "Producers join mid-run and two are SIGKILLed: the root must "
+            "mark the corpses STALLED, keep every survivor's count "
+            "monotonic, and account every gracefully-closed beat."
+        ),
+        "topology": "direct",
+        "fleet": {"producers": 3, "beats": 150, "rate": 300.0},
+        "seed": 7,
+        "timeline": [
+            {"at": 0.15, "action": "spawn", "producers": 2},
+            {"at": 0.35, "action": "kill_producers", "producers": 2},
+        ],
+        "invariants": [
+            {"kind": "no_lost_acked"},
+            {"kind": "stalled_within", "deadline": 6.0, "count": 2},
+            {"kind": "all_beats_delivered", "deadline": 10.0},
+            {"kind": "closed_reported", "deadline": 10.0},
+        ],
+        "deadline": 45.0,
+    },
+    "partition": {
+        "name": "partition",
+        "description": (
+            "A blackhole partition opens mid-run and heals: streams go "
+            "STALLED behind the dead link, then converge once traffic "
+            "flows again — no acknowledged beat lost."
+        ),
+        "topology": "direct",
+        "proxy": True,
+        "fleet": {"producers": 3, "beats": 400, "rate": 150.0},
+        "seed": 11,
+        "timeline": [
+            # The window comfortably outlasts the runner's 1s liveness
+            # timeout so STALLED is observable before the heal.
+            {"at": 0.5, "action": "partition", "mode": "blackhole"},
+            {"at": 2.2, "action": "heal"},
+        ],
+        "invariants": [
+            {"kind": "no_lost_acked"},
+            {"kind": "stalled_within", "deadline": 6.0},
+            {"kind": "converged_within", "deadline": 15.0},
+            {"kind": "all_beats_delivered", "deadline": 15.0},
+        ],
+        "deadline": 60.0,
+    },
+    "kill-restart": {
+        "name": "kill-restart",
+        "description": (
+            "The journaled edge collector is SIGKILLed while holding beats "
+            "the root has never seen (its uplink is partitioned), then "
+            "restarted over the same journal: replay + relay dedup must "
+            "deliver every acknowledged beat to the root."
+        ),
+        "topology": "edge",
+        "proxy": True,
+        "journal": True,
+        "fleet": {"producers": 2, "beats": 120, "rate": 300.0},
+        "seed": 23,
+        "timeline": [
+            {"at": 0.25, "action": "partition", "mode": "drop"},
+            # Barrier: wait for every producer to finish + CLOSE into the
+            # journaled edge before killing it, so the partition-window
+            # beats exist *only* in the journal (the drill's whole point).
+            {"at": 0.3, "action": "kill_collector", "after_producers": True},
+            {"at": 0.4, "action": "restart_collector"},
+            {"at": 0.5, "action": "heal"},
+        ],
+        "invariants": [
+            {"kind": "no_lost_acked"},
+            {"kind": "stalled_within", "deadline": 8.0},
+            {"kind": "converged_within", "deadline": 20.0},
+            {"kind": "all_beats_delivered", "deadline": 20.0},
+            {"kind": "closed_reported", "deadline": 20.0},
+        ],
+        "deadline": 90.0,
+    },
+    "clock-skew": {
+        "name": "clock-skew",
+        "description": (
+            "Producer clocks run 80 ms ahead of the observer: totals and "
+            "close accounting must stay exact despite timestamps from the "
+            "future."
+        ),
+        "topology": "direct",
+        "fleet": {"producers": 3, "beats": 200, "rate": 250.0, "skew": 0.08},
+        "invariants": [
+            {"kind": "no_lost_acked"},
+            {"kind": "all_beats_delivered", "deadline": 10.0},
+            {"kind": "closed_reported", "deadline": 10.0},
+        ],
+        "deadline": 45.0,
+    },
+}

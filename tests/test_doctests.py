@@ -24,6 +24,10 @@ DOCUMENTED_MODULES = [
     "repro.net.collector",
     "repro.net.async_collector",
     "repro.net.relay",
+    "repro.net.persistence",
+    "repro.faults.timeline",
+    "repro.scenario.proxy",
+    "repro.scenario.spec",
     "repro.obs",
     "repro.obs.registry",
     "repro.obs.tracing",

@@ -259,3 +259,53 @@ class TestUpstreamParameter:
                 assert edge.is_edge
                 assert edge.upstream_address == root.address
             assert not root.is_edge
+
+
+class TestChaosAndDurabilityParameters:
+    """tcp://?via= / journal= / backoff / relay tuning query parameters."""
+
+    def test_producer_params_round_trip(self):
+        ep = Endpoint.parse(
+            "tcp://10.0.0.1:7717?stream=svc&via=127.0.0.1:9999"
+            "&backoff_initial=0.01&backoff_max=0.5"
+        )
+        assert Endpoint.parse(str(ep)) == ep
+        assert ep.via == "127.0.0.1:9999"
+        assert ep.dial_address == ("127.0.0.1", 9999)
+        assert ep.backoff_initial == 0.01
+
+    def test_collector_params_round_trip(self):
+        ep = Endpoint.parse(
+            "tcp://0.0.0.0:0?upstream=root:7717&journal=/var/lib/hb"
+            "&relay_interval=0.02&probe_interval=1.5&backoff_initial=0.05"
+        )
+        assert Endpoint.parse(str(ep)) == ep
+        assert ep.journal == "/var/lib/hb"
+        assert ep.relay_interval == 0.02
+        assert ep.probe_interval == 1.5
+
+    def test_dial_address_defaults_to_host(self):
+        ep = Endpoint.parse("tcp://10.0.0.1:7717")
+        assert ep.dial_address == ("10.0.0.1", 7717)
+
+    def test_relay_tuning_requires_upstream(self):
+        with pytest.raises(EndpointError, match="needs upstream"):
+            Endpoint.parse("tcp://127.0.0.1:0?relay_interval=0.5")
+        with pytest.raises(EndpointError, match="needs upstream"):
+            Endpoint.parse("tcp://127.0.0.1:0?probe_interval=0.5")
+
+    def test_rejects_malformed_values(self):
+        with pytest.raises(EndpointError, match="via"):
+            Endpoint.parse("tcp://127.0.0.1:0?via=nocolon")
+        with pytest.raises(EndpointError, match="backoff_initial"):
+            Endpoint.parse("tcp://127.0.0.1:0?backoff_initial=-1")
+
+    def test_open_backend_rejects_collector_side_params(self):
+        with pytest.raises(EndpointError, match="collector-side"):
+            open_backend("tcp://127.0.0.1:1?journal=/tmp/j")
+
+    def test_open_collector_rejects_producer_side_params(self):
+        with pytest.raises(EndpointError, match="producer-side"):
+            open_collector("tcp://127.0.0.1:0?via=127.0.0.1:9")
+        with pytest.raises(EndpointError, match="backoff"):
+            open_collector("tcp://127.0.0.1:0?backoff_initial=0.1")

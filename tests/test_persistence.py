@@ -1,0 +1,245 @@
+"""Journal format and collector failover recovery (repro.net.persistence).
+
+Unit tests cover the file format (replay fidelity, torn tails, compaction);
+the integration tests kill and restart real collectors over a shared
+journal directory and assert that nothing acknowledged is lost.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.record import RECORD_DTYPE
+from repro.net import HeartbeatCollector, NetworkBackend, protocol
+from repro.net.persistence import StreamJournal
+
+
+def wait_until(predicate, timeout: float = 5.0, interval: float = 0.01) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def make_hello(name: str = "svc", nonce: int = 7) -> protocol.Hello:
+    return protocol.Hello(
+        name=name,
+        pid=41,
+        default_window=8,
+        capacity=64,
+        target_min=2.0,
+        target_max=9.0,
+        nonce=nonce,
+    )
+
+
+def make_records(beats: range) -> np.ndarray:
+    out = np.empty(len(beats), dtype=RECORD_DTYPE)
+    for i, beat in enumerate(beats):
+        out[i] = (beat, beat * 0.01, 0, 1)
+    return out
+
+
+class TestJournalRoundTrip:
+    def test_records_targets_close_replay(self, tmp_path):
+        journal = StreamJournal(tmp_path)
+        writer = journal.writer("svc", make_hello())
+        writer.append_records(make_records(range(10)))
+        writer.append_targets(3.0, 12.0)
+        writer.append_close(10)
+        journal.close()
+
+        [replayed] = StreamJournal(tmp_path).replay()
+        assert replayed.stream_id == "svc"
+        assert replayed.hello.nonce == 7
+        assert replayed.records.shape[0] == 10
+        assert replayed.last_beat == 9
+        assert replayed.closed
+        assert replayed.reported_total == 10
+        # TARGETS frames fold into the replayed hello metadata.
+        assert replayed.hello.target_min == 3.0
+        assert replayed.hello.target_max == 12.0
+
+    def test_close_with_unknown_total_replays_none(self, tmp_path):
+        journal = StreamJournal(tmp_path)
+        writer = journal.writer("svc", make_hello())
+        writer.append_close(-1)
+        journal.close()
+        [replayed] = StreamJournal(tmp_path).replay()
+        assert replayed.closed
+        assert replayed.reported_total is None
+
+    def test_later_hello_wins(self, tmp_path):
+        journal = StreamJournal(tmp_path)
+        writer = journal.writer("svc", make_hello(nonce=1))
+        writer.append_hello(make_hello(nonce=2))
+        journal.close()
+        [replayed] = StreamJournal(tmp_path).replay()
+        assert replayed.hello.nonce == 2
+
+    def test_stream_ids_are_quoted_into_filenames(self, tmp_path):
+        journal = StreamJournal(tmp_path)
+        journal.writer("svc/with?odd chars", make_hello(name="odd"))
+        journal.close()
+        [replayed] = StreamJournal(tmp_path).replay()
+        assert replayed.stream_id == "svc/with?odd chars"
+
+    def test_empty_directory_replays_nothing(self, tmp_path):
+        assert StreamJournal(tmp_path).replay() == []
+
+
+class TestTornTails:
+    def test_truncated_tail_is_discarded(self, tmp_path):
+        journal = StreamJournal(tmp_path)
+        writer = journal.writer("svc", make_hello())
+        writer.append_records(make_records(range(5)))
+        journal.close()
+        path = writer.path
+        # Simulate a kill mid-append: chop the last frame in half.
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])
+
+        [replayed] = StreamJournal(tmp_path).replay()
+        assert replayed.records.shape[0] == 0  # the only batch was torn
+        assert replayed.valid_bytes < len(data)
+
+    def test_resume_truncates_torn_tail_before_appending(self, tmp_path):
+        journal = StreamJournal(tmp_path)
+        writer = journal.writer("svc", make_hello())
+        writer.append_records(make_records(range(5)))
+        journal.close()
+        path = writer.path
+        path.write_bytes(path.read_bytes()[:-3])
+
+        journal = StreamJournal(tmp_path)
+        [replayed] = journal.replay()
+        resumed = journal.resume(replayed)
+        resumed.append_records(make_records(range(5, 8)))
+        journal.close()
+
+        [again] = StreamJournal(tmp_path).replay()
+        assert list(again.records["beat"]) == [5, 6, 7]
+
+    def test_garbage_file_is_skipped(self, tmp_path):
+        (tmp_path / "junk.hbj").write_bytes(b"not a journal at all")
+        journal = StreamJournal(tmp_path)
+        writer = journal.writer("good", make_hello(name="good"))
+        writer.append_records(make_records(range(2)))
+        journal.close()
+        replayed = StreamJournal(tmp_path).replay()
+        assert [r.stream_id for r in replayed] == ["good"]
+
+    def test_corrupt_crc_stops_replay_at_last_good_frame(self, tmp_path):
+        journal = StreamJournal(tmp_path)
+        writer = journal.writer("svc", make_hello())
+        writer.append_records(make_records(range(3)))
+        writer.append_records(make_records(range(3, 6)))
+        journal.close()
+        path = writer.path
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload byte in the final batch
+        path.write_bytes(bytes(data))
+        [replayed] = StreamJournal(tmp_path).replay()
+        assert list(replayed.records["beat"]) == [0, 1, 2]
+
+
+class TestCompaction:
+    def test_oversized_journal_rewrites_to_retained_window(self, tmp_path):
+        journal = StreamJournal(tmp_path, max_bytes=2048)
+        writer = journal.writer("svc", make_hello())
+        for start in range(0, 200, 10):
+            writer.append_records(make_records(range(start, start + 10)))
+        assert writer.oversized
+        size_before = writer.path.stat().st_size
+        writer.rewrite(make_hello(), make_records(range(150, 200)), closed=False)
+        assert writer.path.stat().st_size < size_before
+        journal.close()
+        [replayed] = StreamJournal(tmp_path).replay()
+        assert list(replayed.records["beat"]) == list(range(150, 200))
+
+    def test_rewrite_preserves_close_state(self, tmp_path):
+        journal = StreamJournal(tmp_path, max_bytes=128)
+        writer = journal.writer("svc", make_hello())
+        writer.rewrite(
+            make_hello(), make_records(range(4)), closed=True, reported_total=4
+        )
+        journal.close()
+        [replayed] = StreamJournal(tmp_path).replay()
+        assert replayed.closed
+        assert replayed.reported_total == 4
+        assert replayed.records.shape[0] == 4
+
+
+@pytest.mark.network
+class TestCollectorFailover:
+    def test_restart_restores_streams_from_journal(self, tmp_path):
+        collector = HeartbeatCollector("127.0.0.1", 0, journal=str(tmp_path))
+        backend = NetworkBackend(collector.address, stream="durable", flush_interval=0.01)
+        for beat in range(30):
+            backend.append(beat, beat * 0.01, 0, 1)
+        backend.close()
+        assert wait_until(
+            lambda: any(
+                i.stream_id == "durable" and i.closed and i.total_beats == 30
+                for i in collector.streams()
+            )
+        )
+        collector.close()
+
+        # A brand-new collector over the same directory starts warm.
+        restarted = HeartbeatCollector("127.0.0.1", 0, journal=str(tmp_path))
+        try:
+            [info] = [i for i in restarted.streams() if i.stream_id == "durable"]
+            assert info.total_beats == 30
+            assert info.closed
+            assert info.reported_total == 30
+            assert not info.connected
+            snap = restarted.snapshot("durable")
+            assert snap.total_beats == 30
+        finally:
+            restarted.close()
+
+    def test_journal_url_param_round_trips_through_open_collector(self, tmp_path):
+        from repro.endpoints import open_collector
+
+        collector = open_collector(f"tcp://127.0.0.1:0?journal={tmp_path}")
+        try:
+            backend = NetworkBackend(collector.address, stream="via-url", flush_interval=0.01)
+            backend.append(0, 0.0, 0, 1)
+            assert wait_until(
+                lambda: any(i.total_beats == 1 for i in collector.streams())
+            )
+            backend.close()
+        finally:
+            collector.close()
+        assert any(p.suffix == ".hbj" for p in tmp_path.iterdir())
+
+    def test_restarted_collector_accepts_producer_resumption(self, tmp_path):
+        collector = HeartbeatCollector("127.0.0.1", 0, journal=str(tmp_path))
+        backend = NetworkBackend(collector.address, stream="resume", flush_interval=0.01)
+        for beat in range(10):
+            backend.append(beat, beat * 0.01, 0, 1)
+        assert wait_until(
+            lambda: any(i.total_beats == 10 for i in collector.streams())
+        )
+        collector.close()
+
+        restarted = HeartbeatCollector("127.0.0.1", 0, journal=str(tmp_path))
+        try:
+            fresh = NetworkBackend(
+                restarted.address, stream="resume", flush_interval=0.01
+            )
+            fresh.append(0, 1.0, 0, 1)
+            # A different (pid, nonce) is a new registration; the journaled
+            # history stays under the original id and the newcomer gets a
+            # disambiguated one — no silent merge of two producers.
+            assert wait_until(lambda: len(restarted.streams()) == 2)
+            fresh.close()
+        finally:
+            restarted.close()
