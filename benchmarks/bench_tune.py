@@ -1,0 +1,89 @@
+"""Benchmark — auto-tuning evaluation throughput.
+
+The tuner's usefulness is bounded by how fast the objective evaluates: a
+CMA-ES generation is ``popsize`` evaluations, and a default `repro tune`
+run spends 64 of them.  This benchmark pins evaluations/sec for the
+search-sized fleet (the configuration the optimizer actually loops over)
+and the wall cost of one fleet-scale validation evaluation at 1k streams.
+
+Run under pytest for the benchmark suite, or directly —
+
+    python benchmarks/bench_tune.py
+
+— to write ``BENCH_tune.json``.  ``BENCH_QUICK=1`` selects smaller repeat
+counts for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.tune import EvaluationConfig, evaluate_spec, scheduler_preset
+
+#: The configuration the optimizer's inner loop evaluates.
+SEARCH_CONFIG = EvaluationConfig(streams=6, ticks=16, beats_per_tick=4)
+
+
+def _repeats() -> int:
+    return 5 if os.environ.get("BENCH_QUICK") else 20
+
+
+def measure_search_eval_rate(repeats: int) -> float:
+    """Search-sized objective evaluations per second."""
+    spec = scheduler_preset()
+    evaluate_spec(spec, SEARCH_CONFIG)  # warm imports and caches
+    start = time.perf_counter()
+    for i in range(repeats):
+        evaluate_spec(spec, EvaluationConfig(
+            streams=SEARCH_CONFIG.streams,
+            ticks=SEARCH_CONFIG.ticks,
+            beats_per_tick=SEARCH_CONFIG.beats_per_tick,
+            seed=i,
+        ))
+    elapsed = time.perf_counter() - start
+    return repeats / elapsed
+
+
+def measure_fleet_eval_seconds(streams: int = 1000) -> float:
+    """Wall seconds for one fleet-scale validation evaluation."""
+    config = EvaluationConfig(streams=streams, ticks=12, beats_per_tick=4)
+    start = time.perf_counter()
+    evaluate_spec(scheduler_preset(), config)
+    return time.perf_counter() - start
+
+
+def test_search_evaluations_per_second():
+    """A CMA-ES generation (8 evals) must stay interactive on a CI box."""
+    rate = measure_search_eval_rate(_repeats())
+    assert rate > 2.0, f"search evaluation too slow: {rate:.2f} evals/s"
+
+
+def test_fleet_evaluation_completes_quickly():
+    """The 1k-stream validation pass must not dominate a tune run."""
+    seconds = measure_fleet_eval_seconds()
+    assert seconds < 60.0, f"1k-stream evaluation too slow: {seconds:.1f}s"
+
+
+def main() -> int:
+    repeats = _repeats()
+    results = {
+        "timestamp": time.time(),
+        "repeats": repeats,
+        "search_config": SEARCH_CONFIG.to_dict(),
+        "search_evals_per_sec": measure_search_eval_rate(repeats),
+        "fleet_1k_eval_seconds": measure_fleet_eval_seconds(),
+    }
+    out_path = os.environ.get("BENCH_OUTPUT", "BENCH_tune.json")
+    print(f"{'search evals':>22}: {results['search_evals_per_sec']:>10,.2f} evals/s")
+    print(f"{'1k-stream eval':>22}: {results['fleet_1k_eval_seconds']:>10,.2f} s")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -145,6 +145,40 @@ def _log_actuator_factory(name: str, reading: MonitorReading, options: Mapping[s
 BUILTIN_ACTUATORS: dict[str, ActuatorFactory] = {"log": _log_actuator_factory}
 
 
+_BARE_KEY_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-"
+)
+
+
+def _toml_key(key: str) -> str:
+    if key and set(key) <= _BARE_KEY_CHARS:
+        return key
+    return json.dumps(key)
+
+
+def _toml_value(value: Any) -> str:
+    """Serialize one value as TOML (strings, bools, numbers, arrays, inline tables).
+
+    JSON string escaping is a subset of TOML basic-string escaping, so
+    :func:`json.dumps` is reused for string literals; ``inf``/``nan`` are
+    spelt directly (valid TOML, invalid JSON).
+    """
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return json.dumps(value)
+    if isinstance(value, int):
+        return repr(value)
+    if isinstance(value, float):
+        return repr(value)  # repr floats always carry a '.' or 'e'/'inf'/'nan'
+    if isinstance(value, Mapping):
+        items = ", ".join(f"{_toml_key(str(k))} = {_toml_value(v)}" for k, v in value.items())
+        return "{" + items + "}"
+    if isinstance(value, Sequence):
+        return "[" + ", ".join(_toml_value(item) for item in value) + "]"
+    raise SpecError(f"cannot serialize {value!r} ({type(value).__name__}) as TOML")
+
+
 @dataclass(frozen=True, slots=True)
 class LoopSpec:
     """One loop rule: which streams, which goal, which controller and knob."""
@@ -165,8 +199,12 @@ class LoopSpec:
     #: Beats before the first decision.  The spec layer defaults to 0 —
     #: decide as soon as the stream has a measurable rate — since engines
     #: already gate stepping on ``min_beats``; ``None`` defers to
-    #: ``decision_interval`` (the bare :class:`ControlLoop` default).
+    #: ``decision_interval`` (the bare :class:`ControlLoop` default, spelt
+    #: ``"auto"`` in spec files, which cannot express null).
     warmup: int | None = 0
+    #: Whether ``repro tune`` may search this rule's controller parameters
+    #: (see :mod:`repro.tune`); inert at build time.
+    tune: bool = False
     #: Options handed to the actuator factory.
     actuator_options: Mapping[str, Any] = field(default_factory=dict)
 
@@ -209,7 +247,7 @@ class LoopSpec:
     def from_mapping(cls, data: Mapping[str, Any]) -> "LoopSpec":
         known = {
             "match", "actuator", "controller", "target",
-            "decision_interval", "warmup", "actuator_options",
+            "decision_interval", "warmup", "tune", "actuator_options",
         }
         unknown = set(data) - known
         if unknown:
@@ -234,6 +272,10 @@ class LoopSpec:
             except (TypeError, ValueError) as exc:
                 raise SpecError(f"target must be [min, max] or 'published', got {target!r}") from exc
         warmup = data.get("warmup", 0)
+        if warmup == "auto":
+            # TOML cannot express null; "auto" is the file spelling for the
+            # bare-ControlLoop default (warmup = decision_interval).
+            warmup = None
         return cls(
             match=str(data["match"]),
             actuator=str(data.get("actuator", "log")),
@@ -242,8 +284,29 @@ class LoopSpec:
             target=resolved,
             decision_interval=int(data.get("decision_interval", 1)),
             warmup=None if warmup is None else int(warmup),
+            tune=bool(data.get("tune", False)),
             actuator_options=dict(data.get("actuator_options", {})),
         )
+
+    def to_dict(self) -> dict[str, Any]:
+        """The plain mapping :meth:`from_mapping` parses back to an equal spec.
+
+        >>> rule = LoopSpec(match="vm-*", controller="pid", warmup=None)
+        >>> LoopSpec.from_mapping(rule.to_dict()) == rule
+        True
+        """
+        controller: dict[str, Any] = {"kind": self.controller}
+        controller.update(self.controller_options)
+        return {
+            "match": self.match,
+            "actuator": self.actuator,
+            "controller": controller,
+            "target": "published" if self.target is None else list(self.target),
+            "decision_interval": self.decision_interval,
+            "warmup": "auto" if self.warmup is None else self.warmup,
+            "tune": self.tune,
+            "actuator_options": dict(self.actuator_options),
+        }
 
 
 class AdaptSpec:
@@ -341,6 +404,67 @@ class AdaptSpec:
         if path.endswith(".toml"):
             return cls.from_toml(text)
         return cls.from_json(text)
+
+    @classmethod
+    def parse(cls, text: str) -> "AdaptSpec":
+        """Parse spec text by sniffing the format: JSON objects else TOML."""
+        if text.lstrip().startswith("{"):
+            return cls.from_json(text)
+        return cls.from_toml(text)
+
+    # ------------------------------------------------------------------ #
+    # Emitting
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        """The plain mapping :meth:`from_dict` parses back to an equal spec.
+
+        >>> spec = AdaptSpec([LoopSpec(match="vm-*")], interval=0.5)
+        >>> AdaptSpec.from_dict(spec.to_dict()) == spec
+        True
+        """
+        engine: dict[str, Any] = {
+            "window": self.window,
+            "num_shards": self.num_shards,
+            "interval": self.interval,
+            "min_beats": self.min_beats,
+        }
+        if self.liveness_timeout is not None:
+            engine["liveness_timeout"] = self.liveness_timeout
+        if self.attach:
+            engine["attach"] = [str(endpoint) for endpoint in self.attach]
+        return {"engine": engine, "loops": [rule.to_dict() for rule in self.loops]}
+
+    def to_toml(self) -> str:
+        """Emit TOML text that parses back to an equal spec (any Python version).
+
+        The emitter is dependency free — :mod:`tomllib` is parse-only and
+        3.11+, while emitting must work everywhere ``repro tune`` runs.
+        """
+        data = self.to_dict()
+        lines = ["[engine]"]
+        for key, value in data["engine"].items():
+            lines.append(f"{_toml_key(key)} = {_toml_value(value)}")
+        for loop in data["loops"]:
+            lines.append("")
+            lines.append("[[loops]]")
+            for key, value in loop.items():
+                lines.append(f"{_toml_key(key)} = {_toml_value(value)}")
+        return "\n".join(lines) + "\n"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AdaptSpec):
+            return NotImplemented
+        return (
+            self.loops == other.loops
+            and self.window == other.window
+            and self.liveness_timeout == other.liveness_timeout
+            and self.num_shards == other.num_shards
+            and self.interval == other.interval
+            and self.min_beats == other.min_beats
+            and self.attach == other.attach
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable-ish container semantics
 
     # ------------------------------------------------------------------ #
     # Building

@@ -271,6 +271,63 @@ def _build_parser() -> argparse.ArgumentParser:
         help="dashboard port for --serve (default 0: an ephemeral port)",
     )
     scenario_sub.add_parser("list", help="list the built-in scenario presets")
+
+    tune = sub.add_parser(
+        "tune",
+        help="search controller gains for a spec's tune=true rules against simulated fleets",
+    )
+    tune.add_argument(
+        "--spec",
+        required=True,
+        metavar="SPEC",
+        help="baseline spec: a preset name ('scheduler') or a .toml/.json spec file",
+    )
+    tune.add_argument(
+        "--out",
+        required=True,
+        metavar="PATH",
+        help="write the tuned, round-trip-validated AdaptSpec TOML here",
+    )
+    tune.add_argument(
+        "--log",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL tuning flight log (one event per evaluation/generation)",
+    )
+    tune.add_argument(
+        "--strategy",
+        choices=["cmaes", "random"],
+        default="cmaes",
+        help="search strategy (default: cmaes with IPOP restarts)",
+    )
+    tune.add_argument(
+        "--budget", type=int, default=64, help="objective evaluations to spend (default 64)"
+    )
+    tune.add_argument(
+        "--popsize", type=int, default=None, help="population per generation (default: auto)"
+    )
+    tune.add_argument(
+        "--streams", type=int, default=16, help="simulated streams per evaluation (default 16)"
+    )
+    tune.add_argument(
+        "--ticks", type=int, default=30, help="adaptation ticks per evaluation (default 30)"
+    )
+    tune.add_argument(
+        "--beats-per-tick", type=int, default=4, help="simulated beats per tick (default 4)"
+    )
+    tune.add_argument(
+        "--profile",
+        choices=["steady", "step-load", "churn", "skewed"],
+        default="steady",
+        help="workload profile the evaluation fleet replays (default steady)",
+    )
+    tune.add_argument("--seed", type=int, default=0, help="tuning seed (default 0)")
+    tune.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="evaluation worker processes (0: evaluate inline, default)",
+    )
     return parser
 
 
@@ -727,6 +784,85 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0 if result.passed else 1
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    # Deferred import: the tuning subsystem pulls in the simulated plant and
+    # the optimizer, which no observation command needs.
+    from repro.tune import (
+        EvaluationConfig,
+        FlightLog,
+        PRESET_SPECS,
+        Tuner,
+        write_tuned_spec,
+    )
+    from repro.tune.space import TuneError
+
+    try:
+        if args.spec in PRESET_SPECS:
+            spec = PRESET_SPECS[args.spec]()
+        else:
+            spec = AdaptSpec.from_file(args.spec)
+    except OSError as exc:
+        _emit(f"tune: cannot load spec {args.spec!r}: {exc}", stream=sys.stderr)
+        return 2
+    except SpecError as exc:
+        _emit(f"tune: invalid spec {args.spec!r}: {exc}", stream=sys.stderr)
+        return 2
+    config = EvaluationConfig(
+        streams=args.streams,
+        ticks=args.ticks,
+        beats_per_tick=args.beats_per_tick,
+        profile=args.profile,
+    )
+    log = FlightLog(args.log) if args.log else None
+    try:
+        tuner = Tuner(
+            spec,
+            config=config,
+            strategy=args.strategy,
+            budget=args.budget,
+            popsize=args.popsize,
+            workers=args.workers,
+            seed=args.seed,
+            flight_log=log,
+        )
+        _emit(
+            f"tuning {len(tuner.space.params)} parameter(s) "
+            f"[{', '.join(tuner.space.names)}] with {args.strategy}, "
+            f"budget {args.budget}, {args.streams} streams x {args.ticks} ticks "
+            f"({args.profile})"
+        )
+        result = tuner.run()
+    except TuneError as exc:
+        _emit(f"tune: {exc}", stream=sys.stderr)
+        return 2
+    finally:
+        if log is not None:
+            log.close()
+    text = write_tuned_spec(result.spec, args.out)
+    baseline, tuned = result.baseline_result, result.tuned_result
+    _emit(
+        f"searched {result.evaluations} evaluations in {result.generations} "
+        f"generation(s), {result.restarts} restart(s)"
+    )
+    for name, value in sorted(result.best_values.items()):
+        shown = f"{value:.4g}" if isinstance(value, float) else str(value)
+        _emit(f"  {name} = {shown}")
+    _emit(
+        f"baseline: score {baseline.score:.3f}, settle_median {baseline.settle_median:.3f}s, "
+        f"in-window {baseline.in_window_fraction:.0%}"
+    )
+    _emit(
+        f"tuned:    score {tuned.score:.3f}, settle_median {tuned.settle_median:.3f}s, "
+        f"in-window {tuned.in_window_fraction:.0%}"
+    )
+    verdict = "beats" if result.improved else "does NOT beat"
+    _emit(f"tuned spec {verdict} the baseline on median settle time (held-out seed)")
+    _emit(f"wrote {args.out} ({len(text.splitlines())} lines)")
+    if args.log:
+        _emit(f"flight log: {args.log}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -738,6 +874,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_adapt(args)
         if args.command == "scenario":
             return _cmd_scenario(args)
+        if args.command == "tune":
+            return _cmd_tune(args)
     except EndpointError as exc:
         _emit(f"{args.command}: {exc}", stream=sys.stderr)
         return 2

@@ -138,6 +138,7 @@ class ExecutionEngine:
         *,
         rate_window: int = 0,
         stop_when_stalled: bool = True,
+        seed: int | None = None,
     ) -> RunResult:
         """Run ``process`` until it has produced ``beats`` more heartbeats.
 
@@ -146,10 +147,14 @@ class ExecutionEngine:
         window).  When the process loses all usable cores and
         ``stop_when_stalled`` is True the run ends early — the application
         can no longer make progress, which is precisely the condition a
-        liveness monitor would flag.
+        liveness monitor would flag.  Passing ``seed`` reseeds the process's
+        workload (:meth:`~repro.workloads.base.Workload.reseed`) before the
+        first beat, making the run bit-reproducible regardless of prior use.
         """
         if beats < 0:
             raise ValueError(f"beats must be >= 0, got {beats}")
+        if seed is not None:
+            process.workload.reseed(seed)
         result = RunResult(workload=process.workload.name)
         for i in range(beats):
             beat_index = process.beats_completed
@@ -186,6 +191,7 @@ class ExecutionEngine:
         beats: int,
         *,
         rate_window: int = 0,
+        seed: int | None = None,
     ) -> dict[int, RunResult]:
         """Interleave several processes beat-by-beat on the shared clock.
 
@@ -194,8 +200,13 @@ class ExecutionEngine:
         simple event-driven interleaving sufficient for the cloud/cluster
         scenarios where several Heartbeat-enabled applications run at once.
         Note that processes contend only through explicit allocations; the
-        machine does not model time-slicing within a core.
+        machine does not model time-slicing within a core.  Passing ``seed``
+        reseeds every process's workload with ``seed + position`` (argument
+        order, so the derived seeds are stable) before the first beat.
         """
+        if seed is not None:
+            for k, process in enumerate(processes):
+                process.workload.reseed(seed + k)
         remaining = {p.pid: beats for p in processes}
         completion_time = {p.pid: self.clock.now() for p in processes}
         results = {p.pid: RunResult(workload=p.workload.name) for p in processes}

@@ -1,0 +1,228 @@
+"""Dependency-free CMA-ES and a random-search baseline.
+
+The implementation follows Hansen's tutorial formulation of (μ/μ_w, λ)-CMA-ES
+— rank-based recombination weights, cumulative step-size adaptation, and a
+rank-one plus rank-μ covariance update — on top of numpy only.  Increasing-
+population (IPOP) restarts live in :mod:`repro.tune.optimizer`, which
+re-instantiates the strategy with a doubled ``popsize`` when it converges;
+both strategies here expose the same deterministic ask/tell interface:
+
+>>> import numpy as np
+>>> es = CMAES(np.full(3, 0.5), sigma0=0.3, seed=7)
+>>> for _ in range(30):
+...     xs = es.ask()
+...     es.tell(xs, [float(np.sum((x - 0.2) ** 2)) for x in xs])
+>>> bool(np.all(np.abs(es.best_x - 0.2) < 0.05))
+True
+
+Minimization throughout: lower objective values are better.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["CMAES", "RandomSearch"]
+
+
+class CMAES:
+    """(μ/μ_w, λ) covariance-matrix-adaptation evolution strategy.
+
+    Parameters
+    ----------
+    x0:
+        Initial mean (genotype space; callers clip/decode phenotypes).
+    sigma0:
+        Initial step size.
+    popsize:
+        Offspring per generation λ; defaults to ``4 + 3·ln(n)``.
+    seed:
+        Seed for the strategy's private generator; sampling is fully
+        deterministic given the seed and the tell history.
+    tolfun / tolx / maxiter:
+        Convergence criteria: best-objective spread across recent
+        generations, step-size collapse, and a generation cap.
+    """
+
+    def __init__(
+        self,
+        x0: np.ndarray,
+        *,
+        sigma0: float = 0.3,
+        popsize: int | None = None,
+        seed: int = 0,
+        tolfun: float = 1e-9,
+        tolx: float = 1e-11,
+        maxiter: int = 1000,
+    ) -> None:
+        self.mean = np.array(x0, dtype=np.float64).ravel()
+        self.n = len(self.mean)
+        if self.n == 0:
+            raise ValueError("CMA-ES needs at least one dimension")
+        if sigma0 <= 0:
+            raise ValueError(f"sigma0 must be positive, got {sigma0}")
+        self.sigma = float(sigma0)
+        self.popsize = int(popsize) if popsize else 4 + int(3 * math.log(self.n + 1))
+        if self.popsize < 2:
+            raise ValueError(f"popsize must be >= 2, got {self.popsize}")
+        self.rng = np.random.default_rng(seed)
+        self.tolfun = float(tolfun)
+        self.tolx = float(tolx)
+        self.maxiter = int(maxiter)
+
+        # Recombination weights (Hansen's defaults).
+        self.mu = self.popsize // 2
+        weights = np.log(self.mu + 0.5) - np.log(np.arange(1, self.mu + 1))
+        self.weights = weights / weights.sum()
+        self.mueff = float(1.0 / np.sum(self.weights**2))
+
+        n = float(self.n)
+        self.cc = (4 + self.mueff / n) / (n + 4 + 2 * self.mueff / n)
+        self.cs = (self.mueff + 2) / (n + self.mueff + 5)
+        self.c1 = 2 / ((n + 1.3) ** 2 + self.mueff)
+        self.cmu = min(
+            1 - self.c1,
+            2 * (self.mueff - 2 + 1 / self.mueff) / ((n + 2) ** 2 + self.mueff),
+        )
+        self.damps = 1 + 2 * max(0.0, math.sqrt((self.mueff - 1) / (n + 1)) - 1) + self.cs
+        self.chi_n = math.sqrt(n) * (1 - 1 / (4 * n) + 1 / (21 * n * n))
+
+        self.pc = np.zeros(self.n)
+        self.ps = np.zeros(self.n)
+        self.C = np.eye(self.n)
+        self._decompose()
+
+        self.generation = 0
+        self.best_x = self.mean.copy()
+        self.best_f = math.inf
+        self._recent_best: list[float] = []
+        self._pending: np.ndarray | None = None
+
+    def _decompose(self) -> None:
+        self.C = np.triu(self.C) + np.triu(self.C, 1).T  # enforce symmetry
+        eigvals, eigvecs = np.linalg.eigh(self.C)
+        eigvals = np.maximum(eigvals, 1e-20)
+        self._B = eigvecs
+        self._D = np.sqrt(eigvals)
+        self._inv_sqrt_C = eigvecs @ np.diag(1.0 / self._D) @ eigvecs.T
+
+    # ------------------------------------------------------------------ #
+    # Ask / tell
+    # ------------------------------------------------------------------ #
+    def ask(self) -> list[np.ndarray]:
+        """Sample λ candidate genotypes for this generation."""
+        z = self.rng.standard_normal((self.popsize, self.n))
+        y = z @ (self._B * self._D).T
+        self._pending = y
+        return [self.mean + self.sigma * yi for yi in y]
+
+    def tell(self, xs: list[np.ndarray], fs: list[float]) -> None:
+        """Rank the evaluated candidates and update mean, paths, C, sigma."""
+        if self._pending is None:
+            raise RuntimeError("tell() before ask()")
+        if len(xs) != self.popsize or len(fs) != self.popsize:
+            raise ValueError(f"expected {self.popsize} candidates, got {len(xs)}/{len(fs)}")
+        order = np.argsort(np.asarray(fs, dtype=np.float64), kind="stable")
+        y = self._pending[order[: self.mu]]
+        self._pending = None
+
+        y_w = self.weights @ y
+        self.mean = self.mean + self.sigma * y_w
+
+        self.ps = (1 - self.cs) * self.ps + math.sqrt(
+            self.cs * (2 - self.cs) * self.mueff
+        ) * (self._inv_sqrt_C @ y_w)
+        expected_decay = math.sqrt(
+            1 - (1 - self.cs) ** (2 * (self.generation + 1))
+        )
+        hsig = float(
+            np.linalg.norm(self.ps) / expected_decay / self.chi_n < 1.4 + 2 / (self.n + 1)
+        )
+        self.pc = (1 - self.cc) * self.pc + hsig * math.sqrt(
+            self.cc * (2 - self.cc) * self.mueff
+        ) * y_w
+
+        rank_mu = (y * self.weights[:, None]).T @ y
+        self.C = (
+            (1 - self.c1 - self.cmu) * self.C
+            + self.c1
+            * (np.outer(self.pc, self.pc) + (1 - hsig) * self.cc * (2 - self.cc) * self.C)
+            + self.cmu * rank_mu
+        )
+        self.sigma *= math.exp(
+            (self.cs / self.damps) * (np.linalg.norm(self.ps) / self.chi_n - 1)
+        )
+        self._decompose()
+        self.generation += 1
+
+        gen_best = int(order[0])
+        if fs[gen_best] < self.best_f:
+            self.best_f = float(fs[gen_best])
+            self.best_x = np.array(xs[gen_best], dtype=np.float64)
+        self._recent_best.append(float(fs[gen_best]))
+        if len(self._recent_best) > 10 + int(30 * self.n / self.popsize):
+            self._recent_best.pop(0)
+
+    def stop(self) -> str | None:
+        """The convergence reason, or ``None`` while the search should go on."""
+        if self.generation >= self.maxiter:
+            return "maxiter"
+        history = self._recent_best
+        if len(history) >= 10 and max(history) - min(history) < self.tolfun:
+            return "tolfun"
+        if self.sigma * float(np.max(self._D)) < self.tolx:
+            return "tolx"
+        if not np.all(np.isfinite(self.C)):  # pragma: no cover - defensive
+            return "divergence"
+        return None
+
+
+class RandomSearch:
+    """Uniform random sampling with the CMA-ES ask/tell interface.
+
+    The baseline `repro tune --strategy random` runs, and the floor the
+    tune-smoke CI step pins CMA-ES against.  Samples uniformly in the unit
+    cube around no structure at all; never converges on its own (``stop()``
+    only triggers on the generation cap).
+
+    >>> rs = RandomSearch(3, popsize=8, seed=1)
+    >>> xs = rs.ask()
+    >>> rs.tell(xs, [float(x.sum()) for x in xs])
+    >>> rs.best_f <= 1.5
+    True
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        *,
+        popsize: int = 8,
+        seed: int = 0,
+        maxiter: int = 1000,
+    ) -> None:
+        if dimension < 1:
+            raise ValueError(f"dimension must be >= 1, got {dimension}")
+        self.n = int(dimension)
+        self.popsize = int(popsize)
+        if self.popsize < 1:
+            raise ValueError(f"popsize must be >= 1, got {self.popsize}")
+        self.rng = np.random.default_rng(seed)
+        self.maxiter = int(maxiter)
+        self.generation = 0
+        self.best_x = np.full(self.n, 0.5)
+        self.best_f = math.inf
+
+    def ask(self) -> list[np.ndarray]:
+        return [self.rng.random(self.n) for _ in range(self.popsize)]
+
+    def tell(self, xs: list[np.ndarray], fs: list[float]) -> None:
+        for x, f in zip(xs, fs):
+            if f < self.best_f:
+                self.best_f = float(f)
+                self.best_x = np.array(x, dtype=np.float64)
+        self.generation += 1
+
+    def stop(self) -> str | None:
+        return "maxiter" if self.generation >= self.maxiter else None

@@ -1,0 +1,100 @@
+"""Tuned-spec emission and the JSONL tuning flight log.
+
+:func:`write_tuned_spec` is the last step of `repro tune`: serialize the
+tuned :class:`~repro.adapt.spec.AdaptSpec` to TOML, prove the text parses
+back to an equal spec, and only then move it into place (atomic rename, so
+a crash never leaves a half-written spec behind).  On Python 3.10 — where
+:mod:`tomllib` does not exist — validation falls back to the dict round
+trip, which exercises the same ``from_mapping`` path.
+
+:class:`FlightLog` is the tuner's black box: one JSON object per line, an
+event per evaluation and per generation, flushed as written so a killed run
+still leaves a readable trace.
+
+>>> import io, json
+>>> buffer = io.StringIO()
+>>> log = FlightLog(buffer)
+>>> log.write("evaluation", candidate=0, score=1.5)
+>>> json.loads(buffer.getvalue())["event"]
+'evaluation'
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+from typing import IO, Any, Union
+
+from repro.adapt.spec import AdaptSpec, SpecError
+
+__all__ = ["FlightLog", "write_tuned_spec"]
+
+
+class FlightLog:
+    """Append-only JSONL event stream for one tuning run.
+
+    Accepts an open text file or a path; owns (and closes) the handle only
+    when it opened the file itself.  Usable as a context manager.
+    """
+
+    def __init__(self, sink: Union[str, os.PathLike[str], IO[str]]) -> None:
+        if hasattr(sink, "write"):
+            self._fh: IO[str] = sink  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._fh = open(os.fspath(sink), "w", encoding="utf-8")  # type: ignore[arg-type]
+            self._owns = True
+        self.records = 0
+
+    def write(self, event: str, **fields: Any) -> None:
+        """Append one event line (``{"event": ..., **fields}``) and flush."""
+        record = {"event": event}
+        record.update(fields)
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        self.records += 1
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "FlightLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def _validate_round_trip(spec: AdaptSpec, text: str) -> None:
+    if sys.version_info >= (3, 11):
+        parsed = AdaptSpec.parse(text)
+    else:  # pragma: no cover - tomllib-less interpreters only
+        parsed = AdaptSpec.from_dict(spec.to_dict())
+    if parsed != spec:
+        raise SpecError("emitted spec did not round-trip to an equal AdaptSpec")
+
+
+def write_tuned_spec(spec: AdaptSpec, path: Union[str, os.PathLike[str]]) -> str:
+    """Write ``spec`` as validated TOML at ``path``; returns the emitted text.
+
+    The text is parsed back and compared for equality *before* the atomic
+    rename, so an emitter regression can never produce an unloadable file.
+    """
+    text = spec.to_toml()
+    _validate_round_trip(spec, text)
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(prefix=".tuned-", suffix=".toml", dir=directory)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return text

@@ -1,0 +1,42 @@
+"""Bundled hand-written AdaptSpecs the tuner starts from (and must beat).
+
+The values here are deliberately the kind of conservative first guess a
+human writes before measuring anything: a proportional controller with a
+modest gain and single-core steps.  They hold the window eventually, but
+ramp slowly — which is exactly what gives `repro tune` something to improve
+and the regression tests something to pin.
+
+>>> spec = scheduler_preset()
+>>> [rule.tune for rule in spec.loops]
+[True]
+>>> spec.loops[0].controller
+'proportional'
+"""
+
+from __future__ import annotations
+
+from repro.adapt.spec import AdaptSpec
+
+__all__ = ["scheduler_preset", "PRESET_SPECS"]
+
+
+def scheduler_preset() -> AdaptSpec:
+    """The hand-written core-allocation spec for the simulated scheduler fleet."""
+    return AdaptSpec.from_dict(
+        {
+            "engine": {"window": 8, "min_beats": 2},
+            "loops": [
+                {
+                    "match": "sim-*",
+                    "actuator": "cores",
+                    "target": [10.0, 12.0],
+                    "controller": {"kind": "proportional", "gain": 0.4, "max_step": 1},
+                    "tune": True,
+                }
+            ],
+        }
+    )
+
+
+#: Preset name → builder, the names ``repro tune --spec`` accepts directly.
+PRESET_SPECS = {"scheduler": scheduler_preset}

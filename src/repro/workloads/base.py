@@ -131,6 +131,23 @@ class Workload(abc.ABC):
         """Nominal single-core seconds of work per beat."""
         return self._base_work
 
+    def reseed(self, seed: int) -> None:
+        """Rewind the workload to a fresh deterministic state under ``seed``.
+
+        Resets the private generator, the per-beat noise cache, and (via
+        :meth:`_reseed_kernel`) any mutable kernel state a subclass keeps, so
+        two runs reseeded identically produce bit-identical beat costs and
+        kernel results regardless of what ran before.  The tuner's evaluation
+        harness relies on this for reproducible scoring.
+        """
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(self.seed)
+        self._noise_cache.clear()
+        self._reseed_kernel()
+
+    def _reseed_kernel(self) -> None:
+        """Rebuild subclass kernel state derived from :attr:`rng`, if any."""
+
     def _noise_factor(self, beat_index: int) -> float:
         """Deterministic-per-beat multiplicative jitter with unit mean."""
         if self.noise == 0.0:

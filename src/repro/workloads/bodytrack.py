@@ -110,6 +110,9 @@ class BodytrackWorkload(Workload):
         self.initial_load_factor = float(initial_load_factor)
         self._filter = ParticleFilter(self.particles, seed=self.seed)
 
+    def _reseed_kernel(self) -> None:
+        self._filter = ParticleFilter(self.particles, seed=self.seed)
+
     @classmethod
     def figure5(cls, **kwargs: object) -> "BodytrackWorkload":
         """The Figure-5 configuration: heavier opening, sharp load drop at beat 141."""

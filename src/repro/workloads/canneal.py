@@ -88,9 +88,13 @@ class CannealWorkload(Workload):
         if moves_per_beat <= 0:
             raise ValueError(f"moves_per_beat must be positive, got {moves_per_beat}")
         self.moves_per_beat = int(moves_per_beat)
-        self._annealer = NetlistAnnealer(elements, seed=self.seed)
+        self.elements = int(elements)
+        self._annealer = NetlistAnnealer(self.elements, seed=self.seed)
         if not self.explicit_target_rate:
             self._base_work *= self.moves_per_beat / 1875.0
+
+    def _reseed_kernel(self) -> None:
+        self._annealer = NetlistAnnealer(self.elements, seed=self.seed)
 
     def execute_beat(self, beat_index: int) -> tuple[int, float]:
         """Run one batch of annealing moves (sub-sampled for wall-clock runs)."""

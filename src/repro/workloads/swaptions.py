@@ -43,7 +43,9 @@ def price_swaption(
         raise ValueError("paths and steps must be positive")
     if maturity <= 0 or tenor <= 0:
         raise ValueError("maturity and tenor must be positive")
-    rng = rng if rng is not None else np.random.default_rng()
+    # A fixed default seed keeps bare calls reproducible; pass an explicit
+    # generator for independent pricing runs.
+    rng = rng if rng is not None else np.random.default_rng(0)
     a, b, sigma = 0.1, initial_rate, volatility * 0.05
     dt = maturity / steps
     rates = np.full(paths, initial_rate, dtype=np.float64)

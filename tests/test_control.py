@@ -278,3 +278,72 @@ class TestControllerContract:
         controller.decide(float("nan"))
         assert controller.level == 1
         assert controller.rejected_levels == frozenset()
+
+
+class TestTunableContract:
+    """Every controller factory must expose searchable parameter metadata.
+
+    The auto-tuner (repro.tune) can only search what the registry describes,
+    so the contract walks repro.control the same way the factory contract
+    does: a Controller subclass without tunable metadata fails loudly here.
+    """
+
+    #: controller_options that satisfy each kind's construction requirements.
+    KIND_OPTIONS = {"ladder": {"levels": 6}}
+
+    def test_every_control_subclass_has_a_registered_kind(self):
+        from repro.tune.space import KIND_BY_CONTROLLER
+
+        missing = [
+            cls for cls in _control_subclasses()
+            if cls.__name__ not in KIND_BY_CONTROLLER
+        ]
+        assert not missing, (
+            f"Controller subclasses without tunable metadata: {missing}; "
+            "map them in repro.tune.space.KIND_BY_CONTROLLER and register_tunables"
+        )
+
+    def test_every_spec_kind_has_tunables(self):
+        from repro.adapt.spec import _CONTROLLER_KINDS
+        from repro.tune.space import controller_tunables
+
+        for kind in _CONTROLLER_KINDS:
+            params = controller_tunables(kind, self.KIND_OPTIONS.get(kind))
+            assert params, f"controller kind {kind!r} registered no tunable params"
+
+    @pytest.mark.parametrize("kind", ["step", "proportional", "pid", "ladder"])
+    def test_bounds_present_and_defaults_in_bounds(self, kind):
+        from repro.tune.space import controller_tunables
+
+        for param in controller_tunables(kind, self.KIND_OPTIONS.get(kind)):
+            assert math.isfinite(param.low) and math.isfinite(param.high)
+            assert param.low < param.high
+            assert param.low <= param.default <= param.high
+            if param.log:
+                assert param.low > 0
+
+    @pytest.mark.parametrize("kind", ["step", "proportional", "pid", "ladder"])
+    def test_defaults_construct_a_working_controller(self, kind):
+        """Round-tripping the defaults through the spec builder must succeed."""
+        from repro.adapt.spec import _build_controller
+        from repro.tune.space import controller_tunables
+
+        options = dict(self.KIND_OPTIONS.get(kind, {}))
+        for param in controller_tunables(kind, options):
+            options[param.name] = param.from_unit(param.to_unit(param.default))
+        controller = _build_controller(kind, CONTRACT_WINDOW, options)
+        assert controller.decide(CONTRACT_WINDOW.midpoint).is_noop
+
+    @pytest.mark.parametrize("kind", ["step", "proportional", "pid", "ladder"])
+    def test_extremes_construct_a_working_controller(self, kind):
+        """The search's phenotype bounds themselves must be buildable."""
+        from repro.adapt.spec import _build_controller
+        from repro.tune.space import controller_tunables
+
+        for unit in (0.0, 1.0):
+            options = dict(self.KIND_OPTIONS.get(kind, {}))
+            for param in controller_tunables(kind, options):
+                options[param.name] = param.from_unit(unit)
+            controller = _build_controller(kind, CONTRACT_WINDOW, options)
+            decision = controller.decide(1.0)
+            assert decision.delta is not None or decision.value is not None

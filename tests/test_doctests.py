@@ -32,6 +32,12 @@ DOCUMENTED_MODULES = [
     "repro.obs.registry",
     "repro.obs.tracing",
     "repro.obs.serve",
+    "repro.tune.space",
+    "repro.tune.cmaes",
+    "repro.tune.objective",
+    "repro.tune.optimizer",
+    "repro.tune.emit",
+    "repro.tune.presets",
 ]
 
 

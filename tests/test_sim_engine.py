@@ -171,3 +171,79 @@ class TestConcurrentExecution:
         results = ExecutionEngine(clock).run_concurrent([ok, dead], beats=3)
         assert results[201].beats == 3
         assert results[202].beats == 0
+
+
+class TestSeedPlumbing:
+    """run(seed=)/run_concurrent(seed=) make evaluations bit-reproducible."""
+
+    @staticmethod
+    def _noisy_process(seed: int = 0):
+        from repro.workloads.swaptions import SwaptionsWorkload
+
+        clock = SimulatedClock()
+        machine = SimulatedMachine(8)
+        heartbeat = Heartbeat(window=10, clock=clock, history=4096)
+        workload = SwaptionsWorkload(noise=0.2, seed=seed)
+        return ExecutionEngine(clock), SimulatedProcess(
+            workload, heartbeat, machine, cores=2, pid=1
+        )
+
+    def test_run_seed_reseeds_the_workload(self):
+        engine_a, proc_a = self._noisy_process(seed=1)
+        engine_b, proc_b = self._noisy_process(seed=2)
+        # Different construction seeds, same run seed: identical beat costs.
+        events_a = engine_a.run(proc_a, 20, seed=7).events
+        events_b = engine_b.run(proc_b, 20, seed=7).events
+        assert [e.duration for e in events_a] == [e.duration for e in events_b]
+
+    def test_run_seed_resets_consumed_state(self):
+        engine, proc = self._noisy_process()
+        first = [e.duration for e in engine.run(proc, 10, seed=3).events]
+        # Without reseeding, the noise cache makes a replay identical anyway;
+        # what matters is that the *kernel and rng* state rewound too.
+        engine2, proc2 = self._noisy_process()
+        engine2.run(proc2, 5, seed=99)  # consume some state first
+        replay = engine2.run(proc2, 10, seed=3)
+        assert [e.duration for e in replay.events][: len(first)] != []
+        # Same seed, same beat indices -> same noise factors.
+        assert proc2.workload._noise_factor(0) == proc.workload._noise_factor(0)
+
+    def test_run_concurrent_derives_per_process_seeds(self):
+        from repro.workloads.swaptions import SwaptionsWorkload
+
+        def build(pids):
+            clock = SimulatedClock()
+            procs = []
+            for pid in pids:
+                machine = SimulatedMachine(4)
+                hb = Heartbeat(window=10, clock=clock, history=1024)
+                workload = SwaptionsWorkload(noise=0.3, seed=pid * 17)
+                procs.append(SimulatedProcess(workload, hb, machine, cores=1, pid=pid))
+            return ExecutionEngine(clock), procs
+
+        engine_a, procs_a = build([11, 22])
+        engine_b, procs_b = build([33, 44])
+        results_a = engine_a.run_concurrent(procs_a, 8, seed=5)
+        results_b = engine_b.run_concurrent(procs_b, 8, seed=5)
+        for pa, pb in zip(procs_a, procs_b):
+            assert [e.duration for e in results_a[pa.pid].events] == [
+                e.duration for e in results_b[pb.pid].events
+            ]
+        # Position-derived seeds differ between the two processes.
+        assert procs_a[0].workload.seed != procs_a[1].workload.seed
+
+    def test_workload_reseed_rebuilds_kernel_state(self):
+        from repro.workloads.bodytrack import BodytrackWorkload
+
+        workload = BodytrackWorkload(particles=64, seed=4)
+        before = [workload.execute_beat(i) for i in range(3)]
+        workload.reseed(4)
+        after = [workload.execute_beat(i) for i in range(3)]
+        assert before == after
+
+    def test_price_swaption_default_rng_is_deterministic(self):
+        from repro.workloads.swaptions import price_swaption
+
+        a = price_swaption(0.05, 1.0, 2.0, 0.3, 0.05, paths=256, steps=8)
+        b = price_swaption(0.05, 1.0, 2.0, 0.3, 0.05, paths=256, steps=8)
+        assert a == b
